@@ -1,0 +1,40 @@
+"""Assertion helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def within_factor(measured: float, paper: float, factor: float) -> bool:
+    """Is ``measured`` within a multiplicative band of the paper value?"""
+    if paper <= 0 or measured <= 0:
+        return False
+    ratio = measured / paper
+    return 1.0 / factor <= ratio <= factor
+
+
+_ROW_CACHE: dict = {}
+
+
+def cached_bc_row(entry, systems=("sequential", "gunrock", "ligra")):
+    """Per-process cache of BC/vertex experiment rows.
+
+    Several figures reuse the rows of a table; the experiment is
+    deterministic, so recomputing it would only burn wall-clock.
+    """
+    from repro.bench import run_bc_per_vertex
+
+    key = (entry.name, tuple(systems))
+    if key not in _ROW_CACHE:
+        _ROW_CACHE[key] = run_bc_per_vertex(entry, systems=tuple(systems))
+    return _ROW_CACHE[key]
+
+
+def geometric_mean(values) -> float:
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    prod = 1.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError("geometric_mean needs positive values")
+        prod *= v
+    return prod ** (1.0 / len(vals))

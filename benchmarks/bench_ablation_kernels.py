@@ -1,0 +1,89 @@
+"""Ablation (Sections 3.1/4): the kernel-selection crossover.
+
+Sweeps a Chung-Lu family along the two axes that separate the paper's
+regular and irregular regimes -- degree-tail heaviness and mean degree --
+running all three TurboBC kernels on every point.  Reproduced invariants:
+
+* scalar kernels win the uniform/low-degree end (Table 1/2's regime);
+* scCSC deteriorates with tail heaviness (warp divergence + hub critical
+  path), which is what pushes the outlier graphs to scCOOC;
+* veCSC wins once heavy degrees are pervasive (Table 3's regime);
+* the scf-based auto-selector stays within ~1.35x of the best kernel on
+  every point.
+"""
+
+import numpy as np
+
+from repro.core.bc import select_algorithm, turbo_bc
+from repro.graphs.generators.util import chung_lu_edges, powerlaw_degrees, resolve_rng
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import scale_free_metric
+
+#: (tail exponent, mean degree, n): uniform -> heavy-tailed -> dense-irregular
+SWEEP = [
+    (12.0, 8, 150_000),
+    (3.0, 8, 150_000),
+    (2.0, 8, 150_000),
+    (2.0, 64, 40_000),
+    (2.0, 256, 20_000),
+]
+
+
+def _sweep_graph(exponent: float, mean: int, n: int, seed: int) -> Graph:
+    rng = resolve_rng(seed)
+    if exponent >= 10:  # effectively uniform
+        w = np.full(n, float(mean))
+    else:
+        w = powerlaw_degrees(n, exponent=exponent, d_min=1, d_max=n // 8, rng=rng)
+        w = w * (mean / w.mean())
+    src, dst = chung_lu_edges(w, rng=rng)
+    chain = np.arange(n - 1, dtype=np.int64)
+    return Graph(
+        np.concatenate([src, chain]), np.concatenate([dst, chain + 1]), n,
+        directed=False, name=f"sweep-exp{exponent}-mu{mean}",
+    )
+
+
+def test_ablation_kernel_crossover(report, benchmark):
+    def run():
+        rows = []
+        for exponent, mean, n in SWEEP:
+            g = _sweep_graph(exponent, mean, n, seed=7)
+            scf = scale_free_metric(g)
+            times = {
+                alg: turbo_bc(g, sources=0, algorithm=alg).stats.gpu_time_s
+                for alg in ("sccooc", "sccsc", "veccsc")
+            }
+            auto = select_algorithm(g).name
+            rows.append(((exponent, mean), scf, times, auto))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation -- kernel crossover vs degree structure (Chung-Lu sweep)",
+        f"{'exp/mean':>10s} {'scf':>9s} {'sccooc ms':>10s} {'sccsc ms':>10s} "
+        f"{'veccsc ms':>10s} {'best':>8s} {'auto':>8s}",
+    ]
+    for (exponent, mean), scf, times, auto in rows:
+        best = min(times, key=times.get)
+        lines.append(
+            f"{exponent:5.1f}/{mean:<4d} {scf:9.1f} {times['sccooc'] * 1e3:10.3f} "
+            f"{times['sccsc'] * 1e3:10.3f} {times['veccsc'] * 1e3:10.3f} "
+            f"{best:>8s} {auto:>8s}"
+        )
+    report("ablation_kernels.txt", "\n".join(lines))
+
+    # scalar kernels win the regular end ...
+    for _, _, times, _ in rows[:2]:
+        assert min(times["sccooc"], times["sccsc"]) < times["veccsc"]
+    # ... veCSC wins the dense-irregular end
+    for _, _, times, _ in rows[-2:]:
+        assert times["veccsc"] < min(times["sccooc"], times["sccsc"])
+    # scCSC deteriorates with tail heaviness at fixed mean degree
+    uniform = rows[0][2]
+    heavy = rows[2][2]
+    assert heavy["sccsc"] / heavy["sccooc"] > 1.5 * uniform["sccsc"] / uniform["sccooc"]
+    # the auto-selector is never far off the best kernel
+    for (exponent, mean), scf, times, auto in rows:
+        best_t = min(times.values())
+        assert times[auto] <= 1.35 * best_t, (exponent, mean, auto, times)

@@ -1,0 +1,69 @@
+"""Extension bench: the standalone TurboBFS forward stage.
+
+The companion paper (Artiles & Saeed, IPDPSW'21 -- the paper's reference
+[1]) publishes the BFS stage on its own.  This bench runs `turbo_bfs` with
+each kernel over one graph per structural regime and reports BFS MTEPs,
+checking the same kernel-regime pairing the BC tables establish: the BFS
+stage alone already decides the winner, since SpMV is up to 90 % of the BC
+runtime (paper §3.3).
+"""
+
+import numpy as np
+
+from repro.core.bfs import turbo_bfs
+from repro.graphs import suite
+from repro.gpusim.device import Device
+from repro.perf.mteps import bc_per_vertex_mteps
+
+GRAPHS = ["delaunay_n15", "mawi_201512012345", "mycielskian16"]
+
+
+def test_turbobfs_kernels(report, benchmark):
+    def run():
+        rows = []
+        for name in GRAPHS:
+            e = suite.get(name)
+            g = e.build()
+            # For the mawi trace start from a leaf: a BFS that has not yet
+            # discovered the monitor hub is the case that stalls the scalar
+            # CSC kernel on the hub column (from the hub itself the fused
+            # mask hides the column immediately).
+            source = g.n - 1 if name.startswith("mawi") else e.source
+            times = {}
+            for alg in ("sccooc", "sccsc", "veccsc"):
+                device = Device()
+                res = turbo_bfs(g, source, algorithm=alg, device=device,
+                                forward_dtype=np.float64)
+                times[alg] = device.profiler.total_time_s()
+                depth = res.depth
+            rows.append((name, e.algorithm, depth, g.m, times))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "TurboBFS (forward stage only) -- modeled MTEPs per kernel",
+        f"{'graph':20s} {'d':>5s} {'sccooc':>9s} {'sccsc':>9s} {'veccsc':>9s} "
+        f"{'best':>8s} {'paper BC kernel':>16s}",
+    ]
+    for name, paper_alg, depth, m, times in rows:
+        mteps = {a: bc_per_vertex_mteps(m, t) for a, t in times.items()}
+        best = max(mteps, key=mteps.get)
+        lines.append(
+            f"{name:20s} {depth:5d} {mteps['sccooc']:9.0f} {mteps['sccsc']:9.0f} "
+            f"{mteps['veccsc']:9.0f} {best:>8s} {paper_alg:>16s}"
+        )
+    report("extension_bfs.txt", "\n".join(lines))
+
+    # Per-regime invariants visible in the BFS stage alone:
+    by_name = {name: times for name, _, _, _, times in rows}
+    # uniform mesh: the scalar CSC kernel wins
+    dl = by_name["delaunay_n15"]
+    assert dl["sccsc"] == min(dl.values())
+    # degree-outlier trace: the paper's Table 2 contrast -- COOC-based
+    # scalar far ahead of CSC-based scalar (whose one warp stalls on the
+    # hub column)
+    mw = by_name["mawi_201512012345"]
+    assert mw["sccooc"] < 0.5 * mw["sccsc"]
+    # dense-irregular: the vector kernel wins
+    mc = by_name["mycielskian16"]
+    assert mc["veccsc"] == min(mc.values())

@@ -1,0 +1,40 @@
+"""Extension bench: multi-GPU exact-BC scaling (the paper's future work).
+
+Not a paper table -- the paper names multi-GPU BC (its reference [16]) as
+the scaling path beyond one device.  Source partitioning over k simulated
+TITAN Xps must show near-linear makespan scaling with efficiency declining
+gently as the per-device slice shrinks.
+"""
+
+from repro.core.multigpu import multi_gpu_bc
+from repro.graphs.generators import mycielski_graph
+
+
+def test_multigpu_scaling(report, benchmark):
+    graph = mycielski_graph(10)
+
+    def run():
+        rows = []
+        for k in (1, 2, 4, 8):
+            result, mg = multi_gpu_bc(graph, n_devices=k, algorithm="veccsc")
+            rows.append((k, result.stats.gpu_time_s, mg.parallel_efficiency))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = rows[0][1]
+    lines = [
+        f"Multi-GPU exact BC on {graph.name} (n={graph.n}, m={graph.m})",
+        f"{'devices':>8s} {'makespan(ms)':>13s} {'speedup':>8s} {'efficiency':>11s}",
+    ]
+    for k, t, eff in rows:
+        lines.append(f"{k:8d} {t * 1e3:13.2f} {base / t:7.2f}x {eff:11.2f}")
+    report("extension_multigpu.txt", "\n".join(lines))
+
+    # near-linear scaling with bounded efficiency loss
+    for k, t, eff in rows:
+        speedup = base / t
+        assert speedup > 0.55 * k, (k, speedup)
+        assert eff > 0.5, (k, eff)
+    # monotone improvement
+    times = [t for _, t, _ in rows]
+    assert times == sorted(times, reverse=True)

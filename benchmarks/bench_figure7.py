@@ -1,0 +1,43 @@
+"""Figure 7: speedup and MTEPs of the exact BC runs, against BFS depth.
+
+The paper's observation: in the exact-BC experiment the maximum speedups
+*and* the maximum MTEPs land on the graphs with the smallest BFS depth
+(mycielski, d = 3) -- the opposite depth relationship from Figure 6a,
+because with thousands of sources the per-source kernel overhead of deep
+trees multiplies.
+"""
+
+from repro.bench import run_exact_bc
+from repro.graphs import suite
+from repro.graphs.suite import TABLE5
+
+
+def test_figure7_exact_bc_vs_depth(report, benchmark):
+    entries = [suite.get(r.graph_name) for r in TABLE5]
+    rows = benchmark.pedantic(
+        lambda: [run_exact_bc(e, sample_sources=32, seed=7) for e in entries],
+        rounds=1,
+        iterations=1,
+    )
+    width = 40
+    max_speedup = max(r.speedup_sequential for r in rows)
+    max_mteps = max(r.mteps for r in rows)
+    lines = ["Figure 7a -- exact-BC speedup over sequential"]
+    for r in rows:
+        bar = "#" * max(1, int(width * r.speedup_sequential / max_speedup))
+        lines.append(f"{r.name:16s} d={r.depth:3d} |{bar:<{width}s}| {r.speedup_sequential:6.1f}x")
+    lines.append("")
+    lines.append("Figure 7b -- exact-BC MTEPs")
+    for r in rows:
+        bar = "#" * max(1, int(width * r.mteps / max_mteps))
+        lines.append(f"{r.name:16s} d={r.depth:3d} |{bar:<{width}s}| {r.mteps:9.0f}")
+    report("figure7.txt", "\n".join(lines))
+
+    shallow = [r for r in rows if r.depth <= 4]        # the mycielski rows
+    deep = [r for r in rows if r.depth > 4]
+    assert shallow and deep
+    # both panels peak on the shallow graphs
+    assert max(r.speedup_sequential for r in shallow) > max(
+        r.speedup_sequential for r in deep
+    )
+    assert min(r.mteps for r in shallow) > max(r.mteps for r in deep)

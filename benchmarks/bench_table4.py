@@ -1,0 +1,106 @@
+"""Table 4: BC/vertex on four big graphs; gunrock runs out of memory.
+
+Two halves, matching how the paper's experiment decomposes:
+
+* **memory verdicts at paper scale** -- the published (n, m) of kmer_V1r /
+  it-2004 / GAP-twitter / sk-2005 are pushed through the device allocator in
+  planned mode: TurboBC's array set fits the TITAN Xp's 12196 MB on all
+  four, gunrock's does not on any (the paper's OOM column);
+* **algorithmic rows at repro scale** -- the scaled instances run BC/vertex
+  against the sequential and ligra baselines (gunrock is skipped exactly
+  where the paper reports OOM), reproducing the one Table where ligra gets
+  competitive (paper: 0.7-0.9x).
+"""
+
+from _helpers import within_factor
+from repro.bench import (
+    check_paper_scale_memory,
+    format_comparison_table,
+    format_rows,
+    run_bc_per_vertex,
+)
+from repro.graphs import suite
+from repro.gpusim.device import TITAN_XP
+
+ENTRIES = suite.table(4)
+
+
+def test_table4_oom_verdicts(report, benchmark):
+    verdicts = benchmark.pedantic(
+        lambda: [check_paper_scale_memory(e) for e in ENTRIES], rounds=1, iterations=1
+    )
+    lines = [
+        "Table 4 -- paper-scale device-memory verdicts "
+        f"(TITAN Xp, {TITAN_XP.global_memory_bytes / 2**20:.0f} MiB)",
+        f"{'graph':14s} {'n':>12s} {'m':>14s} {'TurboBC':>10s} {'fits':>5s} "
+        f"{'gunrock':>10s} {'fits':>5s}",
+    ]
+    for v in verdicts:
+        lines.append(
+            f"{v['name']:14s} {v['n']:12d} {v['m']:14d} "
+            f"{v['turbobc_bytes'] / 2**30:8.2f}Gi {str(v['turbobc_fits']):>5s} "
+            f"{v['gunrock_bytes'] / 2**30:8.2f}Gi {str(v['gunrock_fits']):>5s}"
+        )
+    report("table4_memory.txt", "\n".join(lines))
+
+    for v in verdicts:
+        assert v["turbobc_fits"], v["name"]
+        assert v["turbobc_alloc_ok"], v["name"]
+        assert not v["gunrock_fits"], v["name"]
+        assert not v["gunrock_alloc_ok"], v["name"]
+
+
+def test_table4_reproduction(report, benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            run_bc_per_vertex(
+                e, systems=("sequential", "gunrock", "ligra"), scale_l2=True
+            )
+            for e in ENTRIES
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    text = format_comparison_table(
+        ENTRIES, rows,
+        title="Table 4 -- big graphs (paper vs measured, repro scale, scaled-L2 device)",
+    )
+    text += "\n\n" + format_rows(rows, title="measured detail")
+    report("table4.txt", text)
+
+    for entry, row in zip(ENTRIES, rows):
+        assert row.verified, f"{entry.name}: BC mismatch against the oracle"
+        assert row.speedup_sequential > 5, entry.name
+        # ligra is competitive on this table (paper: beats TurboBC by
+        # 1.1-1.4x); at repro scale we accept anything near parity.
+        assert row.speedup_ligra is not None and row.speedup_ligra < 3.0, entry.name
+        # wide band: the sequential baseline's cache behaviour at 42-214M
+        # vertices cannot be reproduced by sub-1M stand-ins (EXPERIMENTS.md)
+        assert within_factor(
+            row.speedup_sequential, entry.paper.speedup_sequential, 5.0
+        ), (entry.name, row.speedup_sequential)
+
+    # the deep kmer graph posts the lowest MTEPs of the set (paper: 33 vs
+    # 201-371), the launch-overhead effect again
+    by_name = {r.name: r for r in rows}
+    assert by_name["kmer_V1r"].mteps == min(r.mteps for r in rows)
+
+
+def test_sk2005_is_largest_fitting_graph(report, benchmark):
+    """The paper calls sk-2005 the largest graph its GPU could hold; at the
+    same vertex count a 1.5x edge count pushes even TurboBC's own footprint
+    past the TITAN Xp's capacity."""
+    from repro.perf.memory_model import FootprintModel
+
+    def run():
+        sk = suite.get("sk-2005").paper
+        fits = FootprintModel(sk.n, sk.m).fits(TITAN_XP.global_memory_bytes)
+        bigger = FootprintModel(sk.n, int(sk.m * 1.5))
+        return fits, bigger.fits(TITAN_XP.global_memory_bytes)
+
+    fits, bigger_fits = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "table4_capacity_edge.txt",
+        f"sk-2005 fits TurboBC: {fits}; x1.5 edges fits: {bigger_fits}",
+    )
+    assert fits and not bigger_fits

@@ -1,0 +1,39 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper: it runs
+the experiment, writes the paper-vs-measured text to
+``benchmarks/results/``, asserts the qualitative reproduction invariants
+(who wins, OOM verdicts, ordering) and registers a pytest-benchmark timing
+for the TurboBC kernel under test.
+
+Graphs are cached per process (see ``repro.graphs.suite``), so running the
+whole directory builds each instance once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, capfd):
+    """Write a result artifact and echo it to the live terminal."""
+
+    def _report(name: str, text: str) -> None:
+        path = results_dir / name
+        path.write_text(text + "\n")
+        with capfd.disabled():
+            print(f"\n=== {name} ===")
+            print(text)
+
+    return _report

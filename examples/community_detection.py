@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Girvan-Newman community detection with linear-algebraic edge betweenness.
+
+The classic application of *edge* betweenness: inter-community edges carry
+the most shortest paths, so repeatedly removing the highest-edge-BC edge
+splits a network into its communities.  This example plants a three-block
+network, runs Girvan-Newman with the TurboBC-based
+:func:`repro.extensions.edge_betweenness`, and checks the recovered
+partition against the planted one.
+
+Run:  python examples/community_detection.py [--blocks 3 --size 24]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.extensions import edge_betweenness
+from repro.graphs.graph import Graph
+
+
+def planted_blocks(n_blocks: int, size: int, *, bridges: int = 1, seed: int = 5):
+    """Dense blocks joined by a few bridge edges; returns (graph, labels)."""
+    rng = np.random.default_rng(seed)
+    n = n_blocks * size
+    src, dst = [], []
+    for b in range(n_blocks):
+        base = b * size
+        k = 3 * size
+        src.append(rng.integers(0, size, k) + base)
+        dst.append(rng.integers(0, size, k) + base)
+        chain = np.arange(base, base + size - 1)
+        src.append(chain)
+        dst.append(chain + 1)
+    for b in range(n_blocks):
+        nxt = (b + 1) % n_blocks
+        for j in range(bridges):
+            src.append(np.array([b * size + j]))
+            dst.append(np.array([nxt * size + j]))
+    g = Graph(np.concatenate(src), np.concatenate(dst), n, directed=False,
+              name="planted-blocks")
+    labels = np.repeat(np.arange(n_blocks), size)
+    return g, labels
+
+
+def components(n: int, edges: set) -> np.ndarray:
+    """Connected-component labels via union-find."""
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    roots = [find(v) for v in range(n)]
+    _, labels = np.unique(roots, return_inverse=True)
+    return labels
+
+
+def girvan_newman(graph: Graph, target_communities: int, *, verbose=True):
+    """Remove max-edge-BC edges until the graph splits enough."""
+    live = {(int(min(u, v)), int(max(u, v))) for u, v in zip(graph.src, graph.dst)}
+    n = graph.n
+    removed = []
+    while True:
+        labels = components(n, live)
+        k = labels.max() + 1
+        if k >= target_communities:
+            return labels, removed
+        sub = Graph(
+            np.array([e[0] for e in live]), np.array([e[1] for e in live]),
+            n, directed=False,
+        )
+        res = edge_betweenness(sub)
+        u, v, score = res.top(1)[0]
+        edge = (min(u, v), max(u, v))
+        live.discard(edge)
+        removed.append((edge, score))
+        if verbose:
+            print(f"  cut edge {edge} (edge BC {score:.1f}) -> "
+                  f"{components(n, live).max() + 1} components")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--blocks", type=int, default=3)
+    parser.add_argument("--size", type=int, default=24)
+    args = parser.parse_args()
+
+    graph, truth = planted_blocks(args.blocks, args.size)
+    print(f"network: {graph} with {args.blocks} planted communities")
+    labels, removed = girvan_newman(graph, args.blocks)
+
+    # compare partitions up to relabelling: every block maps to one label
+    ok = all(len(set(labels[truth == b])) == 1 for b in range(args.blocks))
+    print(f"\nremoved {len(removed)} bridge edges; "
+          f"planted communities recovered exactly: {ok}")
+    if not ok:
+        raise SystemExit("community recovery failed")
+
+
+if __name__ == "__main__":
+    main()

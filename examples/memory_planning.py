@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Will this graph fit my GPU?  Footprint planning without a GPU.
+
+The paper's Table 4 result -- TurboBC computing BC on graphs that OOM
+gunrock -- comes down to array-footprint arithmetic.  This example uses the
+planned-allocation mode of the simulated device to answer, for any (n, m)
+and any device size: does TurboBC fit?  does gunrock?  and what is the
+largest edge count TurboBC could take?
+
+Run:  python examples/memory_planning.py [--memory-mb 12196]
+"""
+
+import argparse
+
+from repro import DeviceSpec
+from repro.graphs import suite
+from repro.perf.memory_model import FootprintModel
+
+
+def max_edges_for(n: int, capacity_bytes: int, fmt: str = "csc") -> int:
+    """Largest m whose TurboBC array set fits the capacity (closed form)."""
+    # csc: 4 * (7n + 1 + m) <= cap
+    words = capacity_bytes // 4
+    if fmt == "csc":
+        return max(0, words - 7 * n - 1)
+    return max(0, (words - 6 * n) // 2)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--memory-mb", type=int, default=12196,
+                        help="device global memory (default: TITAN Xp)")
+    args = parser.parse_args()
+    spec = DeviceSpec(global_memory_bytes=args.memory_mb * 2**20)
+    cap = spec.global_memory_bytes
+    print(f"device: {args.memory_mb} MB global memory\n")
+
+    print(f"{'graph':16s} {'n':>12s} {'m':>14s} {'TurboBC':>9s} {'fit':>4s} "
+          f"{'gunrock':>9s} {'fit':>4s}")
+    for name in ("mycielskian19", "kron_g500-logn21", "kmer_V1r", "it-2004",
+                 "GAP-twitter", "sk-2005"):
+        p = suite.get(name).paper
+        model = FootprintModel(p.n, p.m)
+        tb, gb = model.turbobc_bytes(), model.gunrock_measured_bytes()
+        print(
+            f"{name:16s} {p.n:12d} {p.m:14d} "
+            f"{tb / 2**30:7.2f}Gi {'yes' if tb <= cap else 'OOM':>4s} "
+            f"{gb / 2**30:7.2f}Gi {'yes' if gb <= cap else 'OOM':>4s}"
+        )
+
+    sk = suite.get("sk-2005").paper
+    headroom = max_edges_for(sk.n, cap)
+    print(
+        f"\nat n = {sk.n:,} this device can hold up to m = {headroom:,} edges "
+        f"with TurboBC ({headroom / sk.m:.2f}x sk-2005) -- the paper calls "
+        "sk-2005 the largest graph its TITAN Xp could take."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""TurboBC reproduction: memory-efficient, scalable betweenness centrality
+in the language of linear algebra, on a simulated GPU.
+
+This package reproduces Artiles & Saeed, *TurboBC: A Memory Efficient and
+Scalable GPU Based Betweenness Centrality Algorithm in the Language of
+Linear Algebra* (ICPP Workshops 2021).  The CUDA kernels of the paper are
+realised as vectorised-NumPy kernels over a behavioural GPU simulator
+(:mod:`repro.gpusim`) that accounts warps, divergence, DRAM transactions,
+device memory and kernel launches -- see DESIGN.md for the substitution
+rationale and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import Graph, turbo_bc
+
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)], n=4, directed=False)
+    result = turbo_bc(g)
+    print(result.bc)          # [0, 2, 2, 0]
+    print(result.stats.algorithm, result.stats.runtime_ms)
+
+Public surface:
+
+* graphs: :class:`~repro.graphs.graph.Graph`, generators under
+  :mod:`repro.graphs.generators`, the benchmark registry
+  :mod:`repro.graphs.suite`;
+* the algorithm: :func:`~repro.core.bc.turbo_bc`,
+  :func:`~repro.core.bfs.turbo_bfs`,
+  :func:`~repro.core.sequential.sequential_bc`;
+* baselines: :func:`~repro.baselines.brandes.brandes_bc`,
+  :func:`~repro.baselines.gunrock.gunrock_bc`,
+  :func:`~repro.baselines.ligra.ligra_bc`;
+* the simulator: :class:`~repro.gpusim.Device`,
+  :class:`~repro.gpusim.DeviceSpec`, :data:`~repro.gpusim.TITAN_XP`.
+"""
+
+from repro.baselines import brandes_bc, gunrock_bc, ligra_bc
+from repro.analysis import (
+    gini_coefficient,
+    normalize_bc,
+    spearman_rank_correlation,
+    top_k,
+    top_k_overlap,
+)
+from repro.core import (
+    BCResult,
+    BCRunStats,
+    BFSResult,
+    TurboBCAlgorithm,
+    approximate_bc,
+    multi_gpu_bc,
+    select_algorithm,
+    sequential_bc,
+    turbo_bc,
+    turbo_bfs,
+    validate_bc,
+    validate_bfs,
+)
+from repro.formats import COOCMatrix, CSCMatrix, CSRMatrix
+from repro.graphs import (
+    Graph,
+    bfs_depth,
+    classify_regularity,
+    degree_stats,
+    scale_free_metric,
+)
+from repro.gpusim import Device, DeviceOutOfMemoryError, DeviceSpec, TITAN_XP
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "turbo_bc",
+    "turbo_bfs",
+    "sequential_bc",
+    "approximate_bc",
+    "multi_gpu_bc",
+    "select_algorithm",
+    "TurboBCAlgorithm",
+    "BCResult",
+    "BCRunStats",
+    "BFSResult",
+    "brandes_bc",
+    "gunrock_bc",
+    "ligra_bc",
+    "COOCMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "Device",
+    "DeviceSpec",
+    "DeviceOutOfMemoryError",
+    "TITAN_XP",
+    "bfs_depth",
+    "degree_stats",
+    "scale_free_metric",
+    "classify_regularity",
+    "validate_bfs",
+    "validate_bc",
+    "normalize_bc",
+    "top_k",
+    "top_k_overlap",
+    "spearman_rank_correlation",
+    "gini_coefficient",
+]

@@ -1,0 +1,17 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.brandes` -- the classic queue-based Brandes
+  algorithm, our correctness oracle (the paper verifies TurboBC against its
+  sequential code the same way);
+* :mod:`repro.baselines.gunrock` -- a gunrock-style GPU BC on the simulated
+  device: push--pull BFS over CSR+CSC copies with the full ``9n + 2m``
+  array inventory of the paper's Figure 4;
+* :mod:`repro.baselines.ligra` -- a ligra-style direction-optimizing
+  multicore BC with the shared-memory cost model.
+"""
+
+from repro.baselines.brandes import brandes_bc
+from repro.baselines.gunrock import gunrock_bc
+from repro.baselines.ligra import ligra_bc
+
+__all__ = ["brandes_bc", "gunrock_bc", "ligra_bc"]

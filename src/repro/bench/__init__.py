@@ -1,0 +1,21 @@
+"""Experiment harness: runs a suite entry through TurboBC and every
+baseline, assembles paper-comparable rows, and formats them as the tables
+and figure series of the evaluation section.
+"""
+
+from repro.bench.runner import (
+    ExperimentRow,
+    check_paper_scale_memory,
+    run_bc_per_vertex,
+    run_exact_bc,
+)
+from repro.bench.tables import format_comparison_table, format_rows
+
+__all__ = [
+    "ExperimentRow",
+    "run_bc_per_vertex",
+    "run_exact_bc",
+    "check_paper_scale_memory",
+    "format_rows",
+    "format_comparison_table",
+]

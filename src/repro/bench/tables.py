@@ -1,0 +1,71 @@
+"""Formatting of experiment rows as the paper's tables."""
+
+from __future__ import annotations
+
+from repro.bench.runner import ExperimentRow
+from repro.graphs.suite import BenchmarkGraph
+
+
+def _fmt(value, width: int, digits: int = 1) -> str:
+    if value is None:
+        return "OOM".rjust(width)
+    if isinstance(value, bool):
+        return ("yes" if value else "NO").rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_rows(rows: list[ExperimentRow], *, title: str = "") -> str:
+    """Plain measured-results table (one line per graph)."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'graph':22s} {'algorithm':16s} {'n':>9s} {'m':>10s} {'d':>5s} "
+        f"{'scf':>8s} {'runtime(ms)':>12s} {'MTEPs':>8s} "
+        f"{'(seq)x':>7s} {'(gun)x':>7s} {'(lig)x':>7s} {'ok':>4s}"
+    )
+    for r in rows:
+        gun = None if r.gunrock_oom else r.speedup_gunrock
+        lines.append(
+            f"{r.name:22s} {r.algorithm:16s} {r.n:9d} {r.m:10d} {r.depth:5d} "
+            f"{r.scf:8.1f} {_fmt(r.runtime_ms, 12, 2)} {_fmt(r.mteps, 8, 0)} "
+            f"{_fmt(r.speedup_sequential, 7)} {_fmt(gun, 7)} "
+            f"{_fmt(r.speedup_ligra, 7)} {_fmt(r.verified, 4)}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    entries: list[BenchmarkGraph],
+    rows: list[ExperimentRow],
+    *,
+    title: str = "",
+) -> str:
+    """Side-by-side paper-vs-measured table for the speedup columns.
+
+    Absolute runtimes are not compared (the repro instances of the big
+    graphs are scaled down); the reproducible content is who wins and by
+    what factor.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'graph':22s} | {'seq_x paper':>11s} {'meas':>7s} | "
+        f"{'gun_x paper':>11s} {'meas':>7s} | {'lig_x paper':>11s} {'meas':>7s} | "
+        f"{'MTEPs paper':>11s} {'meas':>8s}"
+    )
+    lines.append("-" * len(lines[-1]))
+    for e, r in zip(entries, rows):
+        p = e.paper
+        gun_meas = None if r.gunrock_oom else r.speedup_gunrock
+        lines.append(
+            f"{e.name:22s} | {_fmt(p.speedup_sequential, 11)} "
+            f"{_fmt(r.speedup_sequential, 7)} | "
+            f"{_fmt(p.speedup_gunrock, 11)} {_fmt(gun_meas, 7)} | "
+            f"{_fmt(p.speedup_ligra, 11)} {_fmt(r.speedup_ligra, 7)} | "
+            f"{_fmt(p.mteps, 11, 0)} {_fmt(r.mteps, 8, 0)}"
+        )
+    return "\n".join(lines)

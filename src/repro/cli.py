@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the workflows a user reaches for first:
+
+* ``info <graph>`` -- print a suite graph's paper row and repro-scale
+  structure;
+* ``bc <graph>`` -- run TurboBC (one source or all) on a suite graph or a
+  MatrixMarket/edge-list file and print the result + profile;
+* ``table <k>`` -- regenerate one of the paper's graph tables
+  (paper-vs-measured);
+* ``suite`` -- list the whole 33-graph benchmark registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load_graph(spec: str):
+    """Resolve a graph argument: suite name, .mtx file, or edge list."""
+    from repro.graphs import io, suite
+
+    if spec.endswith(".mtx"):
+        return io.read_matrix_market(spec)
+    if spec.endswith((".txt", ".edges", ".el")):
+        return io.read_edge_list(spec)
+    return suite.get(spec).build()
+
+
+def cmd_info(args) -> int:
+    from repro.graphs import suite
+    from repro.graphs.metrics import bfs_depth, degree_stats, scale_free_metric
+
+    entry = suite.get(args.graph)
+    p = entry.paper
+    g = entry.build()
+    print(f"{entry.name} (Table {entry.table}, {'directed' if entry.directed else 'undirected'}, "
+          f"paper kernel: {entry.algorithm})")
+    print(f"  paper:  n={p.n:,} m={p.m:,} degree={p.degree_max}/{p.degree_mean:.0f}/"
+          f"{p.degree_std:.0f} d={p.depth} scf={p.scf}")
+    if p.runtime_ms is not None:
+        gun = "OOM" if p.gunrock_oom else f"{p.speedup_gunrock}x"
+        print(f"          runtime={p.runtime_ms}ms MTEPs={p.mteps} "
+              f"seq={p.speedup_sequential}x gunrock={gun} ligra={p.speedup_ligra}x")
+    print(f"  repro:  n={g.n:,} m={g.m:,} degree={degree_stats(g)} "
+          f"d={bfs_depth(g, entry.source)} scf={scale_free_metric(g):.1f}"
+          f"{'  (full paper scale)' if entry.full_scale else ''}")
+    if entry.notes:
+        print(f"  notes:  {entry.notes}")
+    return 0
+
+
+def cmd_bc(args) -> int:
+    from repro import Device, turbo_bc
+
+    graph = _load_graph(args.graph)
+    device = Device()
+    sources = args.source if args.source is not None else None
+    result = turbo_bc(
+        graph,
+        sources=sources,
+        algorithm=args.algorithm,
+        device=device,
+        forward_dtype="auto",
+    )
+    st = result.stats
+    print(f"{st.algorithm} on {graph}: modeled {st.runtime_ms:.3f} ms, "
+          f"{st.mteps():.1f} MTEPs, {st.kernel_launches} launches, "
+          f"peak {st.peak_memory_bytes / 2**20:.2f} MiB")
+    print(f"top-{args.top} vertices by betweenness:")
+    for v, score in result.top(args.top):
+        print(f"  {v:10d}  {score:.4f}")
+    if args.profile:
+        print()
+        print(device.profiler.report())
+    if args.output:
+        np.savetxt(args.output, result.bc)
+        print(f"bc vector written to {args.output}")
+    return 0
+
+
+def cmd_table(args) -> int:
+    from repro.bench import format_comparison_table, run_bc_per_vertex
+    from repro.graphs import suite
+
+    entries = suite.table(args.k)
+    rows = []
+    for e in entries:
+        print(f"running {e.name} ...", file=sys.stderr)
+        rows.append(run_bc_per_vertex(e))
+    print(format_comparison_table(
+        entries, rows, title=f"Table {args.k} (paper vs measured)"
+    ))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from repro.graphs import suite
+
+    print(f"{'graph':20s} {'tbl':>3s} {'dir':>3s} {'kernel':>7s} "
+          f"{'paper n':>12s} {'paper m':>14s} {'d':>5s} {'scale':>6s}")
+    for entry in suite.SUITE.values():
+        p = entry.paper
+        scale = "full" if entry.full_scale else "scaled"
+        print(
+            f"{entry.name:20s} {entry.table:3d} {'D' if entry.directed else 'U':>3s} "
+            f"{entry.algorithm:>7s} {p.n:12,d} {p.m:14,d} {p.depth:5d} {scale:>6s}"
+        )
+    print(f"\n{len(suite.SUITE)} graphs; 'scaled' rows use laptop-size stand-ins "
+          "(memory experiments always run the paper-scale arithmetic)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe a benchmark-suite graph")
+    p_info.add_argument("graph")
+    p_info.set_defaults(func=cmd_info)
+
+    p_bc = sub.add_parser("bc", help="run TurboBC on a graph")
+    p_bc.add_argument("graph", help="suite name, .mtx file, or edge-list file")
+    p_bc.add_argument("--source", type=int, default=None,
+                      help="single BFS source (default: exact BC, all sources)")
+    p_bc.add_argument("--algorithm", choices=("sccooc", "sccsc", "veccsc"),
+                      default=None, help="pin the kernel (default: auto by scf)")
+    p_bc.add_argument("--top", type=int, default=10)
+    p_bc.add_argument("--profile", action="store_true", help="print the kernel profile")
+    p_bc.add_argument("--output", help="write the bc vector to a file")
+    p_bc.set_defaults(func=cmd_bc)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("k", type=int, choices=(1, 2, 3, 4))
+    p_table.set_defaults(func=cmd_table)
+
+    p_suite = sub.add_parser("suite", help="list the benchmark-graph registry")
+    p_suite.set_defaults(func=cmd_suite)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

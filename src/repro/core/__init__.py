@@ -1,0 +1,38 @@
+"""The paper's contribution: TurboBC, linear-algebraic betweenness
+centrality with a minimal device-memory footprint.
+
+Public entry points:
+
+* :func:`repro.core.bc.turbo_bc` -- the full TurboBC driver (kernel
+  auto-selection, single- or all-sources, the int->float forward/backward
+  array choreography of Section 3.4);
+* :func:`repro.core.bfs.turbo_bfs` -- the standalone forward stage (the
+  companion TurboBFS algorithm);
+* :func:`repro.core.sequential.sequential_bc` -- the sequential CSC version
+  of Algorithm 1, the paper's verification oracle and speedup denominator.
+"""
+
+from repro.core.approx import approximate_bc
+from repro.core.bc import TurboBCAlgorithm, select_algorithm, turbo_bc
+from repro.core.bfs import turbo_bfs
+from repro.core.multigpu import MultiGpuStats, multi_gpu_bc
+from repro.core.result import BCResult, BCRunStats, BFSResult
+from repro.core.sequential import sequential_bc
+from repro.core.validate import ValidationReport, validate_bc, validate_bfs
+
+__all__ = [
+    "TurboBCAlgorithm",
+    "select_algorithm",
+    "turbo_bc",
+    "turbo_bfs",
+    "sequential_bc",
+    "approximate_bc",
+    "multi_gpu_bc",
+    "MultiGpuStats",
+    "BCResult",
+    "BCRunStats",
+    "BFSResult",
+    "validate_bfs",
+    "validate_bc",
+    "ValidationReport",
+]

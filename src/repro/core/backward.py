@@ -1,0 +1,35 @@
+"""The backward (dependency-accumulation) stage of Algorithm 1, lines 31-42.
+
+Walks the BFS levels in reverse, applying the Brandes recurrence (Eq. 4)
+with three kernel launches per level (the Figure 2 pipeline): build
+``delta_u`` from the depth-d slice, one SpMV, then fold the weighted result
+into ``delta`` on the depth-(d-1) slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import frontier as FK
+from repro.core.context import TurboBCContext
+from repro.core.result import BFSResult
+
+
+def accumulate_dependencies(ctx: TurboBCContext, fwd: BFSResult) -> np.ndarray:
+    """Run the backward stage and return the ``delta`` vector.
+
+    The context swaps its forward frontier arrays for the float dependency
+    vectors first (Section 3.4's allocation choreography).  ``fwd.sigma``
+    and ``fwd.levels`` are read in place.
+    """
+    delta, _delta_u, _delta_ut = ctx.swap_to_backward()
+    sigma = fwd.sigma
+    S = fwd.levels
+    depth = fwd.depth
+    while depth > 1:
+        tag = f"d={depth}"
+        delta_u, _ = FK.delta_u_kernel(ctx.device, S, sigma, delta, depth, tag=tag)
+        delta_ut, _ = ctx.spmv_backward(delta_u.astype(ctx.backward_dtype, copy=False), tag=tag)
+        FK.delta_update_kernel(ctx.device, S, sigma, delta, delta_ut, depth, tag=tag)
+        depth -= 1
+    return delta

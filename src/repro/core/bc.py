@@ -1,0 +1,195 @@
+"""The TurboBC driver: algorithm selection + the two-stage BC computation."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import frontier as FK
+from repro.core.backward import accumulate_dependencies
+from repro.core.context import ALGORITHMS, TurboBCContext
+from repro.core.forward import bfs_forward
+from repro.core.result import BCResult, BCRunStats, BFSResult
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import SCF_IRREGULAR_THRESHOLD, scale_free_metric
+from repro.gpusim.device import Device
+
+
+@dataclass(frozen=True)
+class TurboBCAlgorithm:
+    """A named TurboBC variant (kernel choice)."""
+
+    name: str
+
+    def __post_init__(self):
+        if self.name not in ALGORITHMS:
+            raise ValueError(
+                f"unknown TurboBC algorithm {self.name!r}; expected one of {sorted(ALGORITHMS)}"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"TurboBC-{ {'sccooc': 'scCOOC', 'sccsc': 'scCSC', 'veccsc': 'veCSC'}[self.name] }"
+
+
+#: Degree-outlier ratio beyond which scCOOC beats scCSC on regular graphs
+#: (thread-per-edge work is flat under outliers; Section 4.1, Table 2).
+_OUTLIER_RATIO = 64.0
+
+
+def select_algorithm(graph: Graph, *, scf: float | None = None) -> TurboBCAlgorithm:
+    """Pick the TurboBC kernel for a graph, following the paper's findings.
+
+    * irregular graphs (``scf`` above the threshold) -> ``veccsc``;
+    * regular graphs whose max degree is an extreme outlier versus the mean
+      (mawi / com-Youtube shape) -> ``sccooc``;
+    * other regular graphs -> ``sccsc``.
+
+    ``scf`` may be passed in when already computed (it is O(m) to measure).
+    """
+    if scf is None:
+        scf = scale_free_metric(graph)
+    if scf > SCF_IRREGULAR_THRESHOLD:
+        return TurboBCAlgorithm("veccsc")
+    deg = graph.out_degree()
+    mean = float(deg.mean()) if deg.size else 0.0
+    if mean > 0 and float(deg.max()) > _OUTLIER_RATIO * mean:
+        return TurboBCAlgorithm("sccooc")
+    return TurboBCAlgorithm("sccsc")
+
+
+def _resolve_sources(graph: Graph, sources) -> list[int]:
+    if sources is None:
+        return list(range(graph.n))
+    if isinstance(sources, (int, np.integer)):
+        return [int(sources)]
+    return [int(s) for s in sources]
+
+
+def turbo_bc(
+    graph: Graph,
+    *,
+    sources=None,
+    algorithm: str | TurboBCAlgorithm | None = None,
+    device: Device | None = None,
+    forward_dtype="auto",
+    backward_dtype=np.float32,
+    keep_forward: bool = False,
+) -> BCResult:
+    """Compute betweenness centrality with TurboBC on the simulated device.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (directed or undirected, unweighted).
+    sources:
+        ``None`` for the exact BC over all sources, an int for the paper's
+        BC/vertex experiments, or an iterable of source vertices.
+    algorithm:
+        ``"sccooc"``, ``"sccsc"``, ``"veccsc"`` or ``None`` for the
+        scf-based auto-selection of :func:`select_algorithm`.
+    device:
+        A :class:`~repro.gpusim.Device`; a fresh TITAN Xp is created when
+        omitted.  Pass your own to inspect the profiler afterwards.
+    forward_dtype / backward_dtype:
+        Vector dtypes of the two stages (Section 3.4 uses int32 / float32).
+        The default ``"auto"`` runs the paper's int32 forward vectors and
+        transparently restarts with float64 if the shortest-path counts
+        overflow (deep meshes have combinatorially many equal-length paths,
+        which the CUDA code's int32 sigma cannot represent).
+    keep_forward:
+        Attach the last source's :class:`BFSResult` (copied host-side) to
+        the returned result.
+
+    Returns
+    -------
+    BCResult
+        ``bc`` in float64 with Brandes' convention (undirected contributions
+        halved); ``stats`` carries the modeled device time, launch count,
+        transfer time and peak memory.
+    """
+    if isinstance(algorithm, str):
+        algorithm = TurboBCAlgorithm(algorithm)
+    if algorithm is None:
+        algorithm = select_algorithm(graph)
+    device = device or Device()
+    src_list = _resolve_sources(graph, sources)
+
+    if isinstance(forward_dtype, str) and forward_dtype == "auto":
+        from repro.core.forward import SigmaOverflowError
+
+        try:
+            return turbo_bc(
+                graph,
+                sources=sources,
+                algorithm=algorithm,
+                device=device,
+                forward_dtype=np.int32,
+                backward_dtype=backward_dtype,
+                keep_forward=keep_forward,
+            )
+        except SigmaOverflowError:
+            device.reset()
+            return turbo_bc(
+                graph,
+                sources=sources,
+                algorithm=algorithm,
+                device=device,
+                forward_dtype=np.float64,
+                backward_dtype=np.float64,
+                keep_forward=keep_forward,
+            )
+
+    t0 = time.perf_counter()
+    launches_before = device.profiler.total_launches()
+    gpu_time_before = device.profiler.total_time_s()
+
+    ctx = TurboBCContext(
+        device,
+        graph,
+        algorithm.name,
+        forward_dtype=forward_dtype,
+        backward_dtype=backward_dtype,
+    )
+    bc_accum = ctx.bc_arr.data  # float32 device vector
+    depths: list[int] = []
+    last_forward = None
+    try:
+        for s in src_list:
+            fwd = bfs_forward(ctx, s)
+            depths.append(fwd.depth)
+            if keep_forward:
+                last_forward = BFSResult(
+                    source=s,
+                    sigma=fwd.sigma.copy(),
+                    levels=fwd.levels.copy(),
+                    depth=fwd.depth,
+                    frontier_sizes=list(fwd.frontier_sizes),
+                )
+            if fwd.depth > 1:
+                delta = accumulate_dependencies(ctx, fwd)
+                FK.bc_update_kernel(
+                    device, bc_accum, delta, s, undirected=not graph.directed,
+                    tag=f"s={s}",
+                )
+            ctx.release_source()
+        bc = ctx.close().astype(np.float64)
+    except BaseException:
+        ctx.abort()
+        raise
+
+    stats = BCRunStats(
+        algorithm=algorithm.label,
+        n=graph.n,
+        m=graph.m,
+        sources=len(src_list),
+        gpu_time_s=device.profiler.total_time_s() - gpu_time_before,
+        kernel_launches=device.profiler.total_launches() - launches_before,
+        transfer_time_s=device.memory.transfer_time_s(),
+        peak_memory_bytes=device.memory.peak_bytes,
+        depth_per_source=depths,
+        wall_time_s=time.perf_counter() - t0,
+    )
+    return BCResult(bc=bc, stats=stats, forward=last_forward)

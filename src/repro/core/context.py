@@ -1,0 +1,182 @@
+"""Device-side state of a TurboBC run.
+
+Owns exactly the arrays of the paper's Figure 4 data flow (TurboBC column):
+the single sparse-format copy of the adjacency matrix, the forward-stage
+int vectors (``f``, ``ft``, ``sigma``, ``S``), the backward-stage float
+vectors (``delta``, ``delta_u``, ``delta_ut``) and the ``bc`` output -- and
+enforces the Section 3.4 choreography: the forward vectors are *freed*
+before the backward vectors are allocated, so the device peak stays at
+``7 n + m`` words for CSC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.coo import COOCMatrix
+from repro.formats.csc import CSCMatrix
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import KernelLaunch
+from repro.spmv import (
+    sccooc_spmv,
+    sccooc_spmv_scatter,
+    sccsc_spmv,
+    sccsc_spmv_scatter,
+    veccsc_spmv,
+    veccsc_spmv_scatter,
+)
+
+#: Kernel name -> (storage format attribute, mask fused into the SpMV?)
+ALGORITHMS = {
+    "sccooc": ("cooc", False),
+    "sccsc": ("csc", True),
+    "veccsc": ("csc", True),
+}
+
+
+class TurboBCContext:
+    """Transfers the graph once and manages the per-source vector arrays."""
+
+    def __init__(
+        self,
+        device: Device,
+        graph,
+        algorithm: str,
+        *,
+        forward_dtype=np.int32,
+        backward_dtype=np.float32,
+    ):
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+            )
+        self.device = device
+        self.graph = graph
+        self.algorithm = algorithm
+        self.forward_dtype = np.dtype(forward_dtype)
+        self.backward_dtype = np.dtype(backward_dtype)
+        self.mask_fused = ALGORITHMS[algorithm][1]
+
+        fmt = ALGORITHMS[algorithm][0]
+        mem = device.memory
+        if fmt == "cooc":
+            self.matrix: COOCMatrix | CSCMatrix = graph.to_cooc()
+            self._mat_arrays = [
+                mem.h2d("row_A", self.matrix.row),
+                mem.h2d("col_A", self.matrix.col),
+            ]
+        else:
+            self.matrix = graph.to_csc()
+            self._mat_arrays = [
+                mem.h2d("CP_A", self.matrix.col_ptr),
+                mem.h2d("row_A", self.matrix.row),
+            ]
+        self.bc_arr = mem.alloc("bc", graph.n, self.backward_dtype)
+        # per-source arrays, swapped between stages
+        self._forward_arrs: list = []
+        self._backward_arrs: list = []
+
+    # -- per-source array lifecycle -------------------------------------------
+
+    def alloc_forward(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Allocate ``f``/``ft`` (int), ``sigma`` (int), ``S`` (int32).
+
+        Returns the backing arrays for (sigma, S, f); ``ft`` lives inside the
+        SpMV call.  (The simulator charges the allocation; the CUDA code
+        holds ``ft`` as a separate device vector, so it is allocated here
+        too.)
+        """
+        n = self.graph.n
+        mem = self.device.memory
+        self._forward_arrs = [
+            mem.alloc("f", n, self.forward_dtype),
+            mem.alloc("ft", n, self.forward_dtype),
+            mem.alloc("sigma", n, self.forward_dtype),
+            mem.alloc("S", n, np.int32),
+        ]
+        f, _ft, sigma, S = self._forward_arrs
+        return sigma.data, S.data, f.data
+
+    def swap_to_backward(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Free ``f``/``ft`` and allocate the float backward vectors.
+
+        This is the Section 3.4 memory optimization: the int frontier
+        vectors never coexist with all three float dependency vectors.
+        Returns (delta, delta_u, delta_ut) backing arrays.  ``sigma`` and
+        ``S`` survive the swap (the backward stage reads them).
+        """
+        mem = self.device.memory
+        f, ft, sigma, S = self._forward_arrs
+        mem.free(f)
+        mem.free(ft)
+        self._forward_arrs = [sigma, S]
+        n = self.graph.n
+        self._backward_arrs = [
+            mem.alloc("delta", n, self.backward_dtype),
+            mem.alloc("delta_u", n, self.backward_dtype),
+            mem.alloc("delta_ut", n, self.backward_dtype),
+        ]
+        return tuple(a.data for a in self._backward_arrs)
+
+    def release_source(self) -> None:
+        """Free every per-source array, keeping matrix + ``bc``."""
+        mem = self.device.memory
+        for arr in self._forward_arrs + self._backward_arrs:
+            if not arr.is_freed:
+                mem.free(arr)
+        self._forward_arrs = []
+        self._backward_arrs = []
+
+    def abort(self) -> None:
+        """Free everything device-side without transferring results."""
+        self.release_source()
+        mem = self.device.memory
+        for arr in [self.bc_arr, *self._mat_arrays]:
+            if not arr.is_freed:
+                mem.free(arr)
+
+    def close(self) -> np.ndarray:
+        """Transfer ``bc`` back and free everything device-side."""
+        bc = self.device.memory.d2h(self.bc_arr)
+        self.release_source()
+        self.device.memory.free(self.bc_arr)
+        for arr in self._mat_arrays:
+            self.device.memory.free(arr)
+        return bc
+
+    # -- SpMV dispatch ---------------------------------------------------------
+
+    def spmv_forward(
+        self, x: np.ndarray, sigma: np.ndarray, *, tag: str = ""
+    ) -> tuple[np.ndarray, KernelLaunch]:
+        """The line-19 product ``ft = A^T f`` with the selected kernel.
+
+        CSC kernels fuse the ``sigma == 0`` mask; the COOC kernel does not
+        (the mask runs in the update kernel instead).
+        """
+        if self.algorithm == "sccooc":
+            return sccooc_spmv(self.device, self.matrix, x, tag=tag)
+        if self.algorithm == "sccsc":
+            return sccsc_spmv(self.device, self.matrix, x, allowed=sigma == 0, tag=tag)
+        return veccsc_spmv(self.device, self.matrix, x, allowed=sigma == 0, tag=tag)
+
+    def spmv_backward(self, x: np.ndarray, *, tag: str = "") -> tuple[np.ndarray, KernelLaunch]:
+        """The line-37 product with the selected kernel.
+
+        Undirected graphs reuse the gather kernel (A is symmetric); digraphs
+        need dependencies to flow against edge direction, i.e. ``A x``,
+        served by the scatter variant of the *same* stored format (the
+        paper's single-format discipline is preserved -- see DESIGN.md on
+        this pseudocode correction).
+        """
+        if self.graph.directed:
+            if self.algorithm == "sccooc":
+                return sccooc_spmv_scatter(self.device, self.matrix, x, tag=tag)
+            if self.algorithm == "sccsc":
+                return sccsc_spmv_scatter(self.device, self.matrix, x, tag=tag)
+            return veccsc_spmv_scatter(self.device, self.matrix, x, tag=tag)
+        if self.algorithm == "sccooc":
+            return sccooc_spmv(self.device, self.matrix, x, tag=tag)
+        if self.algorithm == "sccsc":
+            return sccsc_spmv(self.device, self.matrix, x, tag=tag)
+        return veccsc_spmv(self.device, self.matrix, x, tag=tag)

@@ -1,0 +1,86 @@
+"""The forward (BFS) stage of Algorithm 1, lines 11-28.
+
+Level-synchronous masked-SpMV BFS: each iteration multiplies the frontier
+vector by :math:`A^T`, masks out already-discovered vertices (``sigma != 0``)
+and folds the surviving path counts into ``sigma`` while stamping discovery
+depths into ``S``.  Two kernel launches per level, exactly as in the
+Figure 2 pipeline: the (init+)SpMV kernel and the update kernel.
+
+One pseudocode correction (documented in DESIGN.md §2): the printed
+Algorithm 1 never clears frontier entries of discovered vertices; the
+implemented semantics is ``f <- ft masked to sigma == 0, else 0``, which is
+what makes the loop terminate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import frontier as FK
+from repro.core.context import TurboBCContext
+from repro.core.result import BFSResult
+
+
+class SigmaOverflowError(RuntimeError):
+    """Shortest-path counts overflowed the forward integer dtype.
+
+    The CUDA implementation stores ``sigma`` in int32 (Section 3.4); graphs
+    with combinatorially many equal-length paths can exceed it.  Re-run with
+    ``forward_dtype=np.int64`` or ``np.float64``.
+    """
+
+
+def bfs_forward(ctx: TurboBCContext, source: int) -> BFSResult:
+    """Run the forward stage from ``source`` on an initialised context.
+
+    The context must have its forward arrays allocated by the caller (the
+    driver owns the allocation choreography).  Returns the
+    :class:`BFSResult`; ``sigma``/``S`` stay device-resident for the
+    backward stage.
+    """
+    graph = ctx.graph
+    n = graph.n
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for n = {n}")
+    sigma, S, f = ctx.alloc_forward()
+
+    depth = 0
+    frontier_sizes: list[int] = []
+    f[source] = 1
+    sigma[source] = 1
+    FK.init_source_kernel(ctx.device, n, tag="d=1")
+
+    converged = False
+    while not converged:
+        depth += 1
+        tag = f"d={depth}"
+        ft, _ = ctx.spmv_forward(f, sigma, tag=tag)
+        new_f, any_new, _ = FK.frontier_update_kernel(
+            ctx.device, ft, sigma, S, depth, masked_spmv=ctx.mask_fused, tag=tag
+        )
+        f[...] = new_f
+        size = int(np.count_nonzero(new_f))
+        if any_new:
+            frontier_sizes.append(size)
+        # The host must read the convergence flag back each level to decide
+        # whether to launch the next one.
+        ctx.device.sync_readback(tag=tag)
+        converged = not any_new
+
+    depth -= 1  # the terminating iteration discovered nothing (line 29)
+    overflowed = (
+        np.any(sigma < 0)
+        if np.issubdtype(sigma.dtype, np.signedinteger)
+        else not np.all(np.isfinite(sigma))
+    )
+    if overflowed:
+        raise SigmaOverflowError(
+            f"sigma overflowed dtype {sigma.dtype} during BFS from {source}"
+        )
+    return BFSResult(
+        source=source,
+        sigma=sigma,
+        levels=S,
+        depth=depth,
+        frontier_sizes=frontier_sizes,
+    )

@@ -1,0 +1,194 @@
+"""The non-SpMV kernels of the TurboBC pipeline (Figure 2).
+
+Besides the SpMV, each BFS level launches one elementwise *update* kernel
+(mask + ``S``/``sigma`` update + convergence flag), and each backward level
+launches a ``delta_u`` builder and a ``delta`` updater; one final kernel
+accumulates ``bc``.  They are all O(n) streaming kernels; their cost is what
+makes deep BFS trees slow (the luxembourg road network pays ~1000 of them
+per source), so they are modeled here with the same transaction accounting
+as the SpMVs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import KernelLaunch, KernelStats
+from repro.gpusim import warp as W
+
+#: Issue cycles per thread of a simple streaming kernel.
+_STREAM_CYCLES = 3
+
+
+def _stream_stats(
+    name: str,
+    n: int,
+    *,
+    read_words: int,
+    sparse_writes: np.ndarray | None = None,
+    dense_write_words: int = 0,
+    extra_cycles: int = 0,
+) -> KernelStats:
+    """Stats for a one-thread-per-vertex streaming kernel.
+
+    ``read_words`` counts coalesced 4-byte loads; sparse writes (only the
+    touched vertices) are transaction-counted from their indices.
+    """
+    write_txn = W.coalesced_transactions(dense_write_words)
+    if sparse_writes is not None and sparse_writes.size:
+        write_txn += W.gather_transactions(sparse_writes)
+    return KernelStats(
+        name=name,
+        threads=n,
+        warp_cycles=W.uniform_warp_cycles(n, _STREAM_CYCLES) + extra_cycles,
+        dram_read_bytes=W.coalesced_transactions(read_words) * W.TRANSACTION_BYTES,
+        dram_write_bytes=write_txn * W.TRANSACTION_BYTES,
+        requested_load_bytes=read_words * 4,
+    )
+
+
+def init_source_kernel(device: Device, n: int, *, tag: str = "") -> KernelLaunch:
+    """Set ``f[s] = 1`` and ``sigma[s] = 1`` (Algorithm 1 lines 15-18)."""
+    stats = KernelStats(
+        name="bfs_init",
+        threads=1,
+        warp_cycles=2,
+        dram_write_bytes=2 * W.TRANSACTION_BYTES,
+        requested_load_bytes=0,
+    )
+    return device.launch(stats, tag=tag)
+
+
+def frontier_update_kernel(
+    device: Device,
+    ft: np.ndarray,
+    sigma: np.ndarray,
+    S: np.ndarray,
+    depth: int,
+    *,
+    masked_spmv: bool,
+    tag: str = "",
+) -> tuple[np.ndarray, bool, KernelLaunch]:
+    """Lines 20-27 of Algorithm 1: mask, depth stamp, sigma update, flag.
+
+    Computes the new frontier ``f = ft where sigma == 0 else 0``, stamps
+    ``S`` with the current depth and accumulates ``sigma`` for discovered
+    vertices, and returns the convergence flag ``c`` (any new vertex?).
+
+    ``masked_spmv``: when the SpMV already fused the sigma mask (CSC
+    kernels), this kernel skips the mask pass and reads one array less --
+    the COOC pipeline pays for its unmasked SpMV here.
+    """
+    n = sigma.size
+    if masked_spmv:
+        f = ft  # the SpMV produced zeros on discovered vertices already
+    else:
+        f = np.where(sigma == 0, ft, 0).astype(ft.dtype, copy=False)
+    touched = np.flatnonzero(f)
+    if touched.size:
+        S[touched] = depth
+        sigma[touched] += f[touched]
+    c = touched.size > 0
+    read_words = n if masked_spmv else 2 * n  # ft (+ sigma for the mask)
+    stats = _stream_stats(
+        "bfs_update",
+        n,
+        read_words=read_words,
+        sparse_writes=touched,
+        extra_cycles=2 * touched.size,  # sigma read-modify-write lanes
+    )
+    # S and sigma writes double the sparse write traffic.
+    stats = stats.merge(
+        KernelStats(
+            name="bfs_update",
+            dram_write_bytes=(W.gather_transactions(touched) if touched.size else 0)
+            * W.TRANSACTION_BYTES,
+        )
+    )
+    return f, c, device.launch(stats, tag=tag)
+
+
+def delta_u_kernel(
+    device: Device,
+    S: np.ndarray,
+    sigma: np.ndarray,
+    delta: np.ndarray,
+    depth: int,
+    *,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Lines 32-36: ``delta_u = (1 + delta) / sigma`` on the depth-d slice."""
+    sel = (S == depth) & (sigma > 0)
+    delta_u = np.zeros_like(delta)
+    idx = np.flatnonzero(sel)
+    if idx.size:
+        delta_u[idx] = (1.0 + delta[idx]) / sigma[idx]
+    stats = _stream_stats(
+        "delta_u",
+        sigma.size,
+        read_words=3 * sigma.size,  # S, sigma, delta
+        sparse_writes=idx,
+        extra_cycles=4 * idx.size,  # FP divide lanes
+    )
+    stats.flops = idx.size
+    return delta_u, device.launch(stats, tag=tag)
+
+
+def delta_update_kernel(
+    device: Device,
+    S: np.ndarray,
+    sigma: np.ndarray,
+    delta: np.ndarray,
+    delta_ut: np.ndarray,
+    depth: int,
+    *,
+    tag: str = "",
+) -> KernelLaunch:
+    """Lines 38-40: ``delta += delta_ut * sigma`` on the depth-(d-1) slice.
+
+    Mutates ``delta`` in place (it is a device-resident vector).
+    """
+    sel = S == (depth - 1)
+    idx = np.flatnonzero(sel)
+    if idx.size:
+        delta[idx] += delta_ut[idx] * sigma[idx]
+    stats = _stream_stats(
+        "delta_update",
+        sigma.size,
+        read_words=4 * sigma.size,  # S, sigma, delta, delta_ut
+        sparse_writes=idx,
+        extra_cycles=2 * idx.size,
+    )
+    stats.flops = 2 * idx.size
+    return device.launch(stats, tag=tag)
+
+
+def bc_update_kernel(
+    device: Device,
+    bc: np.ndarray,
+    delta: np.ndarray,
+    source: int,
+    *,
+    undirected: bool,
+    tag: str = "",
+) -> KernelLaunch:
+    """Lines 43-47: accumulate ``bc += delta`` for every vertex but the source.
+
+    For undirected graphs the contribution is halved (Brandes'
+    double-counting compensation, Section 3.2).  Mutates ``bc`` in place.
+    """
+    n = bc.size
+    scale = 0.5 if undirected else 1.0
+    saved = bc[source]
+    bc += scale * delta
+    bc[source] = saved
+    stats = _stream_stats(
+        "bc_update",
+        n,
+        read_words=2 * n,  # bc, delta
+        dense_write_words=n,
+        extra_cycles=n,
+    )
+    stats.flops = n
+    return device.launch(stats, tag=tag)

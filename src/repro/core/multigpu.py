@@ -1,0 +1,118 @@
+"""Multi-GPU betweenness centrality (the Pan et al. extension).
+
+The paper's related work (reference [16], Multi-GPU Graph Analytics)
+motivates scaling BC across devices.  Because Brandes' algorithm is a sum
+of independent per-source passes, the natural multi-GPU decomposition is
+*source partitioning*: every device holds a full graph replica and
+processes an interleaved slice of the sources; the host reduces the partial
+``bc`` vectors at the end.
+
+The simulation runs each device's slice through the ordinary TurboBC driver
+on its own :class:`~repro.gpusim.Device`; the reported wall-clock model is
+the *maximum* over devices (they run concurrently) plus the final
+host-side reduction, so load imbalance between slices is visible in the
+result -- the effect that caps real multi-GPU scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bc import TurboBCAlgorithm, select_algorithm, turbo_bc
+from repro.core.result import BCResult, BCRunStats
+from repro.graphs.graph import Graph
+from repro.gpusim.device import Device, DeviceSpec, TITAN_XP
+from repro.gpusim.memory import PCIE_BANDWIDTH_GBS
+
+
+@dataclass
+class MultiGpuStats:
+    """Per-device accounting of a multi-GPU run."""
+
+    device_times_s: list[float] = field(default_factory=list)
+    reduction_time_s: float = 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        return (max(self.device_times_s) if self.device_times_s else 0.0) + (
+            self.reduction_time_s
+        )
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """sum(work) / (devices * makespan): 1.0 = perfect scaling."""
+        if not self.device_times_s or self.makespan_s == 0.0:
+            return 0.0
+        total = sum(self.device_times_s)
+        return total / (len(self.device_times_s) * self.makespan_s)
+
+
+def multi_gpu_bc(
+    graph: Graph,
+    *,
+    n_devices: int,
+    sources=None,
+    algorithm: str | TurboBCAlgorithm | None = None,
+    spec: DeviceSpec = TITAN_XP,
+    forward_dtype="auto",
+) -> tuple[BCResult, MultiGpuStats]:
+    """Source-partitioned BC over ``n_devices`` simulated GPUs.
+
+    Sources are dealt round-robin (interleaving balances the per-source BFS
+    depth variation better than contiguous blocks).  Returns the combined
+    result plus per-device stats; ``result.stats.gpu_time_s`` is the
+    modeled makespan.
+    """
+    if n_devices < 1:
+        raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+    if isinstance(algorithm, str):
+        algorithm = TurboBCAlgorithm(algorithm)
+    if algorithm is None:
+        algorithm = select_algorithm(graph)
+    if sources is None:
+        src_list = np.arange(graph.n)
+    elif isinstance(sources, (int, np.integer)):
+        src_list = np.asarray([int(sources)])
+    else:
+        src_list = np.asarray([int(s) for s in sources])
+
+    bc = np.zeros(graph.n, dtype=np.float64)
+    mg = MultiGpuStats()
+    launches = 0
+    peak = 0
+    depths: list[int] = []
+    for k in range(n_devices):
+        slice_sources = src_list[k::n_devices]
+        if slice_sources.size == 0:
+            mg.device_times_s.append(0.0)
+            continue
+        device = Device(spec)
+        part = turbo_bc(
+            graph,
+            sources=slice_sources,
+            algorithm=algorithm,
+            device=device,
+            forward_dtype=forward_dtype,
+        )
+        bc += part.bc
+        mg.device_times_s.append(part.stats.gpu_time_s)
+        launches += part.stats.kernel_launches
+        peak = max(peak, part.stats.peak_memory_bytes)
+        depths.extend(part.stats.depth_per_source)
+    # host-side reduction of n_devices partial vectors over PCIe
+    mg.reduction_time_s = n_devices * graph.n * 8 / (PCIE_BANDWIDTH_GBS * 1e9)
+
+    stats = BCRunStats(
+        algorithm=f"{algorithm.label} x{n_devices} GPUs",
+        n=graph.n,
+        m=graph.m,
+        sources=int(src_list.size),
+        gpu_time_s=mg.makespan_s,
+        kernel_launches=launches,
+        transfer_time_s=mg.reduction_time_s,
+        peak_memory_bytes=peak,
+        depth_per_source=depths,
+    )
+    return BCResult(bc=bc, stats=stats), mg

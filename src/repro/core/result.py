@@ -1,0 +1,102 @@
+"""Result containers for BFS and BC runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class BFSResult:
+    """Output of the forward (BFS) stage for one source.
+
+    Attributes
+    ----------
+    source:
+        Root of the BFS tree.
+    sigma:
+        Shortest-path counts from the source (``sigma[source] == 1``;
+        0 for unreachable vertices).
+    levels:
+        Discovery depth per vertex (the paper's ``S`` vector): the source
+        holds 0, unreachable vertices also hold 0 but have ``sigma == 0``.
+    depth:
+        Height of the BFS tree (the paper's ``d``).
+    frontier_sizes:
+        Number of vertices discovered at each level ``1 .. depth``.
+    """
+
+    source: int
+    sigma: np.ndarray
+    levels: np.ndarray
+    depth: int
+    frontier_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def reached(self) -> np.ndarray:
+        """Boolean mask of vertices reachable from the source."""
+        return self.sigma > 0
+
+
+@dataclass
+class BCRunStats:
+    """Performance accounting of a (possibly multi-source) BC run.
+
+    Times are *modeled* device times from the simulator, not wall-clock; the
+    harness reports both where useful.
+    """
+
+    algorithm: str
+    n: int
+    m: int
+    sources: int
+    gpu_time_s: float
+    kernel_launches: int
+    transfer_time_s: float
+    peak_memory_bytes: int
+    depth_per_source: list[int] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.depth_per_source, default=0)
+
+    def mteps(self) -> float:
+        """Paper-convention traversed-edges-per-second, in millions.
+
+        BC/vertex runs (one source) use ``m / t``; exact-BC runs use
+        ``m * n_sources / t`` (Section 4).
+        """
+        if self.gpu_time_s <= 0:
+            return 0.0
+        return self.m * self.sources / self.gpu_time_s / 1e6
+
+    @property
+    def runtime_ms(self) -> float:
+        return self.gpu_time_s * 1e3
+
+
+@dataclass
+class BCResult:
+    """Betweenness-centrality output.
+
+    ``bc`` follows the paper's (Brandes') convention: unnormalised pairwise
+    dependencies, halved for undirected graphs to compensate for the double
+    counting of each vertex pair.
+    """
+
+    bc: np.ndarray
+    stats: BCRunStats
+    forward: BFSResult | None = None
+
+    @property
+    def n(self) -> int:
+        return self.bc.size
+
+    def top(self, k: int = 10) -> list[tuple[int, float]]:
+        """The ``k`` highest-BC vertices as ``(vertex, score)`` pairs."""
+        k = min(k, self.bc.size)
+        idx = np.argpartition(self.bc, -k)[-k:] if k else np.empty(0, dtype=np.int64)
+        idx = idx[np.argsort(-self.bc[idx], kind="stable")]
+        return [(int(v), float(self.bc[v])) for v in idx]

@@ -1,0 +1,143 @@
+"""The sequential CPU version of Algorithm 1 (CSC format).
+
+This is the paper's verification oracle and the denominator of every
+``(sequential)x`` speedup column.  The control flow is the exact sequential
+Algorithm 1 / Algorithm 3 pair: a full column sweep with the ``sigma == 0``
+mask per forward level and an unmasked sweep per backward level.  The
+numerical evaluation is vectorised (NumPy), but the *modeled* runtime counts
+the operations the scalar C loop would execute -- a mask check per column
+per level, a streaming row-index load plus a dependent random ``x`` gather
+per scanned entry -- priced by :class:`repro.perf.cpu.CpuCostModel`.
+
+``sigma`` is carried in float64 here: the oracle must not inherit the GPU
+code's int32 overflow hazard.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.result import BCResult, BCRunStats, BFSResult
+from repro.graphs.graph import Graph
+from repro.perf.cpu import CpuCostModel
+
+
+def _forward_sequential(graph: Graph, source: int, cost: CpuCostModel):
+    """Forward stage; returns (sigma, S, depth)."""
+    csc = graph.to_csc()
+    n = graph.n
+    col_of_nnz = csc.column_of_nnz()
+    degrees = np.diff(csc.col_ptr).astype(np.int64)
+
+    sigma = np.zeros(n, dtype=np.float64)
+    S = np.zeros(n, dtype=np.int32)
+    f = np.zeros(n, dtype=np.float64)
+    f[source] = 1.0
+    sigma[source] = 1.0
+    depth = 0
+    while True:
+        depth += 1
+        undiscovered = sigma == 0
+        scanned = int(degrees[undiscovered].sum())
+        cost.charge_stream(n + scanned)   # mask checks + row_A loads
+        cost.charge_random(scanned)       # x[row_A[k]] gathers
+        sel = undiscovered[col_of_nnz]
+        sums = np.bincount(col_of_nnz[sel], weights=f[csc.row[sel]], minlength=n)
+        f = np.where(undiscovered, sums, 0.0)
+        touched = np.flatnonzero(f)
+        cost.charge_stream(2 * touched.size)  # S stamp + sigma accumulate
+        if touched.size == 0:
+            break
+        S[touched] = depth
+        sigma[touched] += f[touched]
+    return sigma, S, depth - 1
+
+
+def _backward_sequential(graph: Graph, sigma, S, depth: int, cost: CpuCostModel):
+    """Backward stage; returns delta."""
+    csc = graph.to_csc()
+    n = graph.n
+    col_of_nnz = csc.column_of_nnz()
+    m = csc.nnz
+    delta = np.zeros(n, dtype=np.float64)
+    d = depth
+    while d > 1:
+        sel = (S == d) & (sigma > 0)
+        idx = np.flatnonzero(sel)
+        delta_u = np.zeros(n, dtype=np.float64)
+        delta_u[idx] = (1.0 + delta[idx]) / sigma[idx]
+        cost.charge_stream(n + 2 * idx.size)
+        # Unmasked sequential SpMV: every stored entry is visited.
+        cost.charge_stream(n + m)
+        cost.charge_random(m)
+        if graph.directed:
+            # dependencies flow against edge direction: y = A x
+            delta_ut = np.bincount(csc.row, weights=delta_u[col_of_nnz], minlength=n)
+        else:
+            delta_ut = np.bincount(col_of_nnz, weights=delta_u[csc.row], minlength=n)
+        upd = np.flatnonzero(S == (d - 1))
+        delta[upd] += delta_ut[upd] * sigma[upd]
+        cost.charge_stream(n + 2 * upd.size)
+        d -= 1
+    return delta
+
+
+def sequential_bc(
+    graph: Graph,
+    *,
+    sources=None,
+    cost_model: CpuCostModel | None = None,
+    keep_forward: bool = False,
+) -> BCResult:
+    """Sequential Algorithm 1 over CSC with a modeled single-core runtime.
+
+    Same source conventions as :func:`repro.core.bc.turbo_bc`.  The returned
+    ``stats.gpu_time_s`` field holds the modeled *CPU* time (the stats
+    container is shared across systems; its ``mteps``/speedup arithmetic is
+    identical).
+    """
+    if sources is None:
+        src_list = list(range(graph.n))
+    elif isinstance(sources, (int, np.integer)):
+        src_list = [int(sources)]
+    else:
+        src_list = [int(s) for s in sources]
+    cost = cost_model or CpuCostModel()
+
+    t0 = time.perf_counter()
+    n = graph.n
+    bc = np.zeros(n, dtype=np.float64)
+    depths = []
+    last_forward = None
+    scale = 0.5 if not graph.directed else 1.0
+    for s in src_list:
+        if not 0 <= s < n:
+            raise ValueError(f"source {s} out of range for n = {n}")
+        sigma, S, depth = _forward_sequential(graph, s, cost)
+        depths.append(depth)
+        if keep_forward:
+            last_forward = BFSResult(
+                source=s, sigma=sigma.copy(), levels=S.copy(), depth=depth,
+            )
+        if depth > 1:
+            delta = _backward_sequential(graph, sigma, S, depth, cost)
+            cost.charge_stream(2 * n)
+            saved = bc[s]
+            bc += scale * delta
+            bc[s] = saved
+
+    stats = BCRunStats(
+        algorithm="sequential",
+        n=n,
+        m=graph.m,
+        sources=len(src_list),
+        gpu_time_s=cost.time_s,
+        kernel_launches=0,
+        transfer_time_s=0.0,
+        peak_memory_bytes=0,
+        depth_per_source=depths,
+        wall_time_s=time.perf_counter() - t0,
+    )
+    return BCResult(bc=bc, stats=stats, forward=last_forward)

@@ -1,0 +1,145 @@
+"""Structural validation of BFS and BC results.
+
+The paper's protocol ("we used the sequential version ... to verify the
+results ... only the correct results were accepted") needs machine-checkable
+correctness conditions.  Recomputing with an oracle is O(nm); the checks
+here are the O(n + m) *structural* invariants in the spirit of the Graph500
+BFS validator -- they catch every class of bug the kernels can realistically
+introduce (mask errors, missed frontier updates, double counting) without a
+second full run.
+
+For a BFS tree from ``s`` with levels ``L`` and path counts ``sigma``:
+
+1. ``L[s] == 0`` and ``sigma[s] == 1``;
+2. every edge ``(u, v)`` between reached vertices spans at most one level
+   (``L[v] <= L[u] + 1``);
+3. every reached vertex ``v != s`` has at least one parent (an in-edge from
+   level ``L[v] - 1``);
+4. ``sigma[v] == sum of sigma[u]`` over in-neighbours at level ``L[v] - 1``;
+5. unreached vertices have no reached in-neighbour.
+
+For a BC vector: non-negativity, zero at degree-<=1 vertices, and the
+conservation identity ``sum(bc) == sum over connected ordered pairs of
+(d(s, t) - 1)`` (optionally checked, O(n + m) per source via the BFS the
+caller already ran).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import BFSResult
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass."""
+
+    ok: bool = True
+    errors: list[str] = field(default_factory=list)
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.errors.append(message)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError("validation failed:\n  " + "\n  ".join(self.errors))
+
+
+def validate_bfs(graph: Graph, result: BFSResult) -> ValidationReport:
+    """Check the five structural BFS invariants (O(n + m))."""
+    report = ValidationReport()
+    s = result.source
+    sigma = np.asarray(result.sigma, dtype=np.float64)
+    levels = np.asarray(result.levels, dtype=np.int64)
+    reached = sigma > 0
+
+    if not reached[s] or sigma[s] != 1:
+        report.fail(f"source {s}: sigma must be 1, got {sigma[s]}")
+    if levels[s] != 0:
+        report.fail(f"source {s}: level must be 0, got {levels[s]}")
+
+    src, dst = graph.src, graph.dst
+    both = reached[src] & reached[dst]
+    lu, lv = levels[src[both]], levels[dst[both]]
+    if np.any(lv > lu + 1):
+        k = int(np.flatnonzero(lv > lu + 1)[0])
+        report.fail(
+            f"edge skips a level: ({src[both][k]} at L{lu[k]}) -> "
+            f"({dst[both][k]} at L{lv[k]})"
+        )
+
+    # parent existence + sigma consistency via one pass over tree edges
+    tree_mask = reached[src] & reached[dst] & (levels[dst] == levels[src] + 1)
+    contrib = np.zeros(graph.n, dtype=np.float64)
+    np.add.at(contrib, dst[tree_mask], sigma[src[tree_mask]])
+    interior = reached.copy()
+    interior[s] = False
+    no_parent = interior & (contrib == 0)
+    if np.any(no_parent):
+        report.fail(
+            f"{int(no_parent.sum())} reached vertices have no parent, e.g. "
+            f"{int(np.flatnonzero(no_parent)[0])}"
+        )
+    bad_sigma = interior & ~np.isclose(contrib, sigma, rtol=1e-9)
+    if np.any(bad_sigma):
+        v = int(np.flatnonzero(bad_sigma)[0])
+        report.fail(
+            f"sigma mismatch at {v}: stored {sigma[v]}, parents sum to {contrib[v]}"
+        )
+
+    leak = (~reached[dst]) & reached[src]
+    if np.any(leak):
+        k = int(np.flatnonzero(leak)[0])
+        report.fail(
+            f"unreached vertex {dst[k]} has a reached in-neighbour {src[k]}"
+        )
+    return report
+
+
+def validate_bc(
+    graph: Graph,
+    bc: np.ndarray,
+    *,
+    check_conservation: bool = False,
+) -> ValidationReport:
+    """Check BC sanity conditions; optionally the conservation identity.
+
+    ``check_conservation`` runs one BFS per vertex (O(nm) total) -- cheap
+    relative to the BC itself, exact, and independent of the implementation
+    being validated.
+    """
+    report = ValidationReport()
+    bc = np.asarray(bc, dtype=np.float64)
+    if bc.shape != (graph.n,):
+        report.fail(f"bc has shape {bc.shape}, expected ({graph.n},)")
+        return report
+    if np.any(bc < -1e-9):
+        report.fail(f"negative BC at vertex {int(np.argmin(bc))}: {bc.min()}")
+    total_deg = graph.out_degree() + graph.in_degree()
+    limit = 2 if not graph.directed else 1
+    leaf_bad = (total_deg <= limit) & (np.abs(bc) > 1e-9)
+    if np.any(leaf_bad):
+        report.fail(
+            f"degree-<=1 vertex {int(np.flatnonzero(leaf_bad)[0])} has non-zero BC"
+        )
+    if check_conservation:
+        from repro.graphs.traversal import bfs_sigma_levels
+
+        total = 0.0
+        for s in range(graph.n):
+            _, levels, _, _ = bfs_sigma_levels(graph, s)
+            dists = levels[levels > 0]
+            total += float((dists - 1).sum())
+        if not graph.directed:
+            total /= 2.0
+        if not np.isclose(bc.sum(), total, rtol=1e-6, atol=1e-6):
+            report.fail(
+                f"conservation violated: sum(bc) = {bc.sum()}, "
+                f"sum of (d(s,t) - 1) = {total}"
+            )
+    return report

@@ -1,0 +1,18 @@
+"""Extensions beyond the paper's scope.
+
+The paper computes shortest-path *vertex* betweenness on *unweighted*
+graphs; its introduction motivates BC for "vertices or edges", and weighted
+shortest paths are the classic follow-on.  This package adds both:
+
+* :func:`~repro.extensions.edge_bc.edge_betweenness` -- edge BC with the
+  same linear-algebraic machinery and simulated-device accounting as
+  TurboBC (one extra streaming kernel per source);
+* :func:`~repro.extensions.weighted_bc.weighted_bc` -- Brandes' weighted
+  variant (Dijkstra orderings), host-side, as the reference the GPU
+  algorithm would be verified against.
+"""
+
+from repro.extensions.edge_bc import EdgeBCResult, edge_betweenness
+from repro.extensions.weighted_bc import weighted_bc
+
+__all__ = ["edge_betweenness", "EdgeBCResult", "weighted_bc"]

@@ -1,0 +1,49 @@
+"""Sparse storage formats for binary adjacency matrices.
+
+TurboBC represents unweighted graphs as binary sparse adjacency matrices and
+deliberately stores *only the index structure* (no value arrays): the paper's
+first memory optimization.  Three formats are provided:
+
+``COOCMatrix``
+    The COOC format of the paper -- the coordinate format sorted so that the
+    transpose is laid out contiguously (i.e. entries ordered by column, then
+    row).  Used by the scalar thread-per-edge kernel (scCOOC).
+
+``CSCMatrix``
+    Compressed Sparse Column.  Used by the scalar thread-per-column (scCSC)
+    and the warp-per-column vector kernel (veCSC).
+
+``CSRMatrix``
+    Compressed Sparse Row.  Not used by TurboBC itself (one format per run is
+    the point) but required by the gunrock baseline, which stores *both* CSR
+    and CSC copies of the graph.
+
+All formats use zero-based ``int32`` indices (the paper's pseudocode is
+one-based; the shift is an implementation detail) and share the convention
+``A[r, c] == 1  iff  the graph has the edge r -> c``.
+"""
+
+from repro.formats.coo import COOCMatrix, COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.convert import (
+    canonical_edges,
+    edges_to_cooc,
+    edges_to_csc,
+    edges_to_csr,
+    csc_to_csr,
+    csr_to_csc,
+)
+
+__all__ = [
+    "COOMatrix",
+    "COOCMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "canonical_edges",
+    "edges_to_cooc",
+    "edges_to_csc",
+    "edges_to_csr",
+    "csc_to_csr",
+    "csr_to_csc",
+]

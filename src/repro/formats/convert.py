@@ -1,0 +1,104 @@
+"""Conversions between edge lists and the device storage formats.
+
+All builders accept raw ``(src, dst)`` edge arrays, canonicalise them
+(column-major sort, duplicate removal, optional self-loop removal) and emit
+the requested format.  Canonicalisation is done once here so that every
+format sees identical entry ordering -- the COOC ``row`` array is by
+construction equal to the CSC ``row`` array, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE, as_index_array
+from repro.formats.coo import COOCMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+
+
+def canonical_edges(
+    src, dst, n: int, *, drop_self_loops: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return edge arrays sorted column-major (by dst, then src), deduplicated.
+
+    Parameters
+    ----------
+    src, dst:
+        Edge endpoint arrays; an entry ``(src[k], dst[k])`` is the matrix
+        non-zero ``A[src[k], dst[k]]``, i.e. the edge ``src[k] -> dst[k]``.
+    n:
+        Number of vertices; endpoints must lie in ``[0, n)``.
+    drop_self_loops:
+        Self-loops never lie on a shortest path between distinct vertices, so
+        BC ignores them; dropping them matches the paper's preprocessing.
+    """
+    src = as_index_array(src, name="src")
+    dst = as_index_array(dst, name="dst")
+    if src.size != dst.size:
+        raise ValueError(f"src and dst must have equal length, got {src.size} != {dst.size}")
+    if src.size and (int(src.max()) >= n or int(dst.max()) >= n):
+        raise ValueError(f"edge endpoint out of range for n = {n}")
+    if drop_self_loops and src.size:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    if src.size == 0:
+        return src.astype(INDEX_DTYPE), dst.astype(INDEX_DTYPE)
+    # Column-major order: sort by (dst, src).  np.lexsort's last key is primary.
+    order = np.lexsort((src, dst))
+    src, dst = src[order], dst[order]
+    # Deduplicate consecutive identical pairs.
+    keep = np.empty(src.size, dtype=bool)
+    keep[0] = True
+    np.logical_or(src[1:] != src[:-1], dst[1:] != dst[:-1], out=keep[1:])
+    return src[keep], dst[keep]
+
+
+def edges_to_cooc(src, dst, n: int, *, drop_self_loops: bool = True) -> COOCMatrix:
+    """Build a COOC matrix from raw edges (``src -> dst`` becomes A[src, dst])."""
+    row, col = canonical_edges(src, dst, n, drop_self_loops=drop_self_loops)
+    return COOCMatrix(row, col, (n, n), _skip_checks=True)
+
+
+def edges_to_csc(src, dst, n: int, *, drop_self_loops: bool = True) -> CSCMatrix:
+    """Build a CSC matrix from raw edges."""
+    row, col = canonical_edges(src, dst, n, drop_self_loops=drop_self_loops)
+    counts = np.bincount(col, minlength=n)
+    col_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=col_ptr[1:])
+    return CSCMatrix(col_ptr, row, (n, n), _skip_checks=True)
+
+
+def edges_to_csr(src, dst, n: int, *, drop_self_loops: bool = True) -> CSRMatrix:
+    """Build a CSR matrix from raw edges."""
+    src = as_index_array(src, name="src")
+    dst = as_index_array(dst, name="dst")
+    # Row-major canonicalisation: reuse canonical_edges on the transpose.
+    col, row = canonical_edges(dst, src, n, drop_self_loops=drop_self_loops)
+    counts = np.bincount(row, minlength=n)
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_ptr[1:])
+    return CSRMatrix(row_ptr, col, (n, n), _skip_checks=True)
+
+
+def cooc_to_csc(mat: COOCMatrix) -> CSCMatrix:
+    """Compress a COOC matrix's column array into column pointers."""
+    counts = np.bincount(mat.col, minlength=mat.n_cols)
+    col_ptr = np.zeros(mat.n_cols + 1, dtype=np.int64)
+    np.cumsum(counts, out=col_ptr[1:])
+    return CSCMatrix(col_ptr, mat.row.copy(), mat.shape, _skip_checks=True)
+
+
+def csc_to_cooc(mat: CSCMatrix) -> COOCMatrix:
+    """Expand a CSC matrix's column pointers into an explicit column array."""
+    return COOCMatrix(mat.row.copy(), mat.column_of_nnz(), mat.shape, _skip_checks=True)
+
+
+def csc_to_csr(mat: CSCMatrix) -> CSRMatrix:
+    """Re-sort a CSC matrix's entries row-major."""
+    return edges_to_csr(mat.row, mat.column_of_nnz(), mat.n_rows, drop_self_loops=False)
+
+
+def csr_to_csc(mat: CSRMatrix) -> CSCMatrix:
+    """Re-sort a CSR matrix's entries column-major."""
+    return edges_to_csc(mat.row_of_nnz(), mat.col, mat.n_rows, drop_self_loops=False)

@@ -1,0 +1,125 @@
+"""Compressed Sparse Column storage for binary adjacency matrices.
+
+For an ``n x n`` adjacency matrix with ``m`` non-zeros the CSC format stores
+
+* ``col_ptr`` (size ``n_cols + 1``) -- ``col_ptr[c] .. col_ptr[c + 1]`` is the
+  slice of ``row`` holding column ``c``'s row indices (the paper's ``CP_A``);
+* ``row`` (size ``m``) -- row indices, sorted within each column (the paper's
+  ``row_A``).
+
+The value array of the binary matrix is never stored -- the paper's first
+memory optimization -- so the device footprint is ``n + 1 + m`` words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import BinaryMatrixBase, INDEX_DTYPE, as_index_array
+
+
+class CSCMatrix(BinaryMatrixBase):
+    """Binary sparse matrix in CSC layout."""
+
+    def __init__(self, col_ptr, row, shape: tuple[int, int], *, _skip_checks: bool = False):
+        self.col_ptr = as_index_array(col_ptr, name="col_ptr")
+        self.row = as_index_array(row, name="row")
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        self.shape = (n_rows, n_cols)
+        self._col_of_nnz: np.ndarray | None = None
+        self._txn_cache: dict = {}
+        if not _skip_checks:
+            self._validate()
+
+    def _validate(self) -> None:
+        if self.col_ptr.size != self.n_cols + 1:
+            raise ValueError(
+                f"col_ptr must have length n_cols + 1 = {self.n_cols + 1}, got {self.col_ptr.size}"
+            )
+        if self.col_ptr[0] != 0:
+            raise ValueError("col_ptr must start at 0")
+        if int(self.col_ptr[-1]) != self.row.size:
+            raise ValueError(
+                f"col_ptr must end at nnz = {self.row.size}, got {int(self.col_ptr[-1])}"
+            )
+        if np.any(np.diff(self.col_ptr) < 0):
+            raise ValueError("col_ptr must be non-decreasing")
+        if self.row.size:
+            if int(self.row.max()) >= self.n_rows:
+                raise ValueError(
+                    f"row index {int(self.row.max())} out of range for {self.n_rows} rows"
+                )
+            # rows strictly increasing within each column => sorted + unique
+            interior = np.ones(self.row.size, dtype=bool)
+            boundaries = self.col_ptr[1:-1]  # column starts
+            interior[boundaries[boundaries < self.row.size]] = False
+            bad = self.row[1:][interior[1:]] <= self.row[:-1][interior[1:]]
+            if np.any(bad):
+                raise ValueError("rows must be strictly increasing within each column")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row.size)
+
+    @property
+    def memory_words(self) -> int:
+        """CSC stores ``(n_cols + 1) + m`` index words."""
+        return self.n_cols + 1 + self.nnz
+
+    def column(self, c: int) -> np.ndarray:
+        """Row indices of column ``c`` (a view, do not mutate)."""
+        return self.row[self.col_ptr[c] : self.col_ptr[c + 1]]
+
+    def column_counts(self) -> np.ndarray:
+        """Entries per column (the in-degree when A[r, c] means edge r->c)."""
+        return np.diff(self.col_ptr).astype(INDEX_DTYPE)
+
+    def column_of_nnz(self) -> np.ndarray:
+        """Column index of every stored entry, in storage order.
+
+        This is exactly the ``col`` array of the COOC format; kernels that
+        need a per-non-zero destination use it.  Cached (do not mutate).
+        """
+        if self._col_of_nnz is None:
+            self._col_of_nnz = np.repeat(
+                np.arange(self.n_cols, dtype=INDEX_DTYPE), np.diff(self.col_ptr)
+            )
+        return self._col_of_nnz
+
+    def full_gather_transactions(
+        self, element_bytes: int, *, l2_bytes: int | None = None
+    ) -> int:
+        """L2-bounded DRAM transactions of a warp gather through the whole
+        ``row`` array -- the unmasked veCSC access pattern, cached because
+        the backward stage issues it once per level.
+        """
+        from repro.gpusim import warp as W
+
+        if l2_bytes is None:
+            l2_bytes = W.L2_BYTES
+        key = (element_bytes, l2_bytes)
+        if key not in self._txn_cache:
+            self._txn_cache[key] = W.cached_gather_transactions(
+                self.row, element_bytes, self.n_rows, l2_bytes=l2_bytes
+            )
+        return self._txn_cache[key]
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.int8)
+        dense[self.row, self.column_of_nnz()] = 1
+        return dense
+
+    def to_scipy(self):
+        """Return the equivalent ``scipy.sparse.csc_array`` (values all 1)."""
+        from scipy.sparse import csc_array
+
+        data = np.ones(self.nnz, dtype=np.int8)
+        return csc_array((data, self.row, self.col_ptr), shape=self.shape)
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSCMatrix":
+        """Build from any scipy sparse matrix, treating non-zeros as 1."""
+        csc = mat.tocsc()
+        csc.sum_duplicates()
+        csc.sort_indices()
+        return cls(csc.indptr, csc.indices, csc.shape)

@@ -1,0 +1,91 @@
+"""Compressed Sparse Row storage.
+
+TurboBC itself never uses CSR -- its single-format discipline is part of the
+memory optimization -- but the gunrock baseline stores *both* a CSR and a CSC
+copy of the graph (the ``2m`` term in its ``9n + 2m`` footprint), so the
+format lives here alongside the others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import BinaryMatrixBase, INDEX_DTYPE, as_index_array
+
+
+class CSRMatrix(BinaryMatrixBase):
+    """Binary sparse matrix in CSR layout (``row_ptr``, ``col``)."""
+
+    def __init__(self, row_ptr, col, shape: tuple[int, int], *, _skip_checks: bool = False):
+        self.row_ptr = as_index_array(row_ptr, name="row_ptr")
+        self.col = as_index_array(col, name="col")
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        self.shape = (n_rows, n_cols)
+        if not _skip_checks:
+            self._validate()
+
+    def _validate(self) -> None:
+        if self.row_ptr.size != self.n_rows + 1:
+            raise ValueError(
+                f"row_ptr must have length n_rows + 1 = {self.n_rows + 1}, got {self.row_ptr.size}"
+            )
+        if self.row_ptr[0] != 0:
+            raise ValueError("row_ptr must start at 0")
+        if int(self.row_ptr[-1]) != self.col.size:
+            raise ValueError(
+                f"row_ptr must end at nnz = {self.col.size}, got {int(self.row_ptr[-1])}"
+            )
+        if np.any(np.diff(self.row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        if self.col.size:
+            if int(self.col.max()) >= self.n_cols:
+                raise ValueError(
+                    f"column index {int(self.col.max())} out of range for {self.n_cols} columns"
+                )
+            interior = np.ones(self.col.size, dtype=bool)
+            boundaries = self.row_ptr[1:-1]
+            interior[boundaries[boundaries < self.col.size]] = False
+            bad = self.col[1:][interior[1:]] <= self.col[:-1][interior[1:]]
+            if np.any(bad):
+                raise ValueError("columns must be strictly increasing within each row")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.col.size)
+
+    @property
+    def memory_words(self) -> int:
+        """CSR stores ``(n_rows + 1) + m`` index words."""
+        return self.n_rows + 1 + self.nnz
+
+    def neighbors(self, r: int) -> np.ndarray:
+        """Column indices of row ``r`` (a view; the out-neighbours of r)."""
+        return self.col[self.row_ptr[r] : self.row_ptr[r + 1]]
+
+    def row_counts(self) -> np.ndarray:
+        """Entries per row (the out-degree when A[r, c] means edge r->c)."""
+        return np.diff(self.row_ptr).astype(INDEX_DTYPE)
+
+    def row_of_nnz(self) -> np.ndarray:
+        """Row index of every stored entry, in storage order."""
+        return np.repeat(np.arange(self.n_rows, dtype=INDEX_DTYPE), np.diff(self.row_ptr))
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=np.int8)
+        dense[self.row_of_nnz(), self.col] = 1
+        return dense
+
+    def to_scipy(self):
+        """Return the equivalent ``scipy.sparse.csr_array`` (values all 1)."""
+        from scipy.sparse import csr_array
+
+        data = np.ones(self.nnz, dtype=np.int8)
+        return csr_array((data, self.col, self.row_ptr), shape=self.shape)
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Build from any scipy sparse matrix, treating non-zeros as 1."""
+        csr = mat.tocsr()
+        csr.sum_duplicates()
+        csr.sort_indices()
+        return cls(csr.indptr, csr.indices, csr.shape)

@@ -1,0 +1,124 @@
+"""The simulated device: spec, launch bookkeeping, memory, profiler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.kernel import KernelLaunch, KernelStats
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.profiler import Profiler
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware parameters of the simulated GPU.
+
+    Defaults reproduce the NVIDIA TITAN Xp the paper used (Section 4):
+    30 SMs x 128 cores, 1.58 GHz boost clock, 12196 MB global memory.  The
+    theoretical GLT ceiling of 575 GB/s quoted by the paper is carried
+    explicitly because Figure 5b plots kernels against it.
+    """
+
+    name: str = "NVIDIA TITAN Xp (simulated)"
+    num_sms: int = 30
+    cores_per_sm: int = 128
+    warp_size: int = 32
+    warp_schedulers_per_sm: int = 4
+    clock_ghz: float = 1.58
+    global_memory_bytes: int = 12196 * 2**20
+    #: L2 capacity; scaled-down suite instances scale this too so the
+    #: cache-residency regime of the paper-scale run is preserved (see
+    #: DESIGN.md on the scaled-device mode).
+    l2_bytes: int = 3 * 2**20
+    dram_bandwidth_gbs: float = 547.6
+    theoretical_glt_gbs: float = 575.0
+    kernel_launch_overhead_us: float = 5.0
+    sync_readback_us: float = 28.0
+    #: Same-address atomic updates serialise at the L2; ~2.5 ns per update
+    #: on Pascal-class parts.
+    atomic_serialization_s: float = 2.5e-9
+
+    @property
+    def warp_issue_rate(self) -> float:
+        """Warp-instructions issued per second, device-wide."""
+        return self.num_sms * self.warp_schedulers_per_sm * self.clock_ghz * 1e9
+
+    @property
+    def max_resident_threads(self) -> int:
+        return self.num_sms * 2048
+
+
+TITAN_XP = DeviceSpec()
+
+
+class Device:
+    """A simulated GPU: spec + memory + profiler + launch timing.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description; defaults to the paper's TITAN Xp.
+    backed:
+        If False the device only *plans* allocations (sizes, OOM) without
+        backing NumPy arrays -- used for paper-scale footprint experiments.
+    """
+
+    def __init__(self, spec: DeviceSpec = TITAN_XP, *, backed: bool = True):
+        self.spec = spec
+        self.memory = DeviceMemory(spec.global_memory_bytes, backed=backed)
+        self.profiler = Profiler()
+
+    def launch(self, stats: KernelStats, *, tag: str = "") -> KernelLaunch:
+        """Time a kernel from its stats and record it with the profiler.
+
+        ``tag`` annotates the launch (e.g. the BFS level) for later
+        inspection without affecting aggregation.
+        """
+        compute = stats.warp_cycles / self.spec.warp_issue_rate
+        memory = stats.dram_bytes / (self.spec.dram_bandwidth_gbs * 1e9)
+        # Two latency floors throughput cannot hide: the same-address atomic
+        # chain and the slowest warp's own execution.
+        serial = max(
+            stats.serial_updates * self.spec.atomic_serialization_s,
+            stats.critical_warp_cycles / (self.spec.clock_ghz * 1e9),
+        )
+        launch = KernelLaunch(
+            stats=stats,
+            compute_time_s=compute,
+            memory_time_s=memory,
+            overhead_s=self.spec.kernel_launch_overhead_us * 1e-6,
+            serial_time_s=serial,
+            tag=tag,
+        )
+        self.profiler.record(launch)
+        return launch
+
+    def sync_readback(self, *, words: int = 1, tag: str = "") -> KernelLaunch:
+        """A host-blocking device-to-host readback (e.g. a convergence flag).
+
+        Level-synchronous GPU BFS must learn each level whether the frontier
+        emptied; the ``cudaMemcpy`` + stream-sync latency this costs is what
+        dominates deep-BFS graphs (the paper's luxembourg row runs at
+        ~48 us/level).  Modeled as a fixed-latency pseudo-launch.
+        """
+        launch = KernelLaunch(
+            stats=KernelStats(name="sync_readback", threads=0, dram_read_bytes=4 * words),
+            compute_time_s=0.0,
+            memory_time_s=0.0,
+            overhead_s=self.spec.sync_readback_us * 1e-6,
+            tag=tag,
+        )
+        self.profiler.record(launch)
+        return launch
+
+    def reset(self) -> None:
+        """Free all memory and clear the profiler (fresh run)."""
+        self.memory.free_all()
+        self.profiler.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Device({self.spec.name!r}, "
+            f"{self.memory.used_bytes / 2**20:.0f}/{self.spec.global_memory_bytes / 2**20:.0f} MiB, "
+            f"{len(self.profiler.launches)} launches)"
+        )

@@ -1,0 +1,34 @@
+"""Exception types raised by the simulated device."""
+
+from __future__ import annotations
+
+
+class GpuSimError(Exception):
+    """Base class for all simulated-device errors."""
+
+
+class DeviceOutOfMemoryError(GpuSimError):
+    """Raised when an allocation exceeds the device's global memory.
+
+    The simulated analogue of ``cudaErrorMemoryAllocation``; the Table 4
+    gunrock "OOM" entries of the paper are reproduced by catching this.
+    """
+
+    def __init__(self, requested: int, used: int, capacity: int, name: str = ""):
+        self.requested = int(requested)
+        self.used = int(used)
+        self.capacity = int(capacity)
+        self.name = name
+        what = f" for {name!r}" if name else ""
+        super().__init__(
+            f"device out of memory{what}: requested {requested} B with "
+            f"{used} B in use of {capacity} B capacity"
+        )
+
+
+class InvalidKernelError(GpuSimError):
+    """Raised for malformed kernel statistics (negative counters, etc.)."""
+
+
+class DeviceArrayFreedError(GpuSimError):
+    """Raised when a freed device array's data is accessed."""

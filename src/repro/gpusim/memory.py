@@ -1,0 +1,160 @@
+"""Device global-memory allocator.
+
+Every byte a TurboBC (or baseline) run keeps on the GPU goes through a
+:class:`DeviceMemory` instance, so peak usage, the Figure 3/5 memory curves
+and the Table 4 out-of-memory verdicts all come from one accounting source.
+
+The allocator runs in one of two modes:
+
+* **backed** -- each allocation owns a real NumPy array; kernels read and
+  write it.  Used for every experiment that actually computes BC.
+* **planned** -- allocations record sizes only.  Used to evaluate paper-scale
+  footprints (e.g. sk-2005's 51M x 1950M adjacency) on a laptop: OOM is a
+  property of the sizes, not of the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.errors import DeviceArrayFreedError, DeviceOutOfMemoryError, GpuSimError
+
+#: Effective host-to-device bandwidth of the PCIe 3.0 x16 link of the
+#: paper's server, used to account transfer times.
+PCIE_BANDWIDTH_GBS = 11.0
+
+
+class DeviceArray:
+    """A device-resident array handle.
+
+    ``data`` is the backing NumPy array in backed mode and ``None`` in
+    planned mode; ``shape``/``dtype``/``nbytes`` are always available.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "nbytes", "_data", "_freed")
+
+    def __init__(self, name: str, shape, dtype, data: np.ndarray | None):
+        self.name = name
+        self.shape = tuple(int(s) for s in (shape if hasattr(shape, "__len__") else (shape,)))
+        self.dtype = np.dtype(dtype)
+        self.nbytes = int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+        self._data = data
+        self._freed = False
+
+    @property
+    def data(self) -> np.ndarray:
+        """The backing array (backed mode only; raises after free)."""
+        if self._freed:
+            raise DeviceArrayFreedError(f"device array {self.name!r} was freed")
+        if self._data is None:
+            raise GpuSimError(
+                f"device array {self.name!r} is a planned allocation and has no data"
+            )
+        return self._data
+
+    @property
+    def is_backed(self) -> bool:
+        return self._data is not None
+
+    @property
+    def is_freed(self) -> bool:
+        return self._freed
+
+    def __repr__(self) -> str:
+        state = "freed" if self._freed else ("backed" if self.is_backed else "planned")
+        return f"DeviceArray({self.name!r}, shape={self.shape}, dtype={self.dtype}, {state})"
+
+
+class DeviceMemory:
+    """Global-memory allocator with capacity enforcement and peak tracking."""
+
+    def __init__(self, capacity_bytes: int, *, backed: bool = True):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.backed = bool(backed)
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self.transfer_bytes_h2d = 0
+        self.transfer_bytes_d2h = 0
+        self._live: dict[int, DeviceArray] = {}
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, name: str, shape, dtype) -> DeviceArray:
+        """Allocate a zero-initialised device array.
+
+        Raises :class:`DeviceOutOfMemoryError` if the allocation would push
+        usage past capacity (nothing is allocated in that case).
+        """
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape if hasattr(shape, "__len__") else (shape,), dtype=np.int64))
+        nbytes *= dtype.itemsize
+        if nbytes < 0:
+            raise ValueError(f"negative allocation size for {name!r}")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise DeviceOutOfMemoryError(nbytes, self.used_bytes, self.capacity_bytes, name)
+        data = np.zeros(shape, dtype=dtype) if self.backed else None
+        arr = DeviceArray(name, shape, dtype, data)
+        self.used_bytes += arr.nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        self._live[id(arr)] = arr
+        return arr
+
+    def free(self, arr: DeviceArray) -> None:
+        """Release a device array (double-free raises)."""
+        if id(arr) not in self._live:
+            raise GpuSimError(f"free of unknown or already-freed array {arr.name!r}")
+        del self._live[id(arr)]
+        self.used_bytes -= arr.nbytes
+        arr._freed = True
+        arr._data = None
+
+    def free_all(self) -> None:
+        """Release every live allocation (end-of-run cleanup)."""
+        for arr in list(self._live.values()):
+            self.free(arr)
+
+    # -- transfers ----------------------------------------------------------
+
+    def h2d(self, name: str, host: np.ndarray) -> DeviceArray:
+        """Copy a host array to a fresh device allocation.
+
+        In planned mode only the size is recorded.  Transfer volume is
+        accumulated for the pipeline's transfer-time accounting.
+        """
+        host = np.ascontiguousarray(host)
+        arr = self.alloc(name, host.shape, host.dtype)
+        if self.backed:
+            arr.data[...] = host
+        self.transfer_bytes_h2d += host.nbytes
+        return arr
+
+    def d2h(self, arr: DeviceArray) -> np.ndarray:
+        """Copy a device array back to the host (backed mode only)."""
+        out = arr.data.copy()
+        self.transfer_bytes_d2h += arr.nbytes
+        return out
+
+    def transfer_time_s(self) -> float:
+        """Total PCIe transfer time implied by the recorded traffic."""
+        total = self.transfer_bytes_h2d + self.transfer_bytes_d2h
+        return total / (PCIE_BANDWIDTH_GBS * 1e9)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def live_arrays(self) -> list[DeviceArray]:
+        return list(self._live.values())
+
+    def usage_report(self) -> str:
+        """Human-readable allocation table (largest first)."""
+        lines = [
+            f"device memory: {self.used_bytes / 2**20:.1f} MiB used / "
+            f"{self.capacity_bytes / 2**20:.1f} MiB capacity "
+            f"(peak {self.peak_bytes / 2**20:.1f} MiB)"
+        ]
+        for arr in sorted(self._live.values(), key=lambda a: -a.nbytes):
+            lines.append(f"  {arr.name:24s} {arr.nbytes / 2**20:10.2f} MiB  "
+                         f"{arr.dtype} {arr.shape}")
+        return "\n".join(lines)

@@ -1,0 +1,252 @@
+"""Warp-level access-pattern analysis.
+
+CUDA performance on sparse kernels is dominated by two structural effects:
+
+* **memory coalescing** -- a warp's 32 simultaneous loads are serviced in
+  32-byte DRAM transactions; 32 adjacent 4-byte words need 4 transactions,
+  32 scattered words need up to 32;
+* **intra-warp divergence** -- a warp retires at the speed of its slowest
+  lane, so a thread-per-vertex kernel over a skewed degree distribution
+  wastes most lanes.
+
+The functions here compute exact transaction and cycle counts from the very
+index arrays the kernels dereference, vectorised over all warps at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WARP_SIZE = 32
+TRANSACTION_BYTES = 32
+#: TITAN Xp L2 cache; random gathers within an array that fits here cost at
+#: most one DRAM fill per 32 B segment per kernel.
+L2_BYTES = 3 * 2**20
+
+
+def dtype_cycle_factor(dtype) -> int:
+    """Arithmetic/atomic issue-cost multiplier for a vector dtype.
+
+    Pascal consumer parts run fp64 at 1/32 the fp32 rate and implement fp64
+    atomics as CAS loops; int32/fp32 share the fast path.  This is the
+    compute side of the paper's Section 3.4 finding that the integer
+    forward-stage SpMV runs up to 2.7x faster than the floating-point one.
+    """
+    import numpy as np
+
+    dt = np.dtype(dtype)
+    if dt == np.float64:
+        return 6
+    if dt.kind == "f":
+        return 2
+    return 1
+
+
+def coalesced_transactions(n_elements: int, element_bytes: int = 4) -> int:
+    """Transactions for a fully coalesced sweep over ``n_elements`` words."""
+    if n_elements < 0:
+        raise ValueError(f"n_elements must be non-negative, got {n_elements}")
+    if n_elements == 0:
+        return 0
+    return -(-n_elements * element_bytes // TRANSACTION_BYTES)
+
+
+def gather_transactions(
+    indices: np.ndarray,
+    element_bytes: int = 4,
+    *,
+    warp_size: int = WARP_SIZE,
+) -> int:
+    """DRAM transactions for a warp-sequential gather at ``indices``.
+
+    Lanes ``k*32 .. k*32+31`` issue loads at ``indices[k*32 : k*32+32]``;
+    the memory system merges addresses falling in the same 32-byte segment.
+    This returns the exact number of distinct segments touched per warp,
+    summed over all warps -- the quantity nvprof reports as
+    ``gld_transactions`` for the access.
+    """
+    idx = np.asarray(indices)
+    if idx.size == 0:
+        return 0
+    segs = (idx.astype(np.int64) * element_bytes) // TRANSACTION_BYTES
+    pad = (-segs.size) % warp_size
+    if pad:
+        # Pad with each warp's own last segment so padding never adds a
+        # distinct segment.
+        segs = np.concatenate([segs, np.full(pad, segs[-1])])
+    per_warp = segs.reshape(-1, warp_size)
+    per_warp = np.sort(per_warp, axis=1)
+    distinct = 1 + np.count_nonzero(np.diff(per_warp, axis=1), axis=1)
+    return int(distinct.sum())
+
+
+def cached_gather_transactions(
+    indices: np.ndarray,
+    element_bytes: int,
+    array_words: int,
+    *,
+    l2_bytes: int = L2_BYTES,
+) -> int:
+    """Gather transactions with the L2 compulsory-miss bound applied.
+
+    A kernel's random gathers into an array of ``array_words`` elements
+    cannot miss DRAM more often than the array has 32 B segments while the
+    array fits in L2; past L2 capacity the bound relaxes linearly (a
+    fraction ``l2 / footprint`` of segments stays resident).
+    """
+    txn = gather_transactions(indices, element_bytes)
+    return _apply_l2_bound(txn, indices.size, element_bytes, array_words, l2_bytes)
+
+
+def capped_random_transactions(
+    n_accesses: int,
+    array_words: int,
+    element_bytes: int = 4,
+    *,
+    l2_bytes: int = L2_BYTES,
+) -> int:
+    """L2-bounded transaction count for ``n_accesses`` *uncoalesced* loads.
+
+    For access patterns where per-warp merging is unavailable (per-lane
+    serial streams, baseline models without index arrays): one transaction
+    per access, bounded by the compulsory-miss footprint as above.
+    """
+    if n_accesses < 0 or array_words < 0:
+        raise ValueError("counts must be non-negative")
+    return _apply_l2_bound(n_accesses, n_accesses, element_bytes, array_words, l2_bytes)
+
+
+def _apply_l2_bound(
+    txn: int, n_accesses: int, element_bytes: int, array_words: int, l2_bytes: int
+) -> int:
+    footprint_bytes = array_words * element_bytes
+    footprint_txn = -(-footprint_bytes // TRANSACTION_BYTES) if footprint_bytes else 0
+    if footprint_bytes <= l2_bytes:
+        return min(txn, footprint_txn)
+    resident = l2_bytes / footprint_bytes
+    bounded = footprint_txn + int((txn - footprint_txn) * (1.0 - resident))
+    return min(txn, max(bounded, footprint_txn)) if txn > footprint_txn else txn
+
+
+def scalar_gather_transactions(
+    n_accesses: int,
+    array_words: int,
+    element_bytes: int = 4,
+    *,
+    miss_rate: float = 0.25,
+    l2_bytes: int = L2_BYTES,
+) -> int:
+    """DRAM transactions for *per-lane serial* gathers (scalar kernels).
+
+    Thread-per-vertex kernels issue one uncoalesced load per scanned entry
+    from tens of thousands of concurrent lanes with no intra-warp merging;
+    once the array outgrows a fraction of L2 the scattered reuse window
+    collapses and a ``miss_rate`` share of the accesses goes to DRAM.  The
+    floor scales with the footprint/L2 pressure, so small working sets keep
+    their cache residency (as on real hardware).
+    """
+    if n_accesses < 0 or array_words < 0:
+        raise ValueError("counts must be non-negative")
+    capped = capped_random_transactions(
+        n_accesses, array_words, element_bytes, l2_bytes=l2_bytes
+    )
+    footprint = array_words * element_bytes
+    pressure = min(1.0, footprint / l2_bytes) if l2_bytes else 1.0
+    return max(capped, int(n_accesses * miss_rate * pressure))
+
+
+def max_warp_cycles(
+    work_per_thread: np.ndarray,
+    *,
+    cycles_per_unit: int = 1,
+    warp_size: int = WARP_SIZE,
+) -> int:
+    """Cycles of the single slowest warp -- the kernel's critical path.
+
+    A kernel cannot finish before its longest warp does, no matter how many
+    SMs sit idle; for a thread-per-column kernel hitting a 10^6-degree hub
+    this floor, not aggregate throughput, decides the runtime.
+    """
+    w = np.asarray(work_per_thread, dtype=np.int64)
+    if w.size == 0:
+        return 0
+    return int(w.max()) * cycles_per_unit
+
+
+def divergent_warp_cycles(
+    work_per_thread: np.ndarray,
+    *,
+    base_cycles: int = 0,
+    warp_size: int = WARP_SIZE,
+) -> int:
+    """Warp cycles for a thread-per-element kernel with uneven work.
+
+    A warp's cost is ``base_cycles + max(work of its 32 lanes)``: lanes with
+    less work sit masked while the longest lane finishes (this is the warp
+    divergence that ruins scCSC on irregular graphs).  Returns the total over
+    all warps.
+    """
+    w = np.asarray(work_per_thread, dtype=np.int64)
+    if w.size == 0:
+        return 0
+    if np.any(w < 0):
+        raise ValueError("work_per_thread must be non-negative")
+    pad = (-w.size) % warp_size
+    if pad:
+        w = np.concatenate([w, np.zeros(pad, dtype=np.int64)])
+    per_warp_max = w.reshape(-1, warp_size).max(axis=1)
+    n_warps = per_warp_max.size
+    return int(per_warp_max.sum()) + base_cycles * n_warps
+
+
+def uniform_warp_cycles(
+    n_threads: int,
+    cycles_per_thread: int,
+    *,
+    warp_size: int = WARP_SIZE,
+) -> int:
+    """Warp cycles for a kernel whose threads all do identical work."""
+    if n_threads < 0 or cycles_per_thread < 0:
+        raise ValueError("n_threads and cycles_per_thread must be non-negative")
+    n_warps = -(-n_threads // warp_size) if n_threads else 0
+    return n_warps * cycles_per_thread
+
+
+def atomic_conflict_cycles(
+    targets: np.ndarray,
+    *,
+    cycles_per_conflict: int = 2,
+    warp_size: int = WARP_SIZE,
+) -> int:
+    """Serialisation cycles for intra-warp atomic-add conflicts.
+
+    When several lanes of a warp atomically update the *same* address the
+    hardware serialises them; the cost per warp is proportional to the
+    maximum multiplicity of any target within the warp.  COOC's column-major
+    ordering makes this the dominant atomic cost on low-degree graphs.
+    """
+    t = np.asarray(targets)
+    if t.size == 0:
+        return 0
+    pad = (-t.size) % warp_size
+    if pad:
+        # Pad with unique sentinels so padding adds no conflicts.
+        sentinel = np.arange(pad, dtype=np.int64) + (np.int64(t.max()) + 1 if t.size else 0)
+        t = np.concatenate([t.astype(np.int64), sentinel])
+    per_warp = np.sort(t.reshape(-1, warp_size), axis=1)
+    # Run lengths: max consecutive equal entries per warp.
+    eq = np.diff(per_warp, axis=1) == 0
+    # max run of True per row, computed by cumulative trick
+    run = np.zeros(eq.shape[0], dtype=np.int64)
+    cur = np.zeros(eq.shape[0], dtype=np.int64)
+    for j in range(eq.shape[1]):  # warp_size-1 = 31 iterations, vectorised over warps
+        cur = np.where(eq[:, j], cur + 1, 0)
+        np.maximum(run, cur, out=run)
+    return int(run.sum()) * cycles_per_conflict
+
+
+def warp_count(n_threads: int, *, warp_size: int = WARP_SIZE) -> int:
+    """Number of warps needed for ``n_threads`` threads."""
+    if n_threads < 0:
+        raise ValueError(f"n_threads must be non-negative, got {n_threads}")
+    return -(-n_threads // warp_size)

@@ -1,0 +1,22 @@
+"""Graph substrate: the :class:`Graph` container, structural metrics, I/O
+and the synthetic generators that stand in for the paper's SuiteSparse/SNAP
+benchmark collection.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import (
+    DegreeStats,
+    bfs_depth,
+    degree_stats,
+    scale_free_metric,
+    classify_regularity,
+)
+
+__all__ = [
+    "Graph",
+    "DegreeStats",
+    "bfs_depth",
+    "degree_stats",
+    "scale_free_metric",
+    "classify_regularity",
+]

@@ -1,0 +1,45 @@
+"""Synthetic generators standing in for the paper's benchmark graphs.
+
+The paper evaluates on 33 matrices from the SuiteSparse Matrix Collection and
+the Stanford SNAP collection.  Those datasets are not redistributable inside
+this repository, so each *family* gets a generator that reproduces the
+structural properties the TurboBC experiments are sensitive to: the degree
+distribution (max / mean / std), the BFS-tree depth regime, and the
+scale-free metric regime (regular vs irregular).  The mapping from named
+benchmark graphs to generators lives in :mod:`repro.graphs.suite`.
+"""
+
+from repro.graphs.generators.mycielski import mycielski_graph
+from repro.graphs.generators.kronecker import kronecker_graph, rmat_edges
+from repro.graphs.generators.delaunay import delaunay_graph
+from repro.graphs.generators.smallworld import small_world_graph
+from repro.graphs.generators.road import road_network_graph
+from repro.graphs.generators.mawi import traffic_trace_graph
+from repro.graphs.generators.circuit import circuit_graph
+from repro.graphs.generators.jacobian import banded_jacobian_graph, g7jac_like, mark3jac_like
+from repro.graphs.generators.internet import internet_topology_graph
+from repro.graphs.generators.social import powerlaw_cluster_graph
+from repro.graphs.generators.kmer import kmer_graph
+from repro.graphs.generators.webgraph import webgraph, preferential_attachment_digraph
+from repro.graphs.generators.random_graphs import erdos_renyi_graph, random_regular_graph
+
+__all__ = [
+    "mycielski_graph",
+    "kronecker_graph",
+    "rmat_edges",
+    "delaunay_graph",
+    "small_world_graph",
+    "road_network_graph",
+    "traffic_trace_graph",
+    "circuit_graph",
+    "banded_jacobian_graph",
+    "mark3jac_like",
+    "g7jac_like",
+    "internet_topology_graph",
+    "powerlaw_cluster_graph",
+    "kmer_graph",
+    "webgraph",
+    "preferential_attachment_digraph",
+    "erdos_renyi_graph",
+    "random_regular_graph",
+]

@@ -1,0 +1,30 @@
+"""Delaunay triangulations -- the ``delaunay_n15`` / ``delaunay_n16`` family.
+
+The DIMACS10 ``delaunay_n{k}`` matrices are Delaunay triangulations of
+``2^k`` uniformly random points in the unit square: planar, near-constant
+degree (mean 6, tiny variance) and a deep BFS tree (depth ~ sqrt(n)) -- the
+archetypal *regular* graph where TurboBC-scCSC wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.util import resolve_rng
+
+
+def delaunay_graph(logn: int, *, seed=0, name: str = "") -> Graph:
+    """Delaunay triangulation of ``2^logn`` uniform random points."""
+    from scipy.spatial import Delaunay
+
+    n = 1 << logn
+    if n < 4:
+        raise ValueError(f"need at least 4 points for a triangulation, got n = {n}")
+    rng = resolve_rng(seed)
+    points = rng.random((n, 2))
+    tri = Delaunay(points)
+    simplices = tri.simplices  # (t, 3) vertex ids
+    src = np.concatenate([simplices[:, 0], simplices[:, 1], simplices[:, 2]])
+    dst = np.concatenate([simplices[:, 1], simplices[:, 2], simplices[:, 0]])
+    return Graph(src, dst, n, directed=False, name=name or f"delaunay_n{logn}")

@@ -1,0 +1,93 @@
+"""Sparse Jacobians -- the ``mark3jac*sc`` and ``g7jac*sc`` families.
+
+Both families come from economic-model Jacobians in SuiteSparse: square,
+directed, strongly banded matrices with a modest number of off-band entries.
+``mark3jac`` (out-degree mean 6, max 44) has a narrow band, so its BFS tree
+is deep and grows linearly with n (depth 42..82 across the paper's sizes);
+``g7jac`` (mean 14, max 153) has wide coupling blocks and a shallow tree
+(depth 15..18).  One parameterised banded generator covers both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.util import resolve_rng
+
+
+def banded_jacobian_graph(
+    n: int,
+    *,
+    band: int = 3,
+    long_range: float = 0.5,
+    long_span: int = 0,
+    dense_rows: int = 0,
+    dense_degree: int = 0,
+    seed=0,
+    name: str = "",
+) -> Graph:
+    """Directed banded matrix with off-band coupling entries.
+
+    Parameters
+    ----------
+    band:
+        Half-bandwidth: vertex ``i`` gets edges to ``i +- 1 .. i +- band``
+        (within range), giving mean in-band out-degree ~``2 * band``.
+    long_range:
+        Expected number of long-range (off-band) out-edges per vertex, each
+        landing uniformly within ``+- long_span`` of the source.
+    long_span:
+        Span of the long-range entries; defaults to ``n`` (anywhere).
+    dense_rows / dense_degree:
+        Number of near-dense coupling rows and their out-degree -- produces
+        the max-degree outliers of the SuiteSparse Jacobians.
+    """
+    if n < 4:
+        raise ValueError(f"need n >= 4, got {n}")
+    if band < 1:
+        raise ValueError(f"band must be >= 1, got {band}")
+    rng = resolve_rng(seed)
+    long_span = long_span or n
+    base = np.arange(n, dtype=np.int64)
+    srcs, dsts = [], []
+    for off in range(1, band + 1):
+        srcs.extend([base[:-off], base[off:]])
+        dsts.extend([base[off:], base[:-off]])
+    # Long-range couplings: Poisson-thinned uniform offsets.
+    n_long = rng.poisson(long_range * n)
+    if n_long:
+        s = rng.integers(0, n, size=n_long)
+        offs = rng.integers(-long_span, long_span + 1, size=n_long)
+        d = np.clip(s + offs, 0, n - 1)
+        srcs.append(s.astype(np.int64))
+        dsts.append(d.astype(np.int64))
+    # Dense coupling rows (max-degree outliers).
+    for r in range(min(dense_rows, n)):
+        row = int(rng.integers(0, n))
+        targets = rng.choice(n, size=min(dense_degree, n), replace=False)
+        srcs.append(np.full(targets.size, row, dtype=np.int64))
+        dsts.append(targets.astype(np.int64))
+    return Graph(
+        np.concatenate(srcs), np.concatenate(dsts), n, directed=True,
+        name=name or f"banded-jacobian-n{n}",
+    )
+
+
+def mark3jac_like(n: int, *, seed=0, name: str = "") -> Graph:
+    """mark3jac-shaped graph: narrow band, deep BFS, out-degree ~6, max ~44."""
+    return banded_jacobian_graph(
+        n, band=3, long_range=0.25, long_span=max(8, n // 40),
+        dense_rows=max(2, n // 4000), dense_degree=44, seed=seed,
+        name=name or f"mark3jac-like-n{n}",
+    )
+
+
+def g7jac_like(n: int, *, seed=0, name: str = "") -> Graph:
+    """g7jac-shaped graph: wide band + global couplings, shallow BFS,
+    out-degree ~14, max ~150."""
+    return banded_jacobian_graph(
+        n, band=5, long_range=4.0, long_span=0,
+        dense_rows=max(4, n // 1000), dense_degree=153, seed=seed,
+        name=name or f"g7jac-like-n{n}",
+    )

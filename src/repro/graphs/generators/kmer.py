@@ -1,0 +1,58 @@
+"""k-mer / de Bruijn graphs -- the GenBank ``kmer_V1r`` matrix (Table 4).
+
+kmer graphs are assembly graphs over DNA k-mers: undirected, degree bounded
+by 8 (4 possible extensions per side), mean degree ~2, and enormous BFS
+depth (324 on kmer_V1r) because genomes are mostly long unbranched paths.
+The generator strings vertices into long chains (contigs) and adds sparse
+branch edges between chain interiors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.util import resolve_rng
+
+
+def kmer_graph(
+    n: int,
+    *,
+    mean_contig: int = 40,
+    branch_fraction: float = 0.04,
+    seed=0,
+    name: str = "",
+) -> Graph:
+    """de Bruijn-like assembly graph on ``n`` k-mer vertices.
+
+    Vertices form chains of geometric mean length ``mean_contig`` (contigs);
+    each chain head attaches to a random earlier vertex (repeat joins), and
+    ``branch_fraction * n`` extra branch edges connect random vertex pairs at
+    short id range (bubbles/tips).  Degrees stay <= ~8.
+    """
+    if n < 8:
+        raise ValueError(f"need n >= 8, got {n}")
+    if mean_contig < 2:
+        raise ValueError(f"mean_contig must be >= 2, got {mean_contig}")
+    rng = resolve_rng(seed)
+    ids = np.arange(n, dtype=np.int64)
+    breaks = rng.random(n) < 1.0 / mean_contig
+    breaks[0] = True
+    src = np.roll(ids, 1)
+    src[0] = 0
+    # Chain heads attach to a nearby earlier vertex (repeat joins are local
+    # in assembly order); the bounded window keeps degrees <= ~8 as in real
+    # k-mer graphs, where a vertex has at most 4 extensions per side.
+    head_ids = ids[breaks]
+    window = np.minimum(5 * mean_contig, np.maximum(head_ids, 1))
+    offsets = 1 + (rng.random(head_ids.size) * window).astype(np.int64)
+    joins = np.maximum(head_ids - offsets, 0)
+    src[breaks] = joins
+    n_branch = int(branch_fraction * n)
+    if n_branch:
+        s = rng.integers(0, n, size=n_branch)
+        offs = rng.integers(2, max(3, n // 50), size=n_branch)
+        d = (s + offs) % n  # wrap: no degree pile-up at the last k-mer
+        src = np.concatenate([src, s.astype(np.int64)])
+        ids = np.concatenate([ids, d.astype(np.int64)])
+    return Graph(src, ids, n, directed=False, name=name or f"kmer-like-n{n}")

@@ -1,0 +1,69 @@
+"""Kronecker / R-MAT graphs -- the ``kron_g500-logn*`` irregular family.
+
+SuiteSparse's ``kron_g500-logn18..21`` are Graph500 R-MAT graphs with
+``n = 2^logn`` and the standard seed probabilities ``(A, B, C) = (0.57,
+0.19, 0.19)``.  R-MAT recursively drops each edge into a quadrant of the
+adjacency matrix, yielding the heavy-tailed, low-diameter structure (BFS
+depth ~6) that drives TurboBC's veCSC kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.util import resolve_rng
+
+GRAPH500_PROBS = (0.57, 0.19, 0.19)
+
+
+def rmat_edges(
+    logn: int,
+    n_edges: int,
+    *,
+    probs: tuple[float, float, float] = GRAPH500_PROBS,
+    noise: float = 0.1,
+    seed=0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n_edges`` R-MAT edge endpoints over ``2^logn`` vertices.
+
+    ``noise`` jitters the quadrant probabilities per level (the Graph500
+    "smoothing" that avoids exactly self-similar degree plateaus).
+    """
+    a, b, c = probs
+    if a + b + c >= 1.0:
+        raise ValueError(f"quadrant probabilities must sum below 1, got {probs}")
+    rng = resolve_rng(seed)
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    for level in range(logn):
+        bit = np.int64(1) << np.int64(logn - 1 - level)
+        jitter = 1.0 + noise * (rng.random(4) - 0.5)
+        aa, bb, cc = a * jitter[0], b * jitter[1], c * jitter[2]
+        norm = aa + bb + cc + (1 - a - b - c) * jitter[3]
+        aa, bb, cc = aa / norm, bb / norm, cc / norm
+        u = rng.random(n_edges)
+        right = u >= aa + cc  # quadrants B and D set the dst bit
+        lower = ((u >= aa) & (u < aa + cc)) | (u >= aa + cc + bb)  # C and D set src bit
+        src += bit * lower
+        dst += bit * right
+    return src, dst
+
+
+def kronecker_graph(
+    logn: int,
+    *,
+    edge_factor: int = 16,
+    directed: bool = False,
+    seed=0,
+    name: str = "",
+) -> Graph:
+    """Graph500-style Kronecker graph on ``2^logn`` vertices.
+
+    ``edge_factor`` is the number of *sampled* edges per vertex; duplicate
+    collapse and (for undirected graphs) symmetrisation make the final nnz
+    land near the SuiteSparse ``kron_g500`` densities.
+    """
+    n = 1 << logn
+    src, dst = rmat_edges(logn, edge_factor * n, seed=seed)
+    return Graph(src, dst, n, directed=directed, name=name or f"kron-logn{logn}")

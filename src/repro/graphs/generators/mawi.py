@@ -1,0 +1,77 @@
+"""MAWI traffic traces -- ``mawi_201512012345`` / ``...20000`` / ``...20030``.
+
+The MAWI graphs are packet traces from a trans-Pacific backbone link: one or
+a few monitor-side hosts appear in nearly every flow, producing a vertex of
+degree ~0.9n, while nearly everything else is a degree-1/2 leaf (mean degree
+2, std in the thousands).  Despite the extreme hub these behave as *regular*
+graphs under the scf metric (the hub's neighbours are all leaves), and the
+paper finds the thread-per-edge scCOOC kernel fastest on them.
+
+The generator builds a tiny hub core (hub degrees geometrically decreasing
+from ``hub_fraction * n``), attaches leaves to hubs with a degree-biased
+choice, and strings a fraction of the leaves into short chains so the BFS
+depth lands at ~10 as in the traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.util import resolve_rng
+
+
+def traffic_trace_graph(
+    n: int,
+    *,
+    n_hubs: int = 4,
+    hub_fraction: float = 0.85,
+    chain_fraction: float = 0.3,
+    seed=0,
+    name: str = "",
+) -> Graph:
+    """Hub-dominated traffic-trace graph on ``n`` vertices.
+
+    ``hub_fraction`` sets the largest hub's degree as a fraction of ``n``;
+    subsequent hubs halve.  ``chain_fraction`` of the leaves are linked into
+    chains of geometric length to create the depth-~10 tail observed in the
+    MAWI traces.
+    """
+    if n < 16:
+        raise ValueError(f"traffic trace generator needs n >= 16, got {n}")
+    if not 0.0 < hub_fraction < 1.0:
+        raise ValueError(f"hub_fraction must lie in (0, 1), got {hub_fraction}")
+    rng = resolve_rng(seed)
+    n_hubs = max(1, min(n_hubs, 8))
+    # Split the non-hub vertices: chained vertices form flow paths hanging
+    # off the hubs (they deepen the BFS tree); the rest attach directly.
+    n_chain = int(chain_fraction * (n - n_hubs))
+    chained = np.arange(n_hubs, n_hubs + n_chain, dtype=np.int64)
+    direct = np.arange(n_hubs + n_chain, n, dtype=np.int64)
+    weights = hub_fraction / 2.0 ** np.arange(n_hubs)
+    weights /= weights.sum()
+    src = []
+    dst = []
+    if direct.size:
+        hub_of_leaf = rng.choice(n_hubs, size=direct.size, p=weights).astype(np.int64)
+        src.append(hub_of_leaf)
+        dst.append(direct)
+    # Hubs talk to each other (the monitors sit on one link).
+    if n_hubs > 1:
+        hub_pairs = np.triu_indices(n_hubs, k=1)
+        src.append(hub_pairs[0].astype(np.int64))
+        dst.append(hub_pairs[1].astype(np.int64))
+    if n_chain:
+        # Chains of length <= 9 (a break at least every 9 vertices, plus
+        # random early breaks); only the head touches a hub, so the BFS tree
+        # gains the depth-~10 tail seen in the traces.
+        breaks = (np.arange(n_chain) % 9 == 0) | (rng.random(n_chain) < 1 / 16)
+        chain_src = chained - 1
+        heads = chained[breaks]
+        chain_src[breaks] = rng.choice(n_hubs, size=heads.size, p=weights)
+        src.append(chain_src)
+        dst.append(chained)
+    return Graph(
+        np.concatenate(src), np.concatenate(dst), n, directed=False,
+        name=name or "mawi-trace",
+    )

@@ -1,0 +1,46 @@
+"""Generic random graphs used by the test suite and the ablation sweeps
+(not tied to a particular benchmark matrix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.util import resolve_rng
+
+
+def erdos_renyi_graph(
+    n: int, p: float, *, directed: bool = False, seed=0, name: str = ""
+) -> Graph:
+    """G(n, p) sampled by binomial edge count + uniform endpoint pairs.
+
+    Exact G(n, p) enumeration is O(n^2); for sparse p this samples
+    ``Binomial(n^2, p)`` endpoint pairs uniformly, which matches G(n, p) up
+    to duplicate collapse and is indistinguishable for generator purposes.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    rng = resolve_rng(seed)
+    n_pairs = rng.binomial(n * n, p) if n else 0
+    src = rng.integers(0, n, size=n_pairs) if n_pairs else np.empty(0, dtype=np.int64)
+    dst = rng.integers(0, n, size=n_pairs) if n_pairs else np.empty(0, dtype=np.int64)
+    return Graph(src, dst, n, directed=directed, name=name or f"gnp-n{n}")
+
+
+def random_regular_graph(n: int, d: int, *, seed=0, name: str = "") -> Graph:
+    """Approximate random d-regular graph via the configuration model.
+
+    Stubs are paired uniformly; multi-edges/self-loops collapse during
+    canonicalisation, so degrees are ``<= d`` with mean slightly below ``d``
+    -- fine for ablation sweeps, not a uniform regular-graph sampler.
+    """
+    if d < 0 or d >= n:
+        raise ValueError(f"need 0 <= d < n, got d = {d}, n = {n}")
+    if (n * d) % 2:
+        raise ValueError(f"n * d must be even, got n = {n}, d = {d}")
+    rng = resolve_rng(seed)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    rng.shuffle(stubs)
+    half = stubs.size // 2
+    return Graph(stubs[:half], stubs[half:], n, directed=False, name=name or f"reg-n{n}-d{d}")

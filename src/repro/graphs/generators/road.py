@@ -1,0 +1,81 @@
+"""Road networks -- the ``luxembourg_osm`` family.
+
+OpenStreetMap road graphs are almost everywhere degree-2 (road segments are
+chains of waypoints) with sparse intersections, giving a tiny mean degree
+(~2.1), max degree ~6, and an *extremely* deep BFS tree (depth 1035 on
+luxembourg_osm).  Deep trees are the worst case for a level-synchronous GPU
+BC: every level pays kernel-launch overhead for a near-empty frontier, which
+is why the paper measures only 5 MTEPs there.
+
+The generator builds a 2D lattice of intersections, thins it, then
+subdivides every remaining road into a chain of waypoints -- reproducing the
+degree profile and the depth ~ O(sqrt(n) * s) scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.util import resolve_rng
+
+
+def _lattice_edges(rows: int, cols: int) -> tuple[np.ndarray, np.ndarray]:
+    """Undirected 4-neighbour lattice edges over ``rows x cols`` vertices."""
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    down = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    edges = np.concatenate([right, down])
+    return edges[:, 0], edges[:, 1]
+
+
+def subdivide_edges(
+    src: np.ndarray, dst: np.ndarray, n: int, segments: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Replace every edge by a path of ``segments`` edges.
+
+    The ``segments - 1`` interior waypoints of edge ``k`` get the fresh ids
+    ``n + k * (segments - 1) ..``; returns the expanded edge arrays and the
+    new vertex count.
+    """
+    if segments < 1:
+        raise ValueError(f"segments must be >= 1, got {segments}")
+    if segments == 1:
+        return src, dst, n
+    e = src.size
+    inner = segments - 1
+    way = (n + np.arange(e * inner, dtype=np.int64)).reshape(e, inner)
+    chain = np.concatenate([src[:, None], way, dst[:, None]], axis=1)
+    return chain[:, :-1].ravel(), chain[:, 1:].ravel(), n + e * inner
+
+
+def road_network_graph(
+    rows: int,
+    cols: int,
+    *,
+    segments: int = 6,
+    keep_prob: float = 0.75,
+    seed=0,
+    name: str = "",
+) -> Graph:
+    """Road network: thinned lattice of intersections + subdivided roads.
+
+    ``keep_prob`` thins the lattice (always preserving a spanning backbone:
+    the first row and first column are kept) and ``segments`` controls the
+    waypoint chains, hence the BFS depth.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError(f"need at least a 2x2 lattice, got {rows}x{cols}")
+    if not 0.0 < keep_prob <= 1.0:
+        raise ValueError(f"keep_prob must lie in (0, 1], got {keep_prob}")
+    rng = resolve_rng(seed)
+    src, dst = _lattice_edges(rows, cols)
+    # Comb backbone: row 0 plus every vertical edge is always kept, so every
+    # vertex has a path to row 0 no matter the thinning (thinning therefore
+    # only applies to horizontal edges below row 0).
+    vertical = (dst - src) == cols
+    on_backbone = vertical | ((src < cols) & (dst < cols))
+    keep = on_backbone | (rng.random(src.size) < keep_prob)
+    src, dst = src[keep], dst[keep]
+    src, dst, n = subdivide_edges(src, dst, rows * cols, segments)
+    return Graph(src, dst, n, directed=False, name=name or "road-osm")

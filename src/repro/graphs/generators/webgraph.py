@@ -1,0 +1,102 @@
+"""Web crawls and social firehoses -- ``it-2004``, ``sk-2005``, ``GAP-twitter``.
+
+The Table-4 big graphs are directed power-law graphs of two flavours:
+
+* **web crawls** (it-2004, sk-2005): strong *locality* -- pages mostly link
+  within their host, so ids (crawl order) are correlated; mean out-degree
+  ~28-39, max O(10^4), BFS depth ~50;
+* **twitter** (GAP-twitter): no locality, extreme hubs (max out-degree
+  ~3M = 5% of n), mean 24, depth ~15.
+
+``webgraph`` uses a copying model with id-locality; the twitter flavour is a
+degree-biased Chung-Lu digraph via :func:`preferential_attachment_digraph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.util import powerlaw_degrees, resolve_rng
+
+
+def webgraph(
+    n: int,
+    *,
+    mean_out_degree: float = 20.0,
+    locality_window: int | None = None,
+    local_fraction: float = 0.8,
+    seed=0,
+    name: str = "",
+) -> Graph:
+    """Copying-model web crawl on ``n`` pages.
+
+    Each page emits ``Poisson(mean_out_degree)`` links; a ``local_fraction``
+    of them land within ``locality_window`` ids (same host), the rest go to a
+    degree-skewed global target (popular pages).  A back-chain guarantees
+    reachability along crawl order.
+    """
+    if n < 32:
+        raise ValueError(f"need n >= 32, got {n}")
+    rng = resolve_rng(seed)
+    if locality_window is None:
+        locality_window = max(16, n // 200)
+    out_deg = rng.poisson(mean_out_degree, size=n)
+    total = int(out_deg.sum())
+    src = np.repeat(np.arange(n, dtype=np.int64), out_deg)
+    local = rng.random(total) < local_fraction
+    dst = np.empty(total, dtype=np.int64)
+    n_local = int(local.sum())
+    offs = rng.integers(-locality_window, locality_window + 1, size=n_local)
+    dst[local] = np.clip(src[local] + offs, 0, n - 1)
+    # Global links point at *already-crawled* popular pages: a quartic
+    # transform of a uniform over [0, src) prefers small (early, popular)
+    # ids.  Pointing backwards in crawl order is what keeps the forward BFS
+    # depth at ~n / locality_window, matching the deep trees of it-2004 and
+    # sk-2005.
+    u = rng.random(total - n_local)
+    dst[~local] = (u ** 4 * src[~local]).astype(np.int64)
+    chain = np.arange(n - 1, dtype=np.int64)
+    return Graph(
+        np.concatenate([src, chain + 1]),
+        np.concatenate([dst, chain]),
+        n,
+        directed=True,
+        name=name or f"webgraph-n{n}",
+    )
+
+
+def preferential_attachment_digraph(
+    n: int,
+    *,
+    mean_degree: float = 24.0,
+    exponent: float = 1.9,
+    max_degree: int | None = None,
+    seed=0,
+    name: str = "",
+) -> Graph:
+    """Twitter-flavoured digraph: independent power-law in/out weights.
+
+    ``max_degree`` defaults to ``n // 20`` -- GAP-twitter's top account is
+    followed by ~5% of the graph.
+    """
+    if n < 32:
+        raise ValueError(f"need n >= 32, got {n}")
+    rng = resolve_rng(seed)
+    if max_degree is None:
+        max_degree = max(16, n // 20)
+    w_out = powerlaw_degrees(n, exponent=exponent, d_min=1, d_max=max_degree, rng=rng)
+    w_in = powerlaw_degrees(n, exponent=exponent, d_min=1, d_max=max_degree, rng=rng)
+    n_edges = int(mean_degree * n)
+    p_out = w_out / w_out.sum()
+    p_in = w_in / w_in.sum()
+    src = rng.choice(n, size=n_edges, p=p_out).astype(np.int64)
+    dst = rng.choice(n, size=n_edges, p=p_in).astype(np.int64)
+    chain = np.arange(n - 1, dtype=np.int64)
+    return Graph(
+        np.concatenate([src, chain]),
+        np.concatenate([dst, chain + 1]),
+        n,
+        directed=True,
+        name=name or f"pa-digraph-n{n}",
+    )

@@ -1,0 +1,126 @@
+"""Structural graph metrics used by the paper's evaluation.
+
+Three metrics drive the experiments:
+
+* the degree statistics ``max / mu / sigma`` reported per graph in
+  Tables 1--4 (out-degree for directed graphs);
+* the BFS-tree depth ``d`` from the experiment's source vertex, which the
+  paper correlates with MTEPs (deep trees amortise kernel launches badly);
+* the scale-free metric ``scf`` (after Li et al.) that separates *regular*
+  graphs (scalar kernels win) from *irregular* ones (the warp-per-vertex
+  veCSC kernel wins).
+
+The paper prints ``scf`` as a dimensionless number in ``[1, 224]`` for
+regular and ``[5846, 651837]`` for irregular graphs.  The raw Li et al.
+quantity ``s(G) = sum over edges (u,v) of degree(u) * degree(v)`` is not
+dimensionless and cannot produce those magnitudes, so the paper is using an
+(unstated) normalisation.  We operationalise it as
+
+    ``scf = s(G) / sum_u degree(u)^2``
+
+which equals the degree-biased expected neighbour degree -- dimensionless,
+monotone in degree skew, and it reproduces the paper's regular/irregular
+separation and the order of magnitude of most reported rows (e.g. ~2 for
+road networks and mawi traces, O(10) for mark3jac/delaunay, O(10^3..10^4)
+for kron and mycielski graphs).  The deviation is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+#: Classification threshold on ``scf``: the paper's regular graphs sit in
+#: [1, 224] and irregular ones in [5846, 651837].  Under our normalisation
+#: the regular families measure <= ~150 and the irregular families (kron,
+#: mycielski) >= ~300 at the repro scales, so the split sits at 250.  The
+#: metric grows with instance size for the irregular families, so the gap
+#: only widens at the paper's scales.
+SCF_IRREGULAR_THRESHOLD = 250.0
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """The ``degree (max / mu / sigma)`` triple of the paper's tables."""
+
+    max: int
+    mean: float
+    std: float
+
+    def __str__(self) -> str:
+        return f"{self.max}/{self.mean:.0f}/{self.std:.0f}"
+
+
+def degree_stats(graph: Graph) -> DegreeStats:
+    """Degree statistics (out-degree for directed graphs, as in the paper)."""
+    deg = graph.out_degree()
+    if deg.size == 0:
+        return DegreeStats(0, 0.0, 0.0)
+    return DegreeStats(int(deg.max()), float(deg.mean()), float(deg.std()))
+
+
+def scale_free_metric(graph: Graph) -> float:
+    """The scf metric: degree-biased expected neighbour degree (see module doc).
+
+    Uses out-degrees for directed graphs, per the paper's Equation 5.
+    """
+    deg = graph.out_degree().astype(np.float64)
+    denom = float(np.sum(deg * deg))
+    if denom == 0.0:
+        return 0.0
+    s = float(np.sum(deg[graph.src] * deg[graph.dst]))
+    return s / denom
+
+
+def classify_regularity(graph: Graph, *, threshold: float = SCF_IRREGULAR_THRESHOLD) -> str:
+    """Classify a graph as ``"regular"`` or ``"irregular"`` by its scf value."""
+    return "irregular" if scale_free_metric(graph) > threshold else "regular"
+
+
+def bfs_levels(graph: Graph, source: int) -> np.ndarray:
+    """Level of every vertex in the BFS tree rooted at ``source``.
+
+    Unreachable vertices get level ``-1``.  This is a plain CPU BFS used for
+    metrics and test oracles, independent of the TurboBC forward stage.
+    """
+    if not 0 <= source < graph.n:
+        raise ValueError(f"source {source} out of range for n = {graph.n}")
+    csc = graph.to_csc()
+    # BFS over *out*-edges: vertex u's out-neighbours are the columns whose
+    # CSC column contains u; scanning columns is O(n) per level, so instead
+    # walk the CSR-like structure derived from reversing roles: out-neighbours
+    # of u are dst[k] for the nnz positions k where src[k] == u.  Build a
+    # one-off grouping of nnz by src.
+    order = np.argsort(graph.src, kind="stable")
+    dst_by_src = graph.dst[order]
+    counts = np.bincount(graph.src, minlength=graph.n)
+    starts = np.zeros(graph.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+
+    level = np.full(graph.n, -1, dtype=np.int64)
+    level[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        # gather all out-neighbours of the frontier
+        segs = [dst_by_src[starts[u] : starts[u + 1]] for u in frontier.tolist()]
+        if segs:
+            nbrs = np.concatenate(segs) if len(segs) > 1 else segs[0]
+        else:
+            nbrs = np.empty(0, dtype=np.int64)
+        nbrs = np.unique(nbrs)
+        fresh = nbrs[level[nbrs] < 0]
+        level[fresh] = depth
+        frontier = fresh
+    return level
+
+
+def bfs_depth(graph: Graph, source: int = 0) -> int:
+    """Height of the BFS tree rooted at ``source`` (the paper's ``d``)."""
+    level = bfs_levels(graph, source)
+    reach = level[level >= 0]
+    return int(reach.max()) if reach.size else 0

@@ -1,0 +1,344 @@
+"""The paper's 33-graph benchmark suite.
+
+Every graph of Tables 1-4 is registered here with (a) the row the paper
+reports -- sizes, degree profile, BFS depth, scf, runtime, MTEPs and
+speedups -- and (b) a *repro-scale* synthetic stand-in from
+:mod:`repro.graphs.generators` that reproduces the family's structural
+regime.  Where the original is small enough, the stand-in is generated at
+the full published vertex count (the mark3jac/g7jac/delaunay/road/internet/
+smallworld/ASIC-100ks rows); the giant instances (mawi, kron, mycielski
+17-19, Table 4) are scaled down for laptop runtimes, with the paper-scale
+``(n, m)`` retained for the memory-footprint experiments, which are purely
+arithmetic.
+
+Raw numbers are transcribed from Tables 1-5 of the paper.  ``None`` marks
+values a table does not report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.circuit import circuit_graph
+from repro.graphs.generators.delaunay import delaunay_graph
+from repro.graphs.generators.internet import internet_topology_graph
+from repro.graphs.generators.jacobian import banded_jacobian_graph
+from repro.graphs.generators.kmer import kmer_graph
+from repro.graphs.generators.kronecker import kronecker_graph
+from repro.graphs.generators.mawi import traffic_trace_graph
+from repro.graphs.generators.mycielski import mycielski_graph
+from repro.graphs.generators.road import road_network_graph
+from repro.graphs.generators.smallworld import small_world_graph
+from repro.graphs.generators.social import powerlaw_cluster_graph
+from repro.graphs.generators.webgraph import preferential_attachment_digraph, webgraph
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Tables 1-4 (BC/vertex experiments)."""
+
+    n: int                      # vertices (exact, not thousands)
+    m: int                      # adjacency non-zeros
+    degree_max: int
+    degree_mean: float
+    degree_std: float
+    depth: int                  # BFS-tree depth d
+    scf: float                  # the paper's scale-free metric value
+    runtime_ms: float | None    # TurboBC runtime
+    mteps: float | None
+    speedup_sequential: float | None
+    speedup_gunrock: float | None   # None = gunrock OOM
+    speedup_ligra: float | None
+
+    @property
+    def gunrock_oom(self) -> bool:
+        return self.speedup_gunrock is None
+
+
+@dataclass(frozen=True)
+class BenchmarkGraph:
+    """A named benchmark graph: paper row + repro-scale generator."""
+
+    name: str
+    table: int
+    directed: bool
+    algorithm: str              # TurboBC kernel the paper found best
+    paper: PaperRow
+    factory: Callable[[], Graph] = field(compare=False)
+    source: int = 0             # BFS source for the BC/vertex experiment
+    full_scale: bool = False    # repro instance matches the paper's n
+    notes: str = ""
+
+    def build(self) -> Graph:
+        """Generate the repro-scale instance (cached per name)."""
+        if self.name not in _GRAPH_CACHE:
+            g = self.factory()
+            g.name = self.name
+            _GRAPH_CACHE[self.name] = g
+        return _GRAPH_CACHE[self.name]
+
+
+_GRAPH_CACHE: dict[str, Graph] = {}
+
+
+def clear_graph_cache() -> None:
+    """Drop cached benchmark graphs (tests use this to bound memory)."""
+    _GRAPH_CACHE.clear()
+
+
+def _mark3jac(n: int):
+    return lambda: banded_jacobian_graph(
+        n, band=3, long_range=0.25, long_span=500,
+        dense_rows=max(2, n // 4000), dense_degree=44, seed=n,
+    )
+
+
+def _g7jac(n: int):
+    return lambda: banded_jacobian_graph(
+        n, band=6, long_range=1.5, long_span=max(64, n // 60),
+        dense_rows=max(4, n // 1000), dense_degree=153, seed=n,
+    )
+
+
+SUITE: dict[str, BenchmarkGraph] = {}
+
+
+def _register(entry: BenchmarkGraph) -> None:
+    if entry.name in SUITE:
+        raise ValueError(f"duplicate suite entry {entry.name!r}")
+    SUITE[entry.name] = entry
+
+
+# ---------------------------------------------------------------------------
+# Table 1 -- regular graphs, TurboBC-scCSC
+# ---------------------------------------------------------------------------
+
+for _name, _n, _m, _d, _rt, _mt, _sq, _gx, _lx in [
+    ("mark3jac060sc", 28_000, 171_000, 42, 2.1, 82, 11.5, 2.7, 2.2),
+    ("mark3jac080sc", 37_000, 228_000, 52, 2.8, 82, 9.8, 2.5, 1.5),
+    ("mark3jac100sc", 46_000, 285_000, 62, 3.5, 82, 11.4, 2.4, 1.5),
+    ("mark3jac120sc", 55_000, 343_000, 72, 4.4, 78, 12.9, 2.2, 1.6),
+]:
+    _register(BenchmarkGraph(
+        name=_name, table=1, directed=True, algorithm="sccsc",
+        paper=PaperRow(_n, _m, 44, 6, 4, _d, 10, _rt, _mt, _sq, _gx, _lx),
+        factory=_mark3jac(_n), full_scale=True,
+        notes="banded economics Jacobian; generated at full n",
+    ))
+
+for _name, _n, _m, _d, _scf, _rt, _mt, _sq, _gx, _lx in [
+    ("g7jac140sc", 42_000, 566_000, 15, 197, 1.2, 472, 12.5, 1.9, 2.3),
+    ("g7jac160sc", 47_000, 657_000, 16, 208, 1.4, 469, 13.3, 1.8, 2.6),
+]:
+    _register(BenchmarkGraph(
+        name=_name, table=1, directed=True, algorithm="sccsc",
+        paper=PaperRow(_n, _m, 153, 14, 24, _d, _scf, _rt, _mt, _sq, _gx, _lx),
+        factory=_g7jac(_n), full_scale=True,
+        notes="wide-band Jacobian with coupling rows; generated at full n",
+    ))
+
+_register(BenchmarkGraph(
+    name="delaunay_n15", table=1, directed=False, algorithm="sccsc",
+    paper=PaperRow(33_000, 197_000, 18, 6, 1, 84, 13, 4.7, 42, 14.4, 2.4, 1.2),
+    factory=lambda: delaunay_graph(15, seed=15), full_scale=True,
+    notes="Delaunay triangulation of 2^15 random points (exact construction)",
+))
+_register(BenchmarkGraph(
+    name="delaunay_n16", table=1, directed=False, algorithm="sccsc",
+    paper=PaperRow(66_000, 393_000, 17, 6, 1, 110, 14, 7.1, 55, 25.3, 2.2, 1.9),
+    factory=lambda: delaunay_graph(16, seed=16), full_scale=True,
+    notes="Delaunay triangulation of 2^16 random points (exact construction)",
+))
+_register(BenchmarkGraph(
+    name="luxembourg_osm", table=1, directed=False, algorithm="sccsc",
+    paper=PaperRow(115_000, 239_000, 6, 2, 0, 1035, 2, 50.0, 5, 24.7, 2.3, 1.0),
+    factory=lambda: road_network_graph(134, 134, segments=4, keep_prob=0.8, seed=7),
+    full_scale=True,
+    notes="road network: thinned lattice with subdivided roads, depth ~1000",
+))
+_register(BenchmarkGraph(
+    name="internet", table=1, directed=True, algorithm="sccsc",
+    paper=PaperRow(125_000, 207_000, 138, 2, 4, 21, 1, 1.5, 138, 37.8, 1.9, 2.0),
+    factory=lambda: internet_topology_graph(125_000, seed=9), full_scale=True,
+    notes="router topology via mixed preferential attachment",
+))
+
+# ---------------------------------------------------------------------------
+# Table 2 -- regular graphs, TurboBC-scCOOC
+# ---------------------------------------------------------------------------
+
+for _name, _n, _m, _d, _scf, _rt, _mt, _sq, _gx, _lx in [
+    ("g7jac180sc", 53_000, 747_000, 17, 217, 1.6, 467, 13.9, 1.7, 1.7),
+    ("g7jac200sc", 59_000, 838_000, 18, 224, 1.7, 493, 14.6, 1.7, 1.8),
+]:
+    _register(BenchmarkGraph(
+        name=_name, table=2, directed=True, algorithm="sccooc",
+        paper=PaperRow(_n, _m, 153, 14, 25, _d, _scf, _rt, _mt, _sq, _gx, _lx),
+        factory=_g7jac(_n), full_scale=True,
+        notes="wide-band Jacobian; paper found scCOOC best at these sizes",
+    ))
+
+_register(BenchmarkGraph(
+    name="mark3jac140sc", table=2, directed=True, algorithm="sccooc",
+    paper=PaperRow(64_000, 400_000, 44, 6, 4, 82, 10, 5.3, 76, 13.2, 2.1, 1.2),
+    factory=_mark3jac(64_000), full_scale=True,
+))
+_register(BenchmarkGraph(
+    name="smallworld", table=2, directed=False, algorithm="sccooc",
+    paper=PaperRow(100_000, 1_000_000, 17, 10, 1, 9, 61, 1.0, 1000, 27.6, 1.5, 1.5),
+    factory=lambda: small_world_graph(100_000, k=10, rewire_p=0.08, seed=11),
+    full_scale=True,
+    notes="Watts-Strogatz ring lattice (DIMACS10 smallworld)",
+))
+_register(BenchmarkGraph(
+    name="ASIC_100ks", table=2, directed=True, algorithm="sccooc",
+    paper=PaperRow(99_000, 579_000, 206, 6, 6, 33, 3, 2.7, 215, 25.7, 1.6, 1.7),
+    factory=lambda: circuit_graph(99_000, local_degree=6, global_wire_fraction=0.008,
+                                  seed=13),
+    full_scale=True,
+))
+_register(BenchmarkGraph(
+    name="ASIC_680ks", table=2, directed=True, algorithm="sccooc",
+    paper=PaperRow(683_000, 2_329_000, 210, 3, 4, 31, 2, 6.6, 353, 43.9, 1.0, 1.5),
+    factory=lambda: circuit_graph(683_000, local_degree=3, global_wire_fraction=0.03,
+                                  seed=17),
+    full_scale=True,
+))
+_register(BenchmarkGraph(
+    name="com-Youtube", table=2, directed=False, algorithm="sccooc",
+    paper=PaperRow(1_135_000, 5_975_000, 28_754, 5, 51, 14, 8, 9.7, 616, 48.4, 1.0, 2.8),
+    factory=lambda: powerlaw_cluster_graph(400_000, mean_degree=5.3, seed=19),
+    notes="SNAP social network; scaled to n=400k (paper n=1.1M)",
+))
+for _name, _n, _m, _dmax, _dstd, _d, _rt, _mt, _sq, _gx, _lx, _rn in [
+    ("mawi_201512012345", 18_571_000, 38_040_000, 16_000_000, 3806, 10,
+     74.8, 509, 33.6, 1.0, 3.6, 1_200_000),
+    ("mawi_201512020000", 35_991_000, 74_485_000, 33_000_000, 5414, 11,
+     143.0, 521, 33.9, 1.0, 3.4, 1_800_000),
+    ("mawi_201512020030", 68_863_000, 143_415_000, 63_000_000, 7597, 12,
+     261.4, 549, 32.3, 1.0, 3.2, 2_600_000),
+]:
+    _register(BenchmarkGraph(
+        name=_name, table=2, directed=False, algorithm="sccooc",
+        paper=PaperRow(_n, _m, _dmax, 2, _dstd, _d, 2, _rt, _mt, _sq, _gx, _lx),
+        factory=(lambda rn=_rn, s=_n: traffic_trace_graph(rn, seed=s % 97)),
+        notes=f"packet-trace hub graph; scaled to n={_rn} (paper n={_n})",
+    ))
+
+# ---------------------------------------------------------------------------
+# Table 3 -- irregular graphs, TurboBC-veCSC
+# ---------------------------------------------------------------------------
+
+for _k, _rk, _n, _m, _row in [
+    (15, 12, 25_000, 11_111_000, (12_287, 452, 664, 3, 41_166, 1.7, 6536, 17.4, 1.2, 2.3)),
+    (16, 13, 49_000, 33_383_000, (24_575, 679, 1078, 3, 82_833, 3.4, 9819, 26.6, 1.5, 3.4)),
+    (17, 14, 98_000, 100_246_000, (49_151, 1020, 1747, 3, 166_407, 7.9, 12_689, 34.6, 1.7, 4.4)),
+    (18, 15, 197_000, 300_934_000, (98_303, 1531, 2817, 3, 333_199, 18.5, 16_267, 45.8, 2.1, 5.1)),
+    (19, 16, 393_000, 903_195_000, (196_607, 2297, 4530, 3, 651_837, 48.9, 18_470, 53.1, 2.7, 5.2)),
+]:
+    dmax, dmean, dstd, _d, _scf, _rt, _mt, _sq, _gx, _lx = _row
+    _register(BenchmarkGraph(
+        name=f"mycielskian{_k}", table=3, directed=False, algorithm="veccsc",
+        paper=PaperRow(_n, _m, dmax, dmean, dstd, _d, _scf, _rt, _mt, _sq, _gx, _lx),
+        factory=(lambda rk=_rk: mycielski_graph(rk)),
+        full_scale=False,
+        notes=f"exact Mycielskian, scaled to order {_rk} (paper order {_k})",
+    ))
+
+for _logn, _rlogn, _n, _m, _row in [
+    (18, 14, 262_000, 21_166_000, (49_164, 81, 454, 6, 5846, 8.7, 2433, 31.6, 0.9, 1.1)),
+    (19, 15, 524_000, 43_563_000, (80_676, 83, 541, 6, 6609, 17.4, 2504, 44.7, 1.0, 0.9)),
+    (20, 16, 1_049_000, 89_241_000, (131_505, 85, 641, 6, 7410, 58.4, 1528, 34.0, 1.3, 1.0)),
+    (21, 17, 2_097_000, 182_084_000, (213_906, 87, 756, 6, 8161, 193.2, 943, 24.5, 1.1, 1.0)),
+]:
+    dmax, dmean, dstd, _d, _scf, _rt, _mt, _sq, _gx, _lx = _row
+    _register(BenchmarkGraph(
+        name=f"kron_g500-logn{_logn}", table=3, directed=False, algorithm="veccsc",
+        paper=PaperRow(_n, _m, dmax, dmean, dstd, _d, _scf, _rt, _mt, _sq, _gx, _lx),
+        factory=(lambda rl=_rlogn, s=_logn: kronecker_graph(rl, edge_factor=48, seed=s)),
+        notes=f"Graph500 R-MAT, scaled to logn={_rlogn} (paper logn={_logn})",
+    ))
+
+# ---------------------------------------------------------------------------
+# Table 4 -- big graphs (gunrock OOM); runtimes in the paper are seconds
+# ---------------------------------------------------------------------------
+
+_register(BenchmarkGraph(
+    name="kmer_V1r", table=4, directed=False, algorithm="sccsc",
+    paper=PaperRow(214_000_000, 465_000_000, 8, 2, 1, 324, 2,
+                   14_300.0, 33, 94.5, None, 0.9),
+    factory=lambda: kmer_graph(600_000, mean_contig=80, seed=23),
+    notes="GenBank de-Bruijn graph; scaled to n=600k (paper n=214M)",
+))
+_register(BenchmarkGraph(
+    name="it-2004", table=4, directed=True, algorithm="sccooc",
+    paper=PaperRow(42_000_000, 1_151_000_000, 9964, 28, 67, 50, 543,
+                   3_100.0, 371, 39.5, None, 0.8),
+    factory=lambda: webgraph(300_000, mean_out_degree=27, locality_window=6500,
+                             local_fraction=0.85, seed=29),
+    notes="web crawl with host locality; scaled to n=300k (paper n=42M)",
+))
+_register(BenchmarkGraph(
+    name="GAP-twitter", table=4, directed=True, algorithm="veccsc",
+    paper=PaperRow(62_000_000, 1_469_000_000, 3_000_000, 24, 1990, 15, 126,
+                   7_300.0, 201, 50.4, None, 0.8),
+    factory=lambda: preferential_attachment_digraph(400_000, mean_degree=24, seed=31),
+    notes="follower firehose; scaled to n=400k (paper n=62M)",
+))
+_register(BenchmarkGraph(
+    name="sk-2005", table=4, directed=True, algorithm="veccsc",
+    paper=PaperRow(51_000_000, 1_950_000_000, 12_870, 39, 78, 54, 1262,
+                   6_800.0, 287, 30.5, None, 0.7),
+    factory=lambda: webgraph(400_000, mean_out_degree=38, locality_window=8500,
+                             local_fraction=0.85, seed=37),
+    notes="web crawl; the largest graph the paper's GPU could hold",
+))
+
+
+# ---------------------------------------------------------------------------
+# Table 5 -- exact BC (all sources)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExactBCRow:
+    """One row of Table 5 (exact BC over all sources)."""
+
+    graph_name: str             # references SUITE
+    depth: int
+    nm_millions: float          # the paper's n*m parameter
+    runtime_s: float
+    mteps: float
+    speedup_sequential: float
+
+
+TABLE5: list[ExactBCRow] = [
+    ExactBCRow("mark3jac060sc", 42, 4_694.0, 49.3, 95, 8.2),
+    ExactBCRow("mark3jac080sc", 52, 8_345.0, 90.8, 92, 9.2),
+    ExactBCRow("g7jac180sc", 17, 39_906.0, 105.9, 377, 13.4),
+    ExactBCRow("g7jac200sc", 17, 49_688.0, 129.7, 383, 14.3),
+    ExactBCRow("mycielskian16", 3, 1_639_081.0, 159.8, 10_257, 27.5),
+    ExactBCRow("mycielskian17", 3, 9_854_152.0, 715.2, 13_778, 38.0),
+]
+
+
+def table(k: int) -> list[BenchmarkGraph]:
+    """All suite entries of one paper table, in publication order."""
+    if k not in (1, 2, 3, 4):
+        raise ValueError(f"the paper has Tables 1-4 of graphs, got {k}")
+    return [e for e in SUITE.values() if e.table == k]
+
+
+def get(name: str) -> BenchmarkGraph:
+    """Look up a suite entry by its paper name."""
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark graph {name!r}; known: {sorted(SUITE)}"
+        ) from None
+
+
+MYCIELSKI_GROUP = [f"mycielskian{k}" for k in range(15, 20)]
+KRON_GROUP = [f"kron_g500-logn{k}" for k in range(18, 22)]

@@ -1,0 +1,117 @@
+"""Vectorised frontier traversal used by the CPU-side baselines.
+
+The gunrock and ligra baselines (and the metric helpers) need classic
+frontier-queue BFS machinery rather than dense SpMV sweeps.  The expansion
+here is fully vectorised: gathering all out-neighbours of a frontier is one
+``repeat``/``arange`` index computation regardless of frontier size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def out_adjacency(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """(starts, nbrs): out-edges grouped by source vertex (cached on graph)."""
+    cached = getattr(graph, "_out_adjacency", None)
+    if cached is not None:
+        return cached
+    order = np.argsort(graph.src, kind="stable")
+    nbrs = graph.dst[order]
+    counts = np.bincount(graph.src, minlength=graph.n)
+    starts = np.zeros(graph.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    graph._out_adjacency = (starts, nbrs)
+    return starts, nbrs
+
+
+def expand_frontier(
+    starts: np.ndarray, nbrs: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All out-neighbours of the frontier vertices, with edge origins.
+
+    Returns ``(targets, origin_pos)`` where ``targets[k]`` is the head of
+    the ``k``-th frontier edge and ``origin_pos[k]`` indexes the frontier
+    vertex it came from.  O(frontier edges), no Python loop.
+    """
+    deg = starts[frontier + 1] - starts[frontier]
+    total = int(deg.sum())
+    if total == 0:
+        return np.empty(0, dtype=nbrs.dtype), np.empty(0, dtype=np.int64)
+    origin_pos = np.repeat(np.arange(frontier.size, dtype=np.int64), deg)
+    shifts = np.concatenate([[0], np.cumsum(deg)[:-1]])
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(shifts, deg)
+    idx = np.repeat(starts[frontier], deg) + offsets
+    return nbrs[idx], origin_pos
+
+
+@dataclass
+class LevelTrace:
+    """Per-level structure of one BFS, consumed by the baseline cost models."""
+
+    frontier_sizes: list[int] = field(default_factory=list)
+    frontier_edges: list[int] = field(default_factory=list)
+    discovered: list[int] = field(default_factory=list)
+    unvisited_in_edges: list[int] = field(default_factory=list)
+    max_target_multiplicity: list[int] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.frontier_sizes)
+
+
+def bfs_sigma_levels(
+    graph: Graph, source: int
+) -> tuple[np.ndarray, np.ndarray, int, LevelTrace]:
+    """Frontier-queue BFS computing shortest-path counts and levels.
+
+    Returns ``(sigma float64, levels int32 with the paper's S convention,
+    depth, trace)``.  ``levels`` stores the discovery depth (source = 0,
+    unreachable = 0 with ``sigma == 0``).
+    """
+    n = graph.n
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for n = {n}")
+    starts, nbrs = out_adjacency(graph)
+    in_deg_total = int(graph.m)
+
+    sigma = np.zeros(n, dtype=np.float64)
+    levels = np.zeros(n, dtype=np.int32)
+    visited = np.zeros(n, dtype=bool)
+    sigma[source] = 1.0
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    trace = LevelTrace()
+    depth = 0
+    in_deg = graph.in_degree().astype(np.int64)
+    visited_in_edges = int(in_deg[source])
+    while frontier.size:
+        depth += 1
+        targets, origin_pos = expand_frontier(starts, nbrs, frontier)
+        fresh_mask = ~visited[targets]
+        fresh_targets = targets[fresh_mask]
+        contrib = sigma[frontier[origin_pos[fresh_mask]]]
+        if fresh_targets.size:
+            counts = np.bincount(fresh_targets, minlength=n)
+            max_mult = int(counts.max())
+            sigma_add = np.bincount(fresh_targets, weights=contrib, minlength=n)
+            new_mask = sigma_add > 0
+            new_vertices = np.flatnonzero(new_mask)
+            sigma[new_vertices] += sigma_add[new_vertices]
+            levels[new_vertices] = depth
+            visited[new_vertices] = True
+        else:
+            new_vertices = np.empty(0, dtype=np.int64)
+            max_mult = 0
+        trace.frontier_sizes.append(int(frontier.size))
+        trace.frontier_edges.append(int(targets.size))
+        trace.discovered.append(int(new_vertices.size))
+        trace.unvisited_in_edges.append(in_deg_total - visited_in_edges)
+        trace.max_target_multiplicity.append(max_mult)
+        visited_in_edges += int(in_deg[new_vertices].sum())
+        frontier = new_vertices
+    return sigma, levels, depth - 1 if depth else 0, trace

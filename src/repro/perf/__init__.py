@@ -1,0 +1,27 @@
+"""Performance accounting: hardware calibration constants, CPU cost models
+for the sequential and ligra baselines, MTEPs conventions, and the
+array-footprint model of the paper's Figure 4.
+"""
+
+from repro.perf.calibration import CPU_CALIBRATION, CpuCalibration
+from repro.perf.cpu import CpuCostModel, MulticoreCostModel, LIGRA_MACHINE
+from repro.perf.memory_model import (
+    FootprintModel,
+    gunrock_footprint_words,
+    turbobc_footprint_words,
+)
+from repro.perf.mteps import bc_per_vertex_mteps, exact_bc_mteps, gteps
+
+__all__ = [
+    "CPU_CALIBRATION",
+    "CpuCalibration",
+    "CpuCostModel",
+    "MulticoreCostModel",
+    "LIGRA_MACHINE",
+    "FootprintModel",
+    "gunrock_footprint_words",
+    "turbobc_footprint_words",
+    "bc_per_vertex_mteps",
+    "exact_bc_mteps",
+    "gteps",
+]

@@ -1,0 +1,39 @@
+"""Calibrated hardware constants.
+
+The GPU side needs no calibration beyond the TITAN Xp datasheet (see
+:class:`repro.gpusim.DeviceSpec`).  The CPU side -- the sequential
+Algorithm 1 and the ligra baseline -- uses the per-operation costs below,
+set once for the paper's host (Intel Xeon Gold 6152, 2.1 GHz, 22 cores /
+44 threads, ~120 GB/s of socket memory bandwidth) by matching a handful of
+Table 1-3 sequential-runtime rows, then frozen.  EXPERIMENTS.md records
+paper-vs-model for every reproduced row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuCalibration:
+    """Per-operation CPU costs (seconds) for the cost models.
+
+    ``sequential_*`` drive the single-core model; a cache-resident streaming
+    op costs ``op``; an op with a dependent random memory access costs
+    ``random_access`` (DRAM latency shadow, partially hidden by the
+    hardware prefetcher at the paper's working-set sizes).
+    """
+
+    sequential_op_s: float = 0.6e-9
+    sequential_random_access_s: float = 1.4e-9
+    multicore_threads: int = 44
+    multicore_efficiency: float = 0.30
+    multicore_sync_s: float = 55.0e-6
+    multicore_bandwidth_gbs: float = 110.0
+    #: Cost of one *contended* atomic update (cache-line ping-pong across
+    #: sockets); the critical path when every thread accumulates into the
+    #: same hub vertex -- the mawi-trace pathology of Table 2's ligra rows.
+    multicore_contended_cas_s: float = 5.0e-9
+
+
+CPU_CALIBRATION = CpuCalibration()

@@ -1,0 +1,37 @@
+"""Traversed-edges-per-second conventions of the paper (Section 4).
+
+Two conventions appear in the evaluation:
+
+* **BC/vertex** (Tables 1-4): one source; ``MTEPS = m / t`` with ``m`` in
+  thousands of edges and ``t`` in milliseconds -- i.e. edges / time / 1e6;
+* **exact BC** (Table 5): all sources; ``MTEPS = n * m / t`` with ``n * m``
+  in millions and ``t`` in seconds.
+
+Both reduce to (edges logically traversed) / time / 1e6; the helpers take
+plain SI units (edge counts and seconds).
+"""
+
+from __future__ import annotations
+
+
+def bc_per_vertex_mteps(m: int, runtime_s: float) -> float:
+    """MTEPs for a single-source BC computation."""
+    if m < 0:
+        raise ValueError(f"edge count must be non-negative, got {m}")
+    if runtime_s <= 0:
+        raise ValueError(f"runtime must be positive, got {runtime_s}")
+    return m / runtime_s / 1e6
+
+
+def exact_bc_mteps(n_sources: int, m: int, runtime_s: float) -> float:
+    """MTEPs for an exact (multi-source) BC computation."""
+    if n_sources < 0 or m < 0:
+        raise ValueError("counts must be non-negative")
+    if runtime_s <= 0:
+        raise ValueError(f"runtime must be positive, got {runtime_s}")
+    return n_sources * m / runtime_s / 1e6
+
+
+def gteps(mteps: float) -> float:
+    """Convert MTEPs to GTEPs (the paper quotes 18.5 GTEPs peaks)."""
+    return mteps / 1e3

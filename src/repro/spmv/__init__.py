@@ -1,0 +1,49 @@
+"""The TurboBC SpMV kernels.
+
+The paper implements the masked sparse matrix--vector products of
+Algorithm 1 (lines 19 and 37) with three kernels; the SpMV is up to 90 % of
+total runtime, so kernel choice decides which TurboBC variant wins a graph:
+
+============  =================  ===========================================
+kernel        parallelisation    sweet spot
+============  =================  ===========================================
+``scCOOC``    thread per edge    regular graphs with degree outliers (the
+                                 mawi traces): per-edge work is flat no
+                                 matter how skewed the degrees are
+``scCSC``     thread per column  regular graphs with near-uniform degrees:
+                                 zero redundancy, but a warp stalls on its
+                                 largest column (divergence)
+``veCSC``     warp per column    irregular graphs: 32 lanes stream a column
+                                 cooperatively with coalesced loads and a
+                                 shuffle reduction
+============  =================  ===========================================
+
+Every kernel function returns ``(y, KernelLaunch)``: the numerically exact
+result computed with vectorised NumPy, and the launch record carrying the
+structure-exact hardware statistics of the equivalent CUDA kernel.
+
+All "forward" kernels compute the gather product ``y = A^T x`` (per stored
+entry ``(r, c)``: ``y[c] += x[r]``); the ``_scatter`` variants compute
+``y = A x`` (``y[r] += x[c]``), which the backward stage of *directed*
+graphs needs -- both read the same single stored format, preserving the
+paper's one-format-per-run memory discipline.
+"""
+
+from repro.spmv.sccooc import sccooc_spmv, sccooc_spmv_scatter
+from repro.spmv.sccsc import sccsc_spmv, sccsc_spmv_scatter
+from repro.spmv.veccsc import veccsc_spmv, veccsc_spmv_scatter
+from repro.spmv.reference import reference_spmv, reference_spmv_scatter
+
+KERNEL_NAMES = ("sccooc", "sccsc", "veccsc")
+
+__all__ = [
+    "KERNEL_NAMES",
+    "sccooc_spmv",
+    "sccooc_spmv_scatter",
+    "sccsc_spmv",
+    "sccsc_spmv_scatter",
+    "veccsc_spmv",
+    "veccsc_spmv_scatter",
+    "reference_spmv",
+    "reference_spmv_scatter",
+]

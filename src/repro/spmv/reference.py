@@ -1,0 +1,39 @@
+"""Oracle SpMV implementations used by the test suite.
+
+Straight NumPy translations of the mathematical definitions, with no masks,
+no device, no statistics -- the fixed point every kernel is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+
+
+def reference_spmv(csc: CSCMatrix, x: np.ndarray) -> np.ndarray:
+    """``y = A^T x`` for the binary matrix ``A`` (gather form).
+
+    ``y[c] = sum over stored entries (r, c) of x[r]``.
+    """
+    x = np.asarray(x)
+    if x.shape != (csc.n_rows,):
+        raise ValueError(f"x must have shape ({csc.n_rows},), got {x.shape}")
+    vals = x[csc.row]
+    y = np.zeros(csc.n_cols, dtype=np.result_type(x.dtype, np.float64))
+    np.add.at(y, csc.column_of_nnz(), vals)
+    return y.astype(x.dtype, copy=False) if np.issubdtype(x.dtype, np.integer) else y
+
+
+def reference_spmv_scatter(csc: CSCMatrix, x: np.ndarray) -> np.ndarray:
+    """``y = A x`` for the binary matrix ``A`` (scatter form).
+
+    ``y[r] = sum over stored entries (r, c) of x[c]``.
+    """
+    x = np.asarray(x)
+    if x.shape != (csc.n_cols,):
+        raise ValueError(f"x must have shape ({csc.n_cols},), got {x.shape}")
+    vals = x[csc.column_of_nnz()]
+    y = np.zeros(csc.n_rows, dtype=np.result_type(x.dtype, np.float64))
+    np.add.at(y, csc.row, vals)
+    return y.astype(x.dtype, copy=False) if np.issubdtype(x.dtype, np.integer) else y

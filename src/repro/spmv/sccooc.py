@@ -1,0 +1,140 @@
+"""The scCOOC kernel: thread-per-edge SpMV over the COOC format.
+
+The CUDA kernel (paper's Algorithm 2, parallelised) assigns one thread to
+each stored entry ``k``::
+
+    if x[row[k]] > 0:
+        atomicAdd(&y[col[k]], x[row[k]])
+
+Per-edge work is constant regardless of the degree distribution, which is
+why scCOOC tolerates the extreme degree outliers of the mawi traces that
+stall the thread-per-column scCSC kernel.  The costs are: a coalesced sweep
+of ``row`` (every thread), an uncoalesced gather of ``x`` (every thread), a
+coalesced-but-sparse read of ``col`` plus an atomic scatter into ``y``
+(active threads only).  COOC's column-major ordering makes active lanes
+write *runs of identical columns*, so intra-warp atomic conflicts -- counted
+exactly by :func:`repro.gpusim.warp.atomic_conflict_cycles` -- are the
+kernel's main issue cost on low-degree graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.coo import COOCMatrix
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import KernelLaunch, KernelStats
+from repro.gpusim import warp as W
+
+#: Issue cycles every thread pays: index math, row load, compare.
+_BASE_CYCLES = 6
+#: Extra issue cycles for an active lane: col load + atomic issue.
+_ACTIVE_CYCLES = 4
+
+
+def _sccooc_common(
+    device: Device,
+    src_idx: np.ndarray,
+    dst_idx: np.ndarray,
+    x: np.ndarray,
+    n_out: int,
+    name: str,
+    tag: str,
+    out_dtype,
+    x_gather_txn: int,
+) -> tuple[np.ndarray, KernelLaunch]:
+    l2_bytes = device.spec.l2_bytes
+    """Shared implementation of gather/scatter scCOOC (they differ only in
+    which COOC array is the load index and which is the store index)."""
+    m = src_idx.size
+    vals = x[src_idx]
+    active = vals > 0
+    n_active = int(np.count_nonzero(active))
+    dst_active = dst_idx[active]
+
+    y = np.zeros(n_out, dtype=out_dtype)
+    if n_active:
+        acc = np.bincount(dst_active, weights=vals[active], minlength=n_out)
+        with np.errstate(invalid="ignore"):  # int overflow surfaces via the sigma check
+            y[: acc.size] = acc.astype(out_dtype, copy=False)
+
+    itemsize = x.dtype.itemsize
+    dtype_factor = W.dtype_cycle_factor(x.dtype)
+    read_txn = (
+        W.coalesced_transactions(m)                          # src index sweep
+        + x_gather_txn                                       # x gather (cached per matrix)
+        + W.gather_transactions(np.flatnonzero(active))      # sparse dst-index read
+    )
+    # Atomic read-modify-write on y: one transaction in, one out per distinct
+    # warp segment of the destination addresses, L2-merged across the kernel.
+    write_txn = (
+        W.cached_gather_transactions(dst_active, itemsize, n_out, l2_bytes=l2_bytes)
+        if n_active
+        else 0
+    )
+    serial = (
+        int(np.bincount(dst_active, minlength=1).max()) * dtype_factor
+        if n_active
+        else 0
+    )
+    stats = KernelStats(
+        name=name,
+        threads=m,
+        warp_cycles=(
+            W.uniform_warp_cycles(m, _BASE_CYCLES)
+            + W.warp_count(n_active) * _ACTIVE_CYCLES * dtype_factor
+            + W.atomic_conflict_cycles(dst_active) * dtype_factor
+        ),
+        dram_read_bytes=(read_txn + write_txn) * W.TRANSACTION_BYTES,
+        dram_write_bytes=write_txn * W.TRANSACTION_BYTES,
+        requested_load_bytes=(2 * m + 2 * n_active) * itemsize,
+        serial_updates=serial,
+        critical_warp_cycles=_BASE_CYCLES + _ACTIVE_CYCLES,  # flat per-edge work
+        flops=n_active,
+    )
+    return y, device.launch(stats, tag=tag)
+
+
+def sccooc_spmv(
+    device: Device,
+    cooc: COOCMatrix,
+    x: np.ndarray,
+    *,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Gather product ``y = A^T x`` with the scCOOC kernel.
+
+    Exploits the sparsity of ``x``: only entries whose source value is
+    positive contribute (Algorithm 2, line 5).
+    """
+    x = np.asarray(x)
+    if x.shape != (cooc.n_rows,):
+        raise ValueError(f"x must have shape ({cooc.n_rows},), got {x.shape}")
+    return _sccooc_common(
+        device, cooc.row, cooc.col, x, cooc.n_cols, "sccooc_spmv", tag,
+        out_dtype or x.dtype,
+        cooc.full_gather_transactions("row", x.dtype.itemsize,
+                                      l2_bytes=device.spec.l2_bytes),
+    )
+
+
+def sccooc_spmv_scatter(
+    device: Device,
+    cooc: COOCMatrix,
+    x: np.ndarray,
+    *,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Scatter product ``y = A x`` with the scCOOC kernel (swapped roles of
+    the two COOC index arrays); used by the backward stage on digraphs."""
+    x = np.asarray(x)
+    if x.shape != (cooc.n_cols,):
+        raise ValueError(f"x must have shape ({cooc.n_cols},), got {x.shape}")
+    return _sccooc_common(
+        device, cooc.col, cooc.row, x, cooc.n_rows, "sccooc_spmv_scatter", tag,
+        out_dtype or x.dtype,
+        cooc.full_gather_transactions("col", x.dtype.itemsize,
+                                      l2_bytes=device.spec.l2_bytes),
+    )

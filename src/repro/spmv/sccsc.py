@@ -1,0 +1,180 @@
+"""The scCSC kernel: thread-per-column masked SpMV over the CSC format.
+
+The CUDA kernel (paper's Algorithm 3, parallelised) assigns one thread to
+each matrix column ``i``::
+
+    if sigma[i] == 0:                      # the fused mask
+        sum = 0
+        for k in CP_A[i] .. CP_A[i+1]-1:   # scan the column
+            sum += x[row_A[k]]
+        if sum > 0:                        # sparsity of x
+            y[i] = sum
+
+Fusing the ``sigma == 0`` mask into the SpMV is TurboBC's second
+optimization: already-discovered columns cost one compare instead of a
+column scan.  The kernel's weakness is intra-warp divergence -- a warp
+retires at the speed of its largest column -- which is why it only wins on
+*regular* graphs (near-uniform degrees).  Loads of ``row_A`` are sequential
+per lane (L1-assisted, ~8 words per 32 B line) but the ``x`` gather is fully
+uncoalesced: one transaction per stored entry scanned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import KernelLaunch, KernelStats
+from repro.gpusim import warp as W
+
+#: Issue cycles per thread for index math + the mask compare.
+_BASE_CYCLES = 4
+#: Issue cycles per scanned entry (load row index, load x, accumulate).
+_CYCLES_PER_ENTRY = 3
+#: Critical-path cycles per entry for the *longest* lane: a serial chain of
+#: dependent gathers exposes memory latency (~8 cycles survive pipelining)
+#: on top of the issue cost.
+_CRITICAL_CYCLES_PER_ENTRY = 12
+
+
+def _sccsc_stats(
+    csc: CSCMatrix,
+    allowed: np.ndarray,
+    x_dtype,
+    n_written: int,
+    name: str,
+    l2_bytes: int,
+) -> KernelStats:
+    """Hardware stats for a masked thread-per-column pass."""
+    x_itemsize = np.dtype(x_dtype).itemsize
+    dtype_factor = W.dtype_cycle_factor(x_dtype)
+    n = csc.n_cols
+    degrees = csc.column_counts().astype(np.int64)
+    scanned = np.where(allowed, degrees, 0)
+    total_scanned = int(scanned.sum())
+    # Per-lane sequential scans: ~ceil(deg / 8) L1-line fills for row_A, one
+    # 32 B transaction per x entry (uncoalesced gather).
+    row_txn = int(np.sum((scanned + 7) // 8))
+    x_txn = W.scalar_gather_transactions(total_scanned, csc.n_rows, x_itemsize,
+                                         l2_bytes=l2_bytes)
+    ptr_txn = 2 * W.coalesced_transactions(n)
+    write_txn = n_written  # scattered single-word stores
+    return KernelStats(
+        name=name,
+        threads=n,
+        warp_cycles=W.divergent_warp_cycles(
+            scanned * _CYCLES_PER_ENTRY * dtype_factor, base_cycles=_BASE_CYCLES
+        ),
+        dram_read_bytes=(ptr_txn + row_txn + x_txn) * W.TRANSACTION_BYTES,
+        dram_write_bytes=write_txn * W.TRANSACTION_BYTES,
+        requested_load_bytes=(2 * n + total_scanned) * 4 + total_scanned * x_itemsize,
+        critical_warp_cycles=W.max_warp_cycles(
+            scanned, cycles_per_unit=_CRITICAL_CYCLES_PER_ENTRY * dtype_factor
+        ),
+        flops=total_scanned,
+    )
+
+
+def sccsc_spmv(
+    device: Device,
+    csc: CSCMatrix,
+    x: np.ndarray,
+    *,
+    allowed: np.ndarray | None = None,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Masked gather product with the scCSC kernel.
+
+    ``allowed`` is the fused mask (the forward stage passes
+    ``sigma == 0``); ``None`` processes every column (the unmasked SpMV of
+    the backward stage on undirected graphs).
+    """
+    x = np.asarray(x)
+    if x.shape != (csc.n_rows,):
+        raise ValueError(f"x must have shape ({csc.n_rows},), got {x.shape}")
+    n = csc.n_cols
+    if allowed is None:
+        allowed = np.ones(n, dtype=bool)
+    else:
+        allowed = np.asarray(allowed)
+        if allowed.shape != (n,) or allowed.dtype != bool:
+            raise ValueError(f"allowed must be a boolean mask of shape ({n},)")
+
+    col_of_nnz = csc.column_of_nnz()
+    sel = allowed[col_of_nnz]
+    vals = x[csc.row[sel]]
+    sums = np.bincount(col_of_nnz[sel], weights=vals, minlength=n)
+    out_dtype = out_dtype or x.dtype
+    y = np.zeros(n, dtype=out_dtype)
+    written = sums > 0
+    with np.errstate(invalid="ignore"):  # int overflow surfaces via the sigma check
+        y[written] = sums[written].astype(out_dtype, copy=False)
+
+    stats = _sccsc_stats(csc, allowed, x.dtype,
+                         int(np.count_nonzero(written)), "sccsc_spmv",
+                         device.spec.l2_bytes)
+    return y, device.launch(stats, tag=tag)
+
+
+def sccsc_spmv_scatter(
+    device: Device,
+    csc: CSCMatrix,
+    x: np.ndarray,
+    *,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Scatter product ``y = A x`` with a thread-per-column CSC kernel.
+
+    Each thread whose column value is positive atomically adds it to the
+    ``y`` entries of its column's rows; used by the backward stage on
+    digraphs.  The sparsity of ``x`` is exploited: masked columns cost one
+    compare.
+    """
+    x = np.asarray(x)
+    if x.shape != (csc.n_cols,):
+        raise ValueError(f"x must have shape ({csc.n_cols},), got {x.shape}")
+    n = csc.n_cols
+    active = x > 0
+    col_of_nnz = csc.column_of_nnz()
+    sel = active[col_of_nnz]
+    rows_sel = csc.row[sel]
+    out_dtype = out_dtype or x.dtype
+    y = np.zeros(csc.n_rows, dtype=out_dtype)
+    if rows_sel.size:
+        acc = np.bincount(rows_sel, weights=x[col_of_nnz[sel]], minlength=csc.n_rows)
+        with np.errstate(invalid="ignore"):
+            y[: acc.size] = acc.astype(out_dtype, copy=False)
+
+    degrees = csc.column_counts().astype(np.int64)
+    scanned = np.where(active, degrees, 0)
+    total = int(scanned.sum())
+    row_txn = int(np.sum((scanned + 7) // 8))
+    # Per-lane serial atomic stores, thrashing-bounded like the gathers.
+    write_txn = W.scalar_gather_transactions(int(rows_sel.size), csc.n_rows, 4,
+                                             l2_bytes=device.spec.l2_bytes)
+    serial = int(np.bincount(rows_sel, minlength=1).max()) if rows_sel.size else 0
+    stats = KernelStats(
+        name="sccsc_spmv_scatter",
+        threads=n,
+        warp_cycles=W.divergent_warp_cycles(
+            scanned * (_CYCLES_PER_ENTRY + 2), base_cycles=_BASE_CYCLES
+        ),
+        dram_read_bytes=(
+            2 * W.coalesced_transactions(n)
+            + row_txn
+            + W.capped_random_transactions(total, csc.n_cols, x.dtype.itemsize,
+                                           l2_bytes=device.spec.l2_bytes)
+        )
+        * W.TRANSACTION_BYTES,
+        dram_write_bytes=write_txn * W.TRANSACTION_BYTES,
+        requested_load_bytes=(2 * n + total) * 4 + int(np.count_nonzero(active)) * x.dtype.itemsize,
+        serial_updates=serial,
+        critical_warp_cycles=W.max_warp_cycles(
+            scanned, cycles_per_unit=_CRITICAL_CYCLES_PER_ENTRY
+        ),
+        flops=total,
+    )
+    return y, device.launch(stats, tag=tag)

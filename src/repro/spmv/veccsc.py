@@ -1,0 +1,163 @@
+"""The veCSC kernel: warp-per-column vector SpMV over the CSC format.
+
+The paper's Algorithm 4 -- the CSC analogue of Bell & Garland's CSR-vector
+kernel -- assigns a full warp to each matrix column.  The 32 lanes stream
+the column's ``row_A`` slice cooperatively (coalesced, 8 words per 32 B
+transaction), accumulate private partial sums, and reduce them with five
+``__shfl_down_sync`` steps; lane 0 writes the result.
+
+This removes both scalar-kernel pathologies on irregular graphs: a
+49k-degree kron hub occupies one warp for ``ceil(49k / 32)`` iterations with
+every lane busy (no divergence waste), and the ``row_A`` loads coalesce
+perfectly.  The price is that *low*-degree columns waste 31 of 32 lanes,
+which is why scalar kernels keep winning on regular graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csc import CSCMatrix
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import KernelLaunch, KernelStats
+from repro.gpusim import warp as W
+
+#: Issue cycles per warp for setup: pointer loads, mask compare, bookkeeping.
+_BASE_CYCLES = 6
+#: Issue cycles per 32-entry strip of a column (load rows, gather x, add).
+_CYCLES_PER_STRIP = 4
+#: The shuffle reduction: log2(32) steps, ~2 cycles each.
+_SHUFFLE_CYCLES = 10
+
+
+def _veccsc_stats(
+    csc: CSCMatrix,
+    processed: np.ndarray,
+    x: np.ndarray,
+    sel_entries: np.ndarray,
+    n_written: int,
+    name: str,
+    l2_bytes: int,
+    x_txn: int | None = None,
+    serial_updates: int = 0,
+) -> KernelStats:
+    """Hardware stats for a warp-per-column pass over ``processed`` columns."""
+    n = csc.n_cols
+    dtype_factor = W.dtype_cycle_factor(x.dtype)
+    degrees = csc.column_counts().astype(np.int64)
+    scanned = np.where(processed, degrees, 0)
+    strips = (scanned + W.WARP_SIZE - 1) // W.WARP_SIZE
+    total_scanned = int(scanned.sum())
+    active = scanned > 0
+    warp_cycles = int(
+        n * _BASE_CYCLES
+        + (strips * _CYCLES_PER_STRIP * dtype_factor).sum()
+        + int(active.sum()) * _SHUFFLE_CYCLES * dtype_factor
+    )
+    critical = W.max_warp_cycles(
+        strips, cycles_per_unit=4 * _CYCLES_PER_STRIP * dtype_factor
+    )
+    # row_A loads coalesce within the warp: ~8 words per transaction, plus
+    # one boundary transaction per non-empty column.
+    row_txn = int(np.sum((scanned + 7) // 8)) + int(active.sum())
+    # x gather: lanes of one warp load 32 different rows at once; the memory
+    # system merges addresses in the same 32 B segment.  sel_entries is the
+    # concatenation of the processed columns' row indices in storage order,
+    # which is exactly the per-warp access sequence (strip boundaries align
+    # with columns up to one extra transaction counted in `active` above).
+    if x_txn is None:
+        x_txn = W.cached_gather_transactions(sel_entries, x.dtype.itemsize, csc.n_rows,
+                                             l2_bytes=l2_bytes)
+    ptr_txn = 2 * W.coalesced_transactions(n)
+    return KernelStats(
+        name=name,
+        threads=32 * n,
+        warp_cycles=warp_cycles,
+        dram_read_bytes=(ptr_txn + row_txn + x_txn) * W.TRANSACTION_BYTES,
+        dram_write_bytes=W.capped_random_transactions(n_written, n, 4) * W.TRANSACTION_BYTES,
+        requested_load_bytes=(2 * n + total_scanned) * 4
+        + total_scanned * x.dtype.itemsize,
+        serial_updates=serial_updates,
+        critical_warp_cycles=critical,
+        flops=total_scanned,
+    )
+
+
+def veccsc_spmv(
+    device: Device,
+    csc: CSCMatrix,
+    x: np.ndarray,
+    *,
+    allowed: np.ndarray | None = None,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Masked gather product with the veCSC (warp-per-column) kernel.
+
+    Semantically identical to :func:`repro.spmv.sccsc.sccsc_spmv` -- only
+    the hardware cost differs.
+    """
+    x = np.asarray(x)
+    if x.shape != (csc.n_rows,):
+        raise ValueError(f"x must have shape ({csc.n_rows},), got {x.shape}")
+    n = csc.n_cols
+    x_txn = None
+    if allowed is None:
+        allowed = np.ones(n, dtype=bool)
+        x_txn = csc.full_gather_transactions(x.dtype.itemsize,
+                                             l2_bytes=device.spec.l2_bytes)
+    else:
+        allowed = np.asarray(allowed)
+        if allowed.shape != (n,) or allowed.dtype != bool:
+            raise ValueError(f"allowed must be a boolean mask of shape ({n},)")
+
+    col_of_nnz = csc.column_of_nnz()
+    sel = allowed[col_of_nnz]
+    sel_rows = csc.row[sel]
+    sums = np.bincount(col_of_nnz[sel], weights=x[sel_rows], minlength=n)
+    out_dtype = out_dtype or x.dtype
+    y = np.zeros(n, dtype=out_dtype)
+    written = sums > 0
+    with np.errstate(invalid="ignore"):  # int overflow surfaces via the sigma check
+        y[written] = sums[written].astype(out_dtype, copy=False)
+
+    stats = _veccsc_stats(csc, allowed, x, sel_rows,
+                          int(np.count_nonzero(written)), "veccsc_spmv",
+                          device.spec.l2_bytes, x_txn=x_txn)
+    return y, device.launch(stats, tag=tag)
+
+
+def veccsc_spmv_scatter(
+    device: Device,
+    csc: CSCMatrix,
+    x: np.ndarray,
+    *,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Scatter product ``y = A x`` with a warp-per-column kernel.
+
+    Each warp whose column value is positive atomically adds it across the
+    column's rows with coalesced accesses; used by the backward stage on
+    digraphs.
+    """
+    x = np.asarray(x)
+    if x.shape != (csc.n_cols,):
+        raise ValueError(f"x must have shape ({csc.n_cols},), got {x.shape}")
+    n = csc.n_cols
+    active = x > 0
+    col_of_nnz = csc.column_of_nnz()
+    sel = active[col_of_nnz]
+    rows_sel = csc.row[sel]
+    out_dtype = out_dtype or x.dtype
+    y = np.zeros(csc.n_rows, dtype=out_dtype)
+    if rows_sel.size:
+        acc = np.bincount(rows_sel, weights=x[col_of_nnz[sel]], minlength=csc.n_rows)
+        with np.errstate(invalid="ignore"):
+            y[: acc.size] = acc.astype(out_dtype, copy=False)
+
+    serial = int(np.bincount(rows_sel, minlength=1).max()) if rows_sel.size else 0
+    stats = _veccsc_stats(csc, active, x, rows_sel,
+                          int(rows_sel.size), "veccsc_spmv_scatter",
+                          device.spec.l2_bytes, serial_updates=serial)
+    return y, device.launch(stats, tag=tag)

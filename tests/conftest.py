@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.gpusim.device import Device
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def device():
+    return Device()
+
+
+def random_graph(
+    n: int, p: float, *, directed: bool, seed: int = 0, connected_chain: bool = False
+) -> Graph:
+    """Small G(n, p)-ish graph for correctness tests (exact enumeration)."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < p
+    np.fill_diagonal(mask, False)
+    src, dst = np.nonzero(mask)
+    if connected_chain:
+        chain = np.arange(n - 1)
+        src = np.concatenate([src, chain])
+        dst = np.concatenate([dst, chain + 1])
+    return Graph(src, dst, n, directed=directed)
+
+
+@pytest.fixture
+def small_undirected():
+    return random_graph(40, 0.08, directed=False, seed=1)
+
+
+@pytest.fixture
+def small_directed():
+    return random_graph(40, 0.08, directed=True, seed=2)
+
+
+@pytest.fixture
+def path_graph():
+    """0 - 1 - 2 - 3 - 4 undirected path: closed-form BC."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)], 5, directed=False)
+
+
+@pytest.fixture
+def diamond_graph():
+    """Two equal-length paths 0->1->3 and 0->2->3: sigma splitting."""
+    return Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)], 4, directed=True)
+
+
+def networkx_bc(graph: Graph) -> np.ndarray:
+    """Unnormalised networkx betweenness aligned with our conventions."""
+    import networkx as nx
+
+    nxg = graph.to_networkx()
+    vals = nx.betweenness_centrality(nxg, normalized=False)
+    return np.array([vals[i] for i in range(graph.n)])
+
+
+def assert_bc_close(actual: np.ndarray, expected: np.ndarray, **kw) -> None:
+    kw.setdefault("rtol", 1e-9)
+    kw.setdefault("atol", 1e-9)
+    np.testing.assert_allclose(actual, expected, **kw)

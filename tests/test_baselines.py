@@ -1,0 +1,146 @@
+"""Baseline tests: Brandes oracle, gunrock, ligra."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brandes import brandes_bc
+from repro.baselines.gunrock import gunrock_bc
+from repro.baselines.ligra import ligra_bc
+from repro.core.sequential import sequential_bc
+from repro.graphs.graph import Graph
+from repro.gpusim.device import Device, DeviceSpec
+from repro.gpusim.errors import DeviceOutOfMemoryError
+from tests.conftest import assert_bc_close, networkx_bc, random_graph
+
+
+class TestBrandes:
+    @pytest.mark.parametrize("directed", [True, False])
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_vs_networkx(self, directed, seed):
+        g = random_graph(40, 0.08, directed=directed, seed=seed)
+        assert_bc_close(brandes_bc(g), networkx_bc(g))
+
+    def test_endpoints_variant(self):
+        import networkx as nx
+
+        g = random_graph(25, 0.1, directed=True, seed=6)
+        expected = nx.betweenness_centrality(
+            g.to_networkx(), normalized=False, endpoints=True
+        )
+        got = brandes_bc(g, endpoints=True)
+        assert_bc_close(got, [expected[i] for i in range(g.n)])
+
+    def test_single_source(self, path_graph):
+        bc = brandes_bc(path_graph, sources=0)
+        assert_bc_close(bc, [0, 1.5, 1, 0.5, 0])  # halved undirected deps
+
+    def test_source_out_of_range(self, path_graph):
+        with pytest.raises(ValueError):
+            brandes_bc(path_graph, sources=99)
+
+
+class TestSequential:
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_vs_brandes(self, directed):
+        g = random_graph(45, 0.07, directed=directed, seed=7)
+        assert_bc_close(sequential_bc(g).bc, brandes_bc(g))
+
+    def test_cost_model_accumulates(self, small_undirected):
+        res = sequential_bc(small_undirected, sources=0)
+        assert res.stats.gpu_time_s > 0
+        assert res.stats.algorithm == "sequential"
+
+    def test_deeper_costs_more(self):
+        idx = np.arange(399)
+        path = Graph(idx, idx + 1, 400, directed=False)
+        star = Graph(np.zeros(399, dtype=np.int64), np.arange(1, 400), 400, directed=False)
+        t_path = sequential_bc(path, sources=0).stats.gpu_time_s
+        t_star = sequential_bc(star, sources=0).stats.gpu_time_s
+        assert t_path > 5 * t_star
+
+    def test_keep_forward(self, small_undirected):
+        res = sequential_bc(small_undirected, sources=1, keep_forward=True)
+        assert res.forward.sigma[1] == 1
+
+    def test_source_validation(self, small_undirected):
+        with pytest.raises(ValueError, match="out of range"):
+            sequential_bc(small_undirected, sources=-1)
+
+
+class TestGunrock:
+    @pytest.mark.parametrize("directed", [True, False])
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_vs_brandes(self, directed, seed):
+        g = random_graph(45, 0.07, directed=directed, seed=seed)
+        assert_bc_close(gunrock_bc(g).bc, brandes_bc(g))
+
+    def test_single_source(self, small_undirected):
+        got = gunrock_bc(small_undirected, sources=4)
+        assert_bc_close(got.bc, brandes_bc(small_undirected, sources=4))
+
+    def test_allocates_full_array_set(self, small_directed):
+        from repro.perf.memory_model import gunrock_measured_words
+
+        device = Device()
+        gunrock_bc(small_directed, sources=0, device=device)
+        n, m = small_directed.n, small_directed.m
+        assert device.memory.peak_bytes == 4 * gunrock_measured_words(n, m)
+        assert device.memory.used_bytes == 0  # freed afterwards
+
+    def test_oom_on_small_device(self, small_directed):
+        spec = DeviceSpec(global_memory_bytes=1024)
+        with pytest.raises(DeviceOutOfMemoryError):
+            gunrock_bc(small_directed, sources=0, device=Device(spec))
+
+    def test_oom_leaves_device_clean(self, small_directed):
+        spec = DeviceSpec(global_memory_bytes=4 * small_directed.m * 2)  # fits CSR only
+        device = Device(spec)
+        with pytest.raises(DeviceOutOfMemoryError):
+            gunrock_bc(small_directed, sources=0, device=device)
+        assert device.memory.used_bytes == 0
+
+    def test_uses_push_and_aux_kernels(self, small_undirected):
+        device = Device()
+        gunrock_bc(small_undirected, sources=0, device=device)
+        names = set(device.profiler.kernel_names())
+        assert "gunrock_bfs_push" in names
+        assert "gunrock_bc_advance" in names
+
+    def test_more_launches_than_turbobc(self, small_undirected):
+        from repro.core.bc import turbo_bc
+
+        d1, d2 = Device(), Device()
+        gunrock_bc(small_undirected, sources=0, device=d1)
+        turbo_bc(small_undirected, sources=0, device=d2, algorithm="sccsc")
+        assert d1.profiler.total_launches() > d2.profiler.total_launches()
+
+
+class TestLigra:
+    @pytest.mark.parametrize("directed", [True, False])
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_vs_brandes(self, directed, seed):
+        g = random_graph(45, 0.07, directed=directed, seed=seed)
+        assert_bc_close(ligra_bc(g).bc, brandes_bc(g))
+
+    def test_single_source(self, small_directed):
+        got = ligra_bc(small_directed, sources=2)
+        assert_bc_close(got.bc, brandes_bc(small_directed, sources=2))
+
+    def test_cost_model_counts_levels(self, small_undirected):
+        from repro.perf.cpu import MulticoreCostModel
+
+        model = MulticoreCostModel()
+        ligra_bc(small_undirected, sources=0, cost_model=model)
+        assert model.levels > 0
+        assert model.time_s > 0
+
+    def test_dense_mode_engages_on_expanding_frontier(self):
+        """A graph whose frontier blows up must charge full-n vertex ops."""
+        from repro.graphs.generators import mycielski_graph
+        from repro.perf.cpu import MulticoreCostModel
+
+        g = mycielski_graph(10)
+        model = MulticoreCostModel()
+        ligra_bc(g, sources=0, cost_model=model)
+        # sync overhead alone can't explain the time: edge work got charged
+        assert model.time_s > model.levels * model.machine.sync_overhead_s

@@ -1,0 +1,91 @@
+"""Property-based betweenness-centrality invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.brandes import brandes_bc
+from repro.core.bc import turbo_bc
+from repro.graphs.graph import Graph
+
+settings.register_profile("repro-bc", deadline=None, max_examples=25)
+settings.load_profile("repro-bc")
+
+
+@st.composite
+def small_graphs(draw, max_n=16):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    directed = draw(st.booleans())
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return Graph(np.asarray(src), np.asarray(dst), n, directed=directed)
+
+
+def all_pairs_distances(graph):
+    import networkx as nx
+
+    return dict(nx.all_pairs_shortest_path_length(graph.to_networkx()))
+
+
+@given(small_graphs())
+def test_turbo_matches_brandes(g):
+    res = turbo_bc(g, forward_dtype=np.int64, backward_dtype=np.float64)
+    np.testing.assert_allclose(res.bc, brandes_bc(g), rtol=1e-9, atol=1e-9)
+
+
+@given(small_graphs())
+def test_bc_nonnegative(g):
+    assert (turbo_bc(g, forward_dtype=np.int64).bc >= -1e-9).all()
+
+
+@given(small_graphs())
+def test_bc_sum_equals_interior_path_length(g):
+    """Sum of vertex BC == sum over connected ordered pairs of (d(s,t) - 1).
+
+    Every shortest path from s to t distributes exactly d(s, t) - 1 units
+    of dependency over its interior vertices; Brandes' aggregation preserves
+    the total (undirected graphs halve both sides identically).
+    """
+    res = turbo_bc(g, forward_dtype=np.int64, backward_dtype=np.float64)
+    dist = all_pairs_distances(g)
+    total = sum(
+        d - 1
+        for s, targets in dist.items()
+        for t, d in targets.items()
+        if t != s and d >= 1
+    )
+    if not g.directed:
+        total /= 2
+    np.testing.assert_allclose(res.bc.sum(), total, rtol=1e-9, atol=1e-9)
+
+
+@given(small_graphs())
+def test_leaves_have_zero_bc(g):
+    """A vertex with (in+out) degree <= 1 lies on no path interior."""
+    res = turbo_bc(g, forward_dtype=np.int64)
+    total_deg = g.out_degree() + g.in_degree()
+    leaves = total_deg <= (2 if not g.directed else 1)
+    assert np.allclose(res.bc[leaves], 0.0, atol=1e-9)
+
+
+@given(small_graphs(), st.integers(0, 10**6))
+def test_kernel_choice_never_changes_result(g, seed):
+    algs = ("sccooc", "sccsc", "veccsc")
+    results = [
+        turbo_bc(g, algorithm=a, forward_dtype=np.int64, backward_dtype=np.float64).bc
+        for a in algs
+    ]
+    for other in results[1:]:
+        np.testing.assert_allclose(results[0], other, rtol=1e-12, atol=1e-12)
+
+
+@given(small_graphs())
+def test_source_decomposition(g):
+    """BC over all sources == sum of per-source contributions."""
+    full = turbo_bc(g, forward_dtype=np.int64, backward_dtype=np.float64).bc
+    parts = np.zeros(g.n)
+    for s in range(g.n):
+        parts += turbo_bc(
+            g, sources=s, forward_dtype=np.int64, backward_dtype=np.float64
+        ).bc
+    np.testing.assert_allclose(full, parts, rtol=1e-9, atol=1e-9)

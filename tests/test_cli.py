@@ -1,0 +1,73 @@
+"""CLI tests (in-process via repro.cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import io, suite
+from tests.conftest import random_graph
+
+
+@pytest.fixture(autouse=True)
+def clear_cache():
+    yield
+    suite.clear_graph_cache()
+
+
+class TestInfo:
+    def test_known_graph(self, capsys):
+        assert main(["info", "mycielskian15"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "paper:" in out and "repro:" in out
+
+    def test_unknown_graph(self):
+        with pytest.raises(KeyError):
+            main(["info", "nope"])
+
+
+class TestBC:
+    def test_on_mtx_file(self, tmp_path, capsys):
+        g = random_graph(40, 0.1, directed=False, seed=2)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        assert main(["bc", str(path), "--source", "0", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "TurboBC" in out and "MTEPs" in out and "sync_readback" in out
+
+    def test_on_edge_list_with_output(self, tmp_path, capsys):
+        g = random_graph(30, 0.12, directed=True, seed=3)
+        path = tmp_path / "g.txt"
+        io.write_edge_list(g, path)
+        out_file = tmp_path / "bc.txt"
+        assert main(["bc", str(path), "--output", str(out_file), "--top", "3"]) == 0
+        vec = np.loadtxt(out_file)
+        assert vec.shape == (g.n,)
+
+    def test_algorithm_pinned(self, tmp_path, capsys):
+        g = random_graph(30, 0.12, directed=False, seed=4)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        assert main(["bc", str(path), "--algorithm", "veccsc", "--source", "0"]) == 0
+        assert "veCSC" in capsys.readouterr().out
+
+    def test_rejects_bad_algorithm(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bc", "whatever.mtx", "--algorithm", "csr5"])
+
+
+class TestSuiteCommand:
+    def test_lists_all_graphs(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "33 graphs" in out
+        assert "mycielskian19" in out and "sk-2005" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_table_validates_k(self):
+        with pytest.raises(SystemExit):
+            main(["table", "7"])

@@ -1,0 +1,127 @@
+"""Device-array choreography tests (the Section 3.4 memory optimization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import TurboBCContext
+from repro.gpusim.device import Device
+from repro.gpusim.errors import GpuSimError
+from tests.conftest import random_graph
+
+
+@pytest.fixture
+def graph():
+    return random_graph(50, 0.08, directed=True, seed=3)
+
+
+class TestAllocationChoreography:
+    def test_csc_transfers_two_arrays(self, graph):
+        device = Device()
+        ctx = TurboBCContext(device, graph, "sccsc")
+        names = {a.name for a in device.memory.live_arrays}
+        assert {"CP_A", "row_A", "bc"} == names
+        ctx.abort()
+
+    def test_cooc_transfers_two_arrays(self, graph):
+        device = Device()
+        ctx = TurboBCContext(device, graph, "sccooc")
+        names = {a.name for a in device.memory.live_arrays}
+        assert {"row_A", "col_A", "bc"} == names
+        ctx.abort()
+
+    def test_single_format_discipline(self, graph):
+        """TurboBC never holds CSR+CSC simultaneously (unlike gunrock)."""
+        device = Device()
+        ctx = TurboBCContext(device, graph, "veccsc")
+        n, m = graph.n, graph.m
+        matrix_bytes = sum(
+            a.nbytes for a in device.memory.live_arrays if a.name != "bc"
+        )
+        assert matrix_bytes == 4 * (n + 1 + m)  # one CSC copy only
+        ctx.abort()
+
+    def test_forward_arrays_freed_before_backward(self, graph):
+        device = Device()
+        ctx = TurboBCContext(device, graph, "sccsc")
+        ctx.alloc_forward()
+        names = {a.name for a in device.memory.live_arrays}
+        assert {"f", "ft", "sigma", "S"} <= names
+        ctx.swap_to_backward()
+        names = {a.name for a in device.memory.live_arrays}
+        assert "f" not in names and "ft" not in names
+        assert {"delta", "delta_u", "delta_ut", "sigma", "S"} <= names
+        ctx.abort()
+
+    def test_peak_is_7n_plus_m(self, graph):
+        """The paper's headline footprint: 7n + m words for CSC."""
+        device = Device()
+        ctx = TurboBCContext(device, graph, "sccsc")
+        ctx.alloc_forward()
+        ctx.swap_to_backward()
+        n, m = graph.n, graph.m
+        assert device.memory.peak_bytes == 4 * (7 * n + 1 + m)
+        ctx.abort()
+
+    def test_release_source_keeps_matrix(self, graph):
+        device = Device()
+        ctx = TurboBCContext(device, graph, "sccsc")
+        ctx.alloc_forward()
+        ctx.release_source()
+        names = {a.name for a in device.memory.live_arrays}
+        assert names == {"CP_A", "row_A", "bc"}
+        ctx.abort()
+
+    def test_close_frees_everything_and_returns_bc(self, graph):
+        device = Device()
+        ctx = TurboBCContext(device, graph, "sccsc")
+        ctx.bc_arr.data[0] = 42.0
+        bc = ctx.close()
+        assert bc[0] == 42.0
+        assert device.memory.used_bytes == 0
+
+    def test_abort_idempotent_cleanup(self, graph):
+        device = Device()
+        ctx = TurboBCContext(device, graph, "sccsc")
+        ctx.alloc_forward()
+        ctx.abort()
+        assert device.memory.used_bytes == 0
+
+    def test_unknown_algorithm(self, graph):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            TurboBCContext(Device(), graph, "csr5")
+
+    def test_mask_fused_flags(self, graph):
+        assert TurboBCContext(Device(), graph, "sccsc").mask_fused
+        assert TurboBCContext(Device(), graph, "veccsc").mask_fused
+        assert not TurboBCContext(Device(), graph, "sccooc").mask_fused
+
+
+class TestBackwardDispatch:
+    def test_directed_uses_scatter(self, graph):
+        device = Device()
+        ctx = TurboBCContext(device, graph, "sccsc")
+        x = np.zeros(graph.n, dtype=np.float32)
+        x[0] = 1.0
+        _, launch = ctx.spmv_backward(x)
+        assert "scatter" in launch.stats.name
+
+    def test_undirected_uses_gather(self):
+        g = random_graph(50, 0.08, directed=False, seed=4)
+        device = Device()
+        ctx = TurboBCContext(device, g, "sccsc")
+        x = np.zeros(g.n, dtype=np.float32)
+        x[0] = 1.0
+        _, launch = ctx.spmv_backward(x)
+        assert launch.stats.name == "sccsc_spmv"
+
+    @pytest.mark.parametrize("alg", ["sccooc", "sccsc", "veccsc"])
+    def test_backward_directed_equals_reverse_gather(self, graph, alg, rng):
+        """On digraphs the backward product must equal A x (reverse edges)."""
+        from repro.spmv import reference_spmv
+
+        device = Device()
+        ctx = TurboBCContext(device, graph, alg)
+        x = rng.random(graph.n).astype(np.float64)
+        y, _ = ctx.spmv_backward(x)
+        expected = reference_spmv(graph.reverse().to_csc(), x)
+        np.testing.assert_allclose(y, expected, rtol=1e-6)

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_examples_exist():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    assert "quickstart.py" in scripts
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "verified against queue-based Brandes: OK" in out
+    assert "TurboBC" in out
+
+
+def test_brain_network():
+    out = run_example("brain_network.py", "--regions", "10", "--neurons", "24")
+    assert "connector hubs recovered: OK" in out
+
+
+def test_social_influencers():
+    out = run_example("social_influencers.py", "--users", "600", "--topk", "10")
+    assert "overlap" in out
+
+
+def test_memory_planning():
+    out = run_example("memory_planning.py")
+    assert "sk-2005" in out and "OOM" in out
+
+
+@pytest.mark.slow
+def test_kernel_selection():
+    out = run_example("kernel_selection.py")
+    assert "veccsc" in out and "regular" in out

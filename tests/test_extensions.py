@@ -1,0 +1,89 @@
+"""Extension-feature tests: approximate BC and multi-GPU BC."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brandes import brandes_bc
+from repro.core.approx import approximate_bc
+from repro.core.multigpu import multi_gpu_bc
+from repro.gpusim.device import DeviceSpec
+from tests.conftest import assert_bc_close, random_graph
+
+
+class TestApproximateBC:
+    def test_full_sample_is_exact(self, small_undirected):
+        res = approximate_bc(
+            small_undirected, small_undirected.n, forward_dtype=np.int64
+        )
+        assert_bc_close(res.bc, brandes_bc(small_undirected), rtol=1e-4, atol=1e-3)
+
+    def test_estimator_converges(self):
+        g = random_graph(150, 0.05, directed=False, seed=3, connected_chain=True)
+        exact = brandes_bc(g)
+        err = []
+        for k in (10, 75, 150):
+            est = approximate_bc(g, k, seed=1, forward_dtype=np.int64).bc
+            err.append(float(np.abs(est - exact).mean()))
+        assert err[-1] < err[0]
+        assert err[-1] < 1e-3  # k = n reproduces exact (float32 backward)
+
+    def test_rescaling_applied(self, small_undirected):
+        from repro.core.bc import turbo_bc
+
+        k = 5
+        sources = np.sort(np.random.default_rng(0).choice(small_undirected.n, k, replace=False))
+        raw = turbo_bc(small_undirected, sources=sources, forward_dtype=np.int64).bc
+        est = approximate_bc(small_undirected, k, seed=0, forward_dtype=np.int64).bc
+        assert_bc_close(est, raw * small_undirected.n / k, rtol=1e-6, atol=1e-6)
+
+    def test_cheaper_than_exact(self, small_undirected):
+        exact = approximate_bc(small_undirected, small_undirected.n)
+        approx = approximate_bc(small_undirected, 4)
+        assert approx.stats.gpu_time_s < exact.stats.gpu_time_s / 3
+
+    def test_rejects_bad_pivot_counts(self, small_undirected):
+        with pytest.raises(ValueError):
+            approximate_bc(small_undirected, 0)
+        with pytest.raises(ValueError):
+            approximate_bc(small_undirected, small_undirected.n + 1)
+
+
+class TestMultiGpuBC:
+    def test_result_matches_single_device(self, small_undirected):
+        single, _ = multi_gpu_bc(small_undirected, n_devices=1, forward_dtype=np.int64)
+        multi, _ = multi_gpu_bc(small_undirected, n_devices=4, forward_dtype=np.int64)
+        assert_bc_close(multi.bc, single.bc, rtol=1e-6, atol=1e-6)
+        assert_bc_close(multi.bc, brandes_bc(small_undirected), rtol=1e-4, atol=1e-3)
+
+    def test_makespan_shrinks_with_devices(self, small_directed):
+        t1, _ = multi_gpu_bc(small_directed, n_devices=1)
+        t4, _ = multi_gpu_bc(small_directed, n_devices=4)
+        assert t4.stats.gpu_time_s < t1.stats.gpu_time_s / 2
+
+    def test_efficiency_bounded(self, small_undirected):
+        _, mg = multi_gpu_bc(small_undirected, n_devices=4)
+        assert 0.3 < mg.parallel_efficiency <= 1.0
+
+    def test_more_devices_than_sources(self, small_undirected):
+        res, mg = multi_gpu_bc(small_undirected, n_devices=8, sources=[0, 1])
+        assert len(mg.device_times_s) == 8
+        assert sum(t > 0 for t in mg.device_times_s) == 2
+        assert_bc_close(res.bc, brandes_bc(small_undirected, sources=[0, 1]),
+                        rtol=1e-4, atol=1e-3)
+
+    def test_reduction_time_counted(self, small_undirected):
+        _, mg = multi_gpu_bc(small_undirected, n_devices=2)
+        assert mg.reduction_time_s > 0
+
+    def test_rejects_zero_devices(self, small_undirected):
+        with pytest.raises(ValueError):
+            multi_gpu_bc(small_undirected, n_devices=0)
+
+    def test_label_mentions_devices(self, small_undirected):
+        res, _ = multi_gpu_bc(small_undirected, n_devices=3, algorithm="sccsc")
+        assert "x3 GPUs" in res.stats.algorithm
+
+    def test_custom_spec(self, small_undirected):
+        spec = DeviceSpec(global_memory_bytes=2**26)
+        res, _ = multi_gpu_bc(small_undirected, n_devices=2, spec=spec)
+        assert res.bc.shape == (small_undirected.n,)

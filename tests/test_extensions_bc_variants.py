@@ -1,0 +1,148 @@
+"""Edge-betweenness and weighted-BC extension tests (vs networkx)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import edge_betweenness, weighted_bc
+from repro.extensions.weighted_bc import symmetric_weights
+from repro.graphs.graph import Graph
+from repro.gpusim.device import Device
+from tests.conftest import random_graph
+
+
+def nx_edge_bc(graph):
+    import networkx as nx
+
+    return nx.edge_betweenness_centrality(graph.to_networkx(), normalized=False)
+
+
+class TestEdgeBetweenness:
+    def test_path_graph_closed_form(self, path_graph):
+        res = edge_betweenness(path_graph)
+        pairs = res.undirected_pairs()
+        # path 0-1-2-3-4: edge (k,k+1) carries (k+1)(4-k) pair paths
+        assert pairs[(0, 1)] == pytest.approx(4.0)
+        assert pairs[(1, 2)] == pytest.approx(6.0)
+        assert pairs[(2, 3)] == pytest.approx(6.0)
+        assert pairs[(3, 4)] == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_undirected_vs_networkx(self, seed):
+        g = random_graph(35, 0.1, directed=False, seed=seed)
+        res = edge_betweenness(g)
+        expected = nx_edge_bc(g)
+        pairs = res.undirected_pairs()
+        for (u, v), score in expected.items():
+            key = (min(u, v), max(u, v))
+            assert pairs[key] == pytest.approx(score, abs=1e-9), key
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_directed_vs_networkx(self, seed):
+        g = random_graph(35, 0.1, directed=True, seed=seed)
+        res = edge_betweenness(g)
+        expected = nx_edge_bc(g)
+        for k in range(g.m):
+            u, v = int(g.src[k]), int(g.dst[k])
+            assert res.scores[k] == pytest.approx(expected[(u, v)], abs=1e-9), (u, v)
+
+    def test_single_source(self, diamond_graph):
+        res = edge_betweenness(diamond_graph, sources=0)
+        by_edge = {
+            (int(diamond_graph.src[k]), int(diamond_graph.dst[k])): res.scores[k]
+            for k in range(diamond_graph.m)
+        }
+        # two equal shortest paths 0->1->3 and 0->2->3 split the pair (0,3);
+        # edge (0,1) also carries the whole pair (0,1)
+        assert by_edge[(0, 1)] == pytest.approx(1.5)
+        assert by_edge[(1, 3)] == pytest.approx(0.5)
+
+    def test_bridge_dominates(self):
+        # two triangles joined by a bridge: the bridge edge carries all
+        # cross-community pairs
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+            6, directed=False,
+        )
+        res = edge_betweenness(g)
+        top_u, top_v, _ = res.top(1)[0]
+        assert {top_u, top_v} == {2, 3}
+
+    def test_device_accounting(self, small_undirected):
+        device = Device()
+        res = edge_betweenness(small_undirected, sources=0, device=device)
+        assert "edge_bc_update" in device.profiler.kernel_names()
+        assert device.memory.used_bytes == 0
+        # footprint includes the extra m-word edge accumulator
+        n, m = small_undirected.n, small_undirected.m
+        assert res.stats.peak_memory_bytes >= 4 * (7 * n + m) + 8 * m
+
+    def test_undirected_pairs_rejected_on_digraph(self, small_directed):
+        res = edge_betweenness(small_directed, sources=0)
+        with pytest.raises(ValueError):
+            res.undirected_pairs()
+
+    def test_stats_label(self, small_undirected):
+        res = edge_betweenness(small_undirected, sources=0, algorithm="sccsc")
+        assert "edge BC" in res.stats.algorithm
+
+
+class TestWeightedBC:
+    def nx_weighted(self, graph, weights):
+        import networkx as nx
+
+        nxg = graph.to_networkx()
+        for k in range(graph.m):
+            u, v = int(graph.src[k]), int(graph.dst[k])
+            if nxg.has_edge(u, v):
+                nxg[u][v]["weight"] = float(weights[k])
+        vals = nx.betweenness_centrality(nxg, normalized=False, weight="weight")
+        return np.array([vals[i] for i in range(graph.n)])
+
+    def test_unit_weights_match_unweighted(self, small_undirected):
+        from repro.baselines.brandes import brandes_bc
+
+        w = np.ones(small_undirected.m)
+        got = weighted_bc(small_undirected, w)
+        np.testing.assert_allclose(got, brandes_bc(small_undirected), atol=1e-9)
+
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_random_weights_vs_networkx(self, directed):
+        g = random_graph(30, 0.12, directed=directed, seed=6)
+        rng = np.random.default_rng(1)
+        if directed:
+            w = rng.integers(1, 6, g.m).astype(float)
+        else:
+            table = {}
+            for k in range(g.m):
+                u, v = int(g.src[k]), int(g.dst[k])
+                table.setdefault((min(u, v), max(u, v)), float(rng.integers(1, 6)))
+            w = symmetric_weights(g, table)
+        got = weighted_bc(g, w)
+        np.testing.assert_allclose(got, self.nx_weighted(g, w), atol=1e-7)
+
+    def test_weights_change_routing(self):
+        # square 0-1-2-3-0: heavy edge (0,1) pushes paths the other way
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], 4, directed=False)
+        w_uniform = symmetric_weights(g, lambda u, v: 1.0)
+        w_skewed = symmetric_weights(
+            g, lambda u, v: 10.0 if (u, v) == (0, 1) else 1.0
+        )
+        bc_u = weighted_bc(g, w_uniform)
+        bc_s = weighted_bc(g, w_skewed)
+        assert not np.allclose(bc_u, bc_s)
+        assert bc_s[3] > bc_u[3]  # vertex 3 now carries the 0<->1 detour
+
+    def test_rejects_nonpositive_weights(self, small_undirected):
+        with pytest.raises(ValueError, match="positive"):
+            weighted_bc(small_undirected, np.zeros(small_undirected.m))
+
+    def test_rejects_bad_shape(self, small_undirected):
+        with pytest.raises(ValueError, match="shape"):
+            weighted_bc(small_undirected, np.ones(3))
+
+    def test_single_source(self, small_directed):
+        w = np.ones(small_directed.m)
+        got = weighted_bc(small_directed, w, sources=0)
+        from repro.baselines.brandes import brandes_bc
+
+        np.testing.assert_allclose(got, brandes_bc(small_directed, sources=0), atol=1e-9)

@@ -1,0 +1,133 @@
+"""COO / COOC format tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOCMatrix, COOMatrix
+from repro.formats.base import INDEX_DTYPE, as_index_array
+
+
+class TestAsIndexArray:
+    def test_casts_to_int32(self):
+        out = as_index_array([1, 2, 3], name="x")
+        assert out.dtype == INDEX_DTYPE
+
+    def test_accepts_empty(self):
+        assert as_index_array([], name="x").size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            as_index_array([0, -1], name="x")
+
+    def test_rejects_too_large_for_int32(self):
+        with pytest.raises(ValueError, match="too large"):
+            as_index_array([2**31], name="x")
+
+    def test_rejects_non_integer_floats(self):
+        with pytest.raises(ValueError, match="integers"):
+            as_index_array([0.5], name="x")
+
+    def test_accepts_integral_floats(self):
+        out = as_index_array(np.array([1.0, 2.0]), name="x")
+        assert out.tolist() == [1, 2]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            as_index_array(np.zeros((2, 2)), name="x")
+
+
+class TestCOOMatrix:
+    def test_dense_roundtrip(self):
+        mat = COOMatrix([0, 1, 2], [1, 2, 0], (3, 3))
+        dense = mat.to_dense()
+        assert dense.tolist() == [[0, 1, 0], [0, 0, 1], [1, 0, 0]]
+
+    def test_nnz_and_memory(self):
+        mat = COOMatrix([0, 1], [1, 0], (2, 2))
+        assert mat.nnz == 2
+        assert mat.memory_words == 4
+        assert mat.memory_bytes == 16
+
+    def test_transpose(self):
+        mat = COOMatrix([0, 1], [1, 2], (2, 3))
+        t = mat.transpose()
+        assert t.shape == (3, 2)
+        assert np.array_equal(t.to_dense(), mat.to_dense().T)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            COOMatrix([0, 1], [1], (2, 2))
+
+    def test_rejects_out_of_range_row(self):
+        with pytest.raises(ValueError, match="out of range"):
+            COOMatrix([5], [0], (2, 2))
+
+    def test_rejects_out_of_range_col(self):
+        with pytest.raises(ValueError, match="out of range"):
+            COOMatrix([0], [5], (2, 2))
+
+    def test_empty_matrix(self):
+        mat = COOMatrix([], [], (4, 4))
+        assert mat.nnz == 0
+        assert mat.to_dense().sum() == 0
+
+    def test_repr_mentions_shape_and_nnz(self):
+        r = repr(COOMatrix([0], [1], (2, 2)))
+        assert "2, 2" in r and "nnz=1" in r
+
+
+class TestCOOCMatrix:
+    def test_column_major_order_required(self):
+        with pytest.raises(ValueError, match="sorted by column"):
+            COOCMatrix([0, 0], [1, 0], (2, 2))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            COOCMatrix([0, 0], [1, 1], (2, 2))
+
+    def test_valid_construction(self):
+        mat = COOCMatrix([1, 0, 2], [0, 1, 1], (3, 3))
+        assert mat.nnz == 3
+
+    def test_memory_words_is_2m(self):
+        mat = COOCMatrix([1, 0, 2], [0, 1, 1], (3, 3))
+        assert mat.memory_words == 6
+
+    def test_column_counts(self):
+        mat = COOCMatrix([1, 0, 2], [0, 1, 1], (3, 3))
+        assert mat.column_counts().tolist() == [1, 2, 0]
+
+    def test_row_counts(self):
+        mat = COOCMatrix([1, 0, 2], [0, 1, 1], (3, 3))
+        assert mat.row_counts().tolist() == [1, 1, 1]
+
+    def test_to_coo(self):
+        mat = COOCMatrix([1, 0], [0, 1], (2, 2))
+        coo = mat.to_coo()
+        assert np.array_equal(coo.to_dense(), mat.to_dense())
+
+    def test_unhashable(self):
+        mat = COOCMatrix([], [], (2, 2))
+        with pytest.raises(TypeError):
+            hash(mat)
+
+    def test_structural_equality(self):
+        a = COOCMatrix([1, 0], [0, 1], (2, 2))
+        b = COOCMatrix([1, 0], [0, 1], (2, 2))
+        assert a == b
+
+    def test_figure1_example(self):
+        """The paper's Figure 1 matrix: directed 4-vertex example.
+
+        Edges (one-based in the paper): column-compressed structure with
+        row indices grouped per column.  We verify the COOC row array equals
+        the CSC row array ordering by construction.
+        """
+        from repro.formats.convert import edges_to_cooc, edges_to_csc
+
+        edges = [(0, 1), (0, 2), (1, 3), (2, 1), (3, 0)]
+        src = [e[0] for e in edges]
+        dst = [e[1] for e in edges]
+        cooc = edges_to_cooc(src, dst, 4)
+        csc = edges_to_csc(src, dst, 4)
+        assert np.array_equal(cooc.row, csc.row)

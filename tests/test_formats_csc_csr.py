@@ -1,0 +1,123 @@
+"""CSC and CSR format tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSCMatrix, CSRMatrix
+
+
+class TestCSCMatrix:
+    def make(self):
+        # 3x3: entries (1,0), (0,1), (2,1)
+        return CSCMatrix([0, 1, 3, 3], [1, 0, 2], (3, 3))
+
+    def test_dense(self):
+        assert self.make().to_dense().tolist() == [[0, 1, 0], [1, 0, 0], [0, 1, 0]]
+
+    def test_column_view(self):
+        mat = self.make()
+        assert mat.column(0).tolist() == [1]
+        assert mat.column(1).tolist() == [0, 2]
+        assert mat.column(2).tolist() == []
+
+    def test_column_counts(self):
+        assert self.make().column_counts().tolist() == [1, 2, 0]
+
+    def test_column_of_nnz(self):
+        assert self.make().column_of_nnz().tolist() == [0, 1, 1]
+
+    def test_column_of_nnz_cached(self):
+        mat = self.make()
+        assert mat.column_of_nnz() is mat.column_of_nnz()
+
+    def test_memory_words(self):
+        assert self.make().memory_words == 3 + 1 + 3
+
+    def test_scipy_roundtrip(self):
+        mat = self.make()
+        back = CSCMatrix.from_scipy(mat.to_scipy())
+        assert np.array_equal(back.to_dense(), mat.to_dense())
+
+    def test_from_scipy_collapses_duplicates(self):
+        from scipy.sparse import coo_array
+
+        sp = coo_array((np.ones(3), ([0, 0, 1], [1, 1, 0])), shape=(2, 2))
+        mat = CSCMatrix.from_scipy(sp)
+        assert mat.nnz == 2
+
+    def test_rejects_bad_ptr_length(self):
+        with pytest.raises(ValueError, match="col_ptr must have length"):
+            CSCMatrix([0, 1], [0], (3, 3))
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            CSCMatrix([1, 1, 1, 1], [], (3, 3))
+
+    def test_rejects_wrong_end(self):
+        with pytest.raises(ValueError, match="end at nnz"):
+            CSCMatrix([0, 1, 1, 5], [0], (3, 3))
+
+    def test_rejects_decreasing_ptr(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSCMatrix([0, 2, 1, 3], [0, 1, 2], (3, 3))
+
+    def test_rejects_row_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSCMatrix([0, 1, 1, 1], [7], (3, 3))
+
+    def test_rejects_unsorted_rows_within_column(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            CSCMatrix([0, 2, 2, 2], [2, 1], (3, 3))
+
+    def test_rows_may_reset_at_column_boundary(self):
+        CSCMatrix([0, 2, 4, 4], [0, 1, 0, 1], (3, 3))  # no exception
+
+    def test_empty(self):
+        mat = CSCMatrix([0, 0, 0, 0], [], (3, 3))
+        assert mat.nnz == 0
+        assert mat.column_of_nnz().size == 0
+
+
+class TestCSRMatrix:
+    def make(self):
+        return CSRMatrix([0, 1, 3, 3], [1, 0, 2], (3, 3))
+
+    def test_dense(self):
+        assert self.make().to_dense().tolist() == [[0, 1, 0], [1, 0, 1], [0, 0, 0]]
+
+    def test_neighbors(self):
+        mat = self.make()
+        assert mat.neighbors(1).tolist() == [0, 2]
+        assert mat.neighbors(2).tolist() == []
+
+    def test_row_counts(self):
+        assert self.make().row_counts().tolist() == [1, 2, 0]
+
+    def test_row_of_nnz(self):
+        assert self.make().row_of_nnz().tolist() == [0, 1, 1]
+
+    def test_memory_words(self):
+        assert self.make().memory_words == 3 + 1 + 3
+
+    def test_scipy_roundtrip(self):
+        mat = self.make()
+        back = CSRMatrix.from_scipy(mat.to_scipy())
+        assert np.array_equal(back.to_dense(), mat.to_dense())
+
+    def test_rejects_bad_ptr(self):
+        with pytest.raises(ValueError, match="row_ptr must have length"):
+            CSRMatrix([0, 1], [0], (3, 3))
+
+    def test_rejects_unsorted_cols(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            CSRMatrix([0, 2, 2, 2], [2, 1], (3, 3))
+
+    def test_csr_csc_transpose_relation(self):
+        """CSR of A and CSC of A store the same matrix, different order."""
+        from repro.formats.convert import csc_to_csr, edges_to_csc
+
+        src = [0, 0, 1, 3, 2]
+        dst = [1, 2, 3, 0, 1]
+        csc = edges_to_csc(src, dst, 4)
+        csr = csc_to_csr(csc)
+        assert np.array_equal(csr.to_dense(), csc.to_dense())

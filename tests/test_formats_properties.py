@@ -1,0 +1,79 @@
+"""Property-based tests for the sparse formats (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.formats import convert
+
+settings.register_profile("repro", deadline=None, max_examples=60)
+settings.load_profile("repro")
+
+
+@st.composite
+def edge_lists(draw, max_n=24, max_m=80):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64), n
+
+
+def dense_of(src, dst, n, drop_loops=True):
+    d = np.zeros((n, n), dtype=np.int8)
+    for s, t in zip(src, dst):
+        if drop_loops and s == t:
+            continue
+        d[s, t] = 1
+    return d
+
+
+@given(edge_lists())
+def test_all_formats_agree_on_dense(edges):
+    src, dst, n = edges
+    expected = dense_of(src, dst, n)
+    assert np.array_equal(convert.edges_to_cooc(src, dst, n).to_dense(), expected)
+    assert np.array_equal(convert.edges_to_csc(src, dst, n).to_dense(), expected)
+    assert np.array_equal(convert.edges_to_csr(src, dst, n).to_dense(), expected)
+
+
+@given(edge_lists())
+def test_canonical_edges_idempotent(edges):
+    src, dst, n = edges
+    s1, d1 = convert.canonical_edges(src, dst, n)
+    s2, d2 = convert.canonical_edges(s1, d1, n)
+    assert np.array_equal(s1, s2)
+    assert np.array_equal(d1, d2)
+
+
+@given(edge_lists())
+def test_cooc_csc_share_row_array(edges):
+    src, dst, n = edges
+    cooc = convert.edges_to_cooc(src, dst, n)
+    csc = convert.edges_to_csc(src, dst, n)
+    assert np.array_equal(cooc.row, csc.row)
+    assert np.array_equal(csc.column_of_nnz(), cooc.col)
+
+
+@given(edge_lists())
+def test_transpose_roundtrip_through_csr(edges):
+    src, dst, n = edges
+    csc = convert.edges_to_csc(src, dst, n)
+    back = convert.csr_to_csc(convert.csc_to_csr(csc))
+    assert np.array_equal(back.to_dense(), csc.to_dense())
+
+
+@given(edge_lists())
+def test_memory_words_match_definitions(edges):
+    src, dst, n = edges
+    cooc = convert.edges_to_cooc(src, dst, n)
+    csc = convert.edges_to_csc(src, dst, n)
+    m = cooc.nnz
+    assert cooc.memory_words == 2 * m
+    assert csc.memory_words == n + 1 + m
+
+
+@given(edge_lists())
+def test_column_counts_sum_to_nnz(edges):
+    src, dst, n = edges
+    csc = convert.edges_to_csc(src, dst, n)
+    assert int(csc.column_counts().sum()) == csc.nnz

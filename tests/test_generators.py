@@ -1,0 +1,300 @@
+"""Generator tests: determinism, structure, regime."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    banded_jacobian_graph,
+    circuit_graph,
+    delaunay_graph,
+    erdos_renyi_graph,
+    g7jac_like,
+    internet_topology_graph,
+    kmer_graph,
+    kronecker_graph,
+    mark3jac_like,
+    mycielski_graph,
+    powerlaw_cluster_graph,
+    preferential_attachment_digraph,
+    random_regular_graph,
+    rmat_edges,
+    road_network_graph,
+    small_world_graph,
+    traffic_trace_graph,
+    webgraph,
+)
+from repro.graphs.generators.mycielski import mycielski_order
+from repro.graphs.generators.road import subdivide_edges
+from repro.graphs.generators.util import chung_lu_edges, powerlaw_degrees, resolve_rng
+from repro.graphs.metrics import bfs_depth, classify_regularity, degree_stats
+
+
+class TestMycielski:
+    def test_known_orders(self):
+        # M2=K2, M3=C5, M4=Grötzsch graph (11 vertices, 20 edges)
+        assert mycielski_graph(2).n == 2
+        g3 = mycielski_graph(3)
+        assert g3.n == 5 and g3.num_undirected_edges == 5
+        g4 = mycielski_graph(4)
+        assert g4.n == 11 and g4.num_undirected_edges == 20
+
+    def test_order_formula(self):
+        for k in range(2, 12):
+            assert mycielski_graph(k).n == mycielski_order(k) == 3 * 2 ** (k - 2) - 1
+
+    def test_paper_nnz_match(self):
+        """mycielskian15's published nnz is 11,111,110 -- our construction
+        must reproduce it exactly (cheap recurrence check at small k)."""
+        e = 1
+        n = 2
+        for _ in range(13):  # up to k = 15
+            e = 3 * e + n
+            n = 2 * n + 1
+        assert n == 24575 and 2 * e == 11_111_110
+
+    def test_triangle_free(self):
+        g = mycielski_graph(6)
+        a = g.to_csc().to_dense().astype(np.int64)
+        assert np.trace(a @ a @ a) == 0
+
+    def test_deterministic(self):
+        a, b = mycielski_graph(8), mycielski_graph(8)
+        assert np.array_equal(a.src, b.src)
+
+    def test_rejects_k_below_2(self):
+        with pytest.raises(ValueError):
+            mycielski_graph(1)
+
+    def test_bfs_depth_small(self):
+        assert bfs_depth(mycielski_graph(10), 0) <= 3
+
+
+class TestKronecker:
+    def test_size(self):
+        g = kronecker_graph(10, edge_factor=8, seed=1)
+        assert g.n == 1024
+
+    def test_seeded_determinism(self):
+        a = kronecker_graph(10, seed=5)
+        b = kronecker_graph(10, seed=5)
+        assert np.array_equal(a.src, b.src)
+
+    def test_different_seeds_differ(self):
+        a = kronecker_graph(10, seed=5)
+        b = kronecker_graph(10, seed=6)
+        assert a.m != b.m or not np.array_equal(a.src, b.src)
+
+    def test_rmat_edges_in_range(self):
+        src, dst = rmat_edges(8, 1000, seed=2)
+        assert src.max() < 256 and dst.max() < 256
+        assert src.min() >= 0 and dst.min() >= 0
+
+    def test_rmat_skew(self):
+        """Quadrant A bias concentrates edges at low vertex ids."""
+        src, dst = rmat_edges(12, 20000, seed=3)
+        assert (src < 2048).mean() > 0.6
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ValueError, match="sum below 1"):
+            rmat_edges(4, 10, probs=(0.5, 0.4, 0.2))
+
+    def test_heavy_tail(self):
+        g = kronecker_graph(12, edge_factor=16, seed=4)
+        s = degree_stats(g)
+        assert s.max > 10 * s.mean
+
+
+class TestDelaunay:
+    def test_size_and_planarity_bound(self):
+        g = delaunay_graph(10, seed=1)
+        assert g.n == 1024
+        assert g.num_undirected_edges <= 3 * g.n - 6  # planar bound
+
+    def test_connected(self):
+        g = delaunay_graph(8, seed=2)
+        from repro.graphs.metrics import bfs_levels
+
+        assert (bfs_levels(g, 0) >= 0).all()
+
+    def test_near_constant_degree(self):
+        s = degree_stats(delaunay_graph(11, seed=3))
+        assert 5 <= s.mean <= 7 and s.std < 3
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            delaunay_graph(1)
+
+
+class TestSmallWorld:
+    def test_mean_degree(self):
+        g = small_world_graph(2000, k=10, seed=1)
+        assert degree_stats(g).mean == pytest.approx(10, abs=0.5)
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError, match="even"):
+            small_world_graph(100, k=5)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError, match="rewire_p"):
+            small_world_graph(100, k=4, rewire_p=2.0)
+
+    def test_no_rewiring_is_ring_lattice(self):
+        g = small_world_graph(100, k=4, rewire_p=0.0)
+        assert degree_stats(g).std == pytest.approx(0.0)
+
+    def test_regular_regime(self):
+        assert classify_regularity(small_world_graph(3000, seed=2)) == "regular"
+
+
+class TestRoad:
+    def test_subdivide_edges(self):
+        src = np.array([0]); dst = np.array([1])
+        s, d, n = subdivide_edges(src, dst, 2, 3)
+        assert n == 4 and s.size == 3  # path 0 - 2 - 3 - 1
+
+    def test_subdivide_identity(self):
+        src = np.array([0]); dst = np.array([1])
+        s, d, n = subdivide_edges(src, dst, 2, 1)
+        assert n == 2 and s.size == 1
+
+    def test_depth_scales_with_segments(self):
+        shallow = road_network_graph(16, 16, segments=2, seed=1)
+        deep = road_network_graph(16, 16, segments=8, seed=1)
+        assert bfs_depth(deep) > 2 * bfs_depth(shallow)
+
+    def test_degree_profile(self):
+        s = degree_stats(road_network_graph(24, 24, segments=5, seed=2))
+        assert s.max <= 4 and s.mean < 2.5
+
+    def test_connected(self):
+        from repro.graphs.metrics import bfs_levels
+
+        g = road_network_graph(12, 12, segments=3, keep_prob=0.5, seed=3)
+        assert (bfs_levels(g, 0) >= 0).all()
+
+    def test_rejects_tiny_lattice(self):
+        with pytest.raises(ValueError):
+            road_network_graph(1, 5)
+
+
+class TestTrafficTrace:
+    def test_hub_degree(self):
+        g = traffic_trace_graph(50_000, seed=1)
+        s = degree_stats(g)
+        assert s.max > 0.3 * g.n  # a dominant hub
+        assert s.mean < 4
+
+    def test_scf_regular_despite_hub(self):
+        assert classify_regularity(traffic_trace_graph(50_000, seed=2)) == "regular"
+
+    def test_depth_regime(self):
+        assert 3 <= bfs_depth(traffic_trace_graph(50_000, seed=3), 0) <= 40
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            traffic_trace_graph(4)
+
+
+class TestJacobians:
+    def test_mark3jac_profile(self):
+        g = mark3jac_like(8000, seed=1)
+        s = degree_stats(g)
+        assert g.directed
+        assert 4 <= s.mean <= 8
+        assert s.max >= 40
+
+    def test_g7jac_profile(self):
+        g = g7jac_like(6000, seed=1)
+        s = degree_stats(g)
+        assert 10 <= s.mean <= 18
+        assert s.max >= 100
+
+    def test_band_reaches_everything(self):
+        from repro.graphs.metrics import bfs_levels
+
+        g = banded_jacobian_graph(500, band=2, long_range=0, seed=1)
+        assert (bfs_levels(g, 0) >= 0).all()
+
+    def test_rejects_zero_band(self):
+        with pytest.raises(ValueError):
+            banded_jacobian_graph(100, band=0)
+
+
+class TestCircuitInternetSocial:
+    def test_circuit_global_rails(self):
+        g = circuit_graph(20_000, seed=1)
+        assert degree_stats(g).max >= 150
+
+    def test_internet_powerlaw_hubs(self):
+        g = internet_topology_graph(20_000, seed=1)
+        s = degree_stats(g)
+        assert s.mean < 4 and s.max > 20
+
+    def test_social_mean_degree(self):
+        g = powerlaw_cluster_graph(20_000, mean_degree=5.0, seed=1)
+        assert degree_stats(g).mean == pytest.approx(5.0, rel=0.5)
+
+    def test_kmer_bounded_degree_and_depth(self):
+        g = kmer_graph(20_000, seed=1)
+        assert degree_stats(g).max <= 20
+        assert bfs_depth(g, 0) > 30
+
+    def test_webgraph_locality(self):
+        g = webgraph(20_000, seed=1)
+        jumps = np.abs(g.src.astype(np.int64) - g.dst.astype(np.int64))
+        assert np.median(jumps) < g.n // 50  # most links are local
+
+    def test_pa_digraph_hubs(self):
+        g = preferential_attachment_digraph(20_000, seed=1)
+        assert degree_stats(g).max > 200
+
+
+class TestRandomGraphs:
+    def test_gnp_edge_count(self):
+        g = erdos_renyi_graph(500, 0.01, directed=True, seed=1)
+        expected = 500 * 500 * 0.01
+        assert abs(g.m - expected) < 0.3 * expected
+
+    def test_gnp_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_regular_degrees_bounded(self):
+        g = random_regular_graph(1000, 8, seed=1)
+        assert degree_stats(g).max <= 8
+
+    def test_regular_rejects_odd_product(self):
+        with pytest.raises(ValueError, match="even"):
+            random_regular_graph(5, 3)
+
+
+class TestUtil:
+    def test_resolve_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert resolve_rng(rng) is rng
+
+    def test_powerlaw_degrees_range(self):
+        d = powerlaw_degrees(5000, exponent=2.5, d_min=1, d_max=100, rng=resolve_rng(1))
+        assert d.min() >= 1 and d.max() <= 100
+
+    def test_powerlaw_degrees_skewed(self):
+        d = powerlaw_degrees(5000, exponent=2.5, d_min=1, d_max=100, rng=resolve_rng(2))
+        assert np.median(d) < d.mean()
+
+    def test_powerlaw_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            powerlaw_degrees(10, exponent=1.0, d_min=1, d_max=5, rng=resolve_rng(0))
+
+    def test_chung_lu_expected_degree(self):
+        w = np.full(2000, 6.0)
+        src, dst = chung_lu_edges(w, rng=resolve_rng(3))
+        deg = np.bincount(src, minlength=2000) + np.bincount(dst, minlength=2000)
+        assert deg.mean() == pytest.approx(6.0, rel=0.2)
+
+    def test_chung_lu_rejects_negative(self):
+        with pytest.raises(ValueError):
+            chung_lu_edges(np.array([-1.0]), rng=resolve_rng(0))
+
+    def test_chung_lu_empty(self):
+        src, dst = chung_lu_edges(np.zeros(5), rng=resolve_rng(0))
+        assert src.size == 0

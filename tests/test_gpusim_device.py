@@ -1,0 +1,133 @@
+"""Device, kernel timing model and profiler tests."""
+
+import pytest
+
+from repro.gpusim.device import Device, DeviceSpec, TITAN_XP
+from repro.gpusim.errors import InvalidKernelError
+from repro.gpusim.kernel import KernelLaunch, KernelStats
+
+
+class TestSpec:
+    def test_titan_xp_parameters(self):
+        assert TITAN_XP.num_sms == 30
+        assert TITAN_XP.cores_per_sm == 128
+        assert TITAN_XP.global_memory_bytes == 12196 * 2**20
+        assert TITAN_XP.theoretical_glt_gbs == 575.0
+
+    def test_warp_issue_rate(self):
+        expected = 30 * 4 * 1.58e9
+        assert TITAN_XP.warp_issue_rate == pytest.approx(expected)
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(Exception):
+            TITAN_XP.num_sms = 10
+
+
+class TestKernelStats:
+    def test_rejects_negative_counters(self):
+        with pytest.raises(InvalidKernelError):
+            KernelStats(name="k", warp_cycles=-1)
+
+    def test_dram_bytes_sums_read_write(self):
+        s = KernelStats(name="k", dram_read_bytes=10, dram_write_bytes=5)
+        assert s.dram_bytes == 15
+
+    def test_merge_accumulates(self):
+        a = KernelStats(name="k", threads=10, warp_cycles=5, dram_read_bytes=32)
+        b = KernelStats(name="other", threads=20, warp_cycles=7, dram_write_bytes=64)
+        m = a.merge(b)
+        assert m.name == "k"
+        assert m.threads == 20
+        assert m.warp_cycles == 12
+        assert m.dram_bytes == 96
+
+
+class TestTimingModel:
+    def test_compute_bound_kernel(self, device):
+        cycles = int(TITAN_XP.warp_issue_rate)  # exactly 1 s of issue
+        launch = device.launch(KernelStats(name="k", warp_cycles=cycles))
+        assert launch.compute_time_s == pytest.approx(1.0)
+        assert not launch.is_memory_bound
+
+    def test_memory_bound_kernel(self, device):
+        gb = int(TITAN_XP.dram_bandwidth_gbs * 1e9)
+        launch = device.launch(KernelStats(name="k", dram_read_bytes=gb))
+        assert launch.memory_time_s == pytest.approx(1.0)
+        assert launch.is_memory_bound
+
+    def test_roofline_takes_max(self, device):
+        s = KernelStats(
+            name="k",
+            warp_cycles=int(TITAN_XP.warp_issue_rate),       # 1 s compute
+            dram_read_bytes=int(TITAN_XP.dram_bandwidth_gbs * 1e9 * 2),  # 2 s memory
+        )
+        launch = device.launch(s)
+        assert launch.exec_time_s == pytest.approx(2.0)
+
+    def test_launch_overhead_added(self, device):
+        launch = device.launch(KernelStats(name="empty"))
+        assert launch.time_s == pytest.approx(TITAN_XP.kernel_launch_overhead_us * 1e-6)
+
+    def test_glt_can_exceed_dram_bandwidth(self, device):
+        """Requested (SM-side) load bytes can beat the DRAM roofline -- the
+        paper's Figure 5b shows TurboBC's kernels above the 575 GB/s line."""
+        gb = int(TITAN_XP.dram_bandwidth_gbs * 1e9)
+        s = KernelStats(
+            name="k", dram_read_bytes=gb, requested_load_bytes=3 * gb
+        )
+        launch = device.launch(s)
+        assert launch.glt_bytes_per_s / 1e9 > TITAN_XP.theoretical_glt_gbs
+
+    def test_glt_zero_time(self):
+        launch = KernelLaunch(
+            stats=KernelStats(name="k"), compute_time_s=0, memory_time_s=0, overhead_s=0
+        )
+        assert launch.glt_bytes_per_s == 0.0
+
+    def test_sync_readback_cost(self, device):
+        launch = device.sync_readback()
+        assert launch.time_s == pytest.approx(TITAN_XP.sync_readback_us * 1e-6)
+
+    def test_reset_clears_everything(self, device):
+        device.memory.alloc("x", 100, "int32")
+        device.launch(KernelStats(name="k"))
+        device.reset()
+        assert device.memory.used_bytes == 0
+        assert device.profiler.total_launches() == 0
+
+
+class TestProfiler:
+    def test_total_time_accumulates(self, device):
+        device.launch(KernelStats(name="a"))
+        device.launch(KernelStats(name="b"))
+        expected = 2 * TITAN_XP.kernel_launch_overhead_us * 1e-6
+        assert device.profiler.total_time_s() == pytest.approx(expected)
+
+    def test_summary_aggregates_by_name(self, device):
+        device.launch(KernelStats(name="a", dram_read_bytes=32))
+        device.launch(KernelStats(name="a", dram_read_bytes=64))
+        device.launch(KernelStats(name="b"))
+        s = device.profiler.summary("a")
+        assert s.launches == 2
+        assert s.dram_bytes == 96
+
+    def test_summary_unknown_kernel(self, device):
+        with pytest.raises(KeyError):
+            device.profiler.summary("nope")
+
+    def test_summaries_sorted_hottest_first(self, device):
+        device.launch(KernelStats(name="cold"))
+        device.launch(KernelStats(name="hot", warp_cycles=10**9))
+        names = [s.name for s in device.profiler.summaries()]
+        assert names[0] == "hot"
+
+    def test_report_renders(self, device):
+        device.launch(KernelStats(name="spmv", dram_read_bytes=1 << 20))
+        report = device.profiler.report()
+        assert "spmv" in report and "GLT" in report
+
+    def test_kernel_names_in_first_seen_order(self, device):
+        device.launch(KernelStats(name="b"))
+        device.launch(KernelStats(name="a"))
+        device.launch(KernelStats(name="b"))
+        assert device.profiler.kernel_names() == ["b", "a"]

@@ -1,0 +1,136 @@
+"""Device-memory allocator tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.errors import (
+    DeviceArrayFreedError,
+    DeviceOutOfMemoryError,
+    GpuSimError,
+)
+from repro.gpusim.memory import DeviceMemory, PCIE_BANDWIDTH_GBS
+
+
+class TestAlloc:
+    def test_backed_allocation_is_zeroed(self):
+        mem = DeviceMemory(1 << 20)
+        arr = mem.alloc("x", 10, np.int32)
+        assert arr.data.sum() == 0
+        assert arr.nbytes == 40
+
+    def test_usage_accounting(self):
+        mem = DeviceMemory(1 << 20)
+        mem.alloc("a", 100, np.int32)
+        mem.alloc("b", 50, np.float64)
+        assert mem.used_bytes == 400 + 400
+        assert mem.peak_bytes == 800
+
+    def test_oom_raises_and_allocates_nothing(self):
+        mem = DeviceMemory(100)
+        with pytest.raises(DeviceOutOfMemoryError) as exc:
+            mem.alloc("big", 1000, np.int32)
+        assert mem.used_bytes == 0
+        assert exc.value.requested == 4000
+        assert exc.value.capacity == 100
+
+    def test_exact_fit_allowed(self):
+        mem = DeviceMemory(400)
+        mem.alloc("x", 100, np.int32)
+        assert mem.used_bytes == 400
+
+    def test_free_restores_capacity(self):
+        mem = DeviceMemory(400)
+        arr = mem.alloc("x", 100, np.int32)
+        mem.free(arr)
+        mem.alloc("y", 100, np.int32)  # fits again
+
+    def test_double_free_raises(self):
+        mem = DeviceMemory(1 << 20)
+        arr = mem.alloc("x", 10, np.int32)
+        mem.free(arr)
+        with pytest.raises(GpuSimError, match="already-freed"):
+            mem.free(arr)
+
+    def test_freed_data_access_raises(self):
+        mem = DeviceMemory(1 << 20)
+        arr = mem.alloc("x", 10, np.int32)
+        mem.free(arr)
+        with pytest.raises(DeviceArrayFreedError):
+            arr.data
+
+    def test_peak_survives_free(self):
+        mem = DeviceMemory(1 << 20)
+        arr = mem.alloc("x", 1000, np.int32)
+        mem.free(arr)
+        assert mem.used_bytes == 0
+        assert mem.peak_bytes == 4000
+
+    def test_free_all(self):
+        mem = DeviceMemory(1 << 20)
+        mem.alloc("a", 10, np.int32)
+        mem.alloc("b", 10, np.int32)
+        mem.free_all()
+        assert mem.used_bytes == 0
+        assert not mem.live_arrays
+
+    def test_2d_shapes(self):
+        mem = DeviceMemory(1 << 20)
+        arr = mem.alloc("x", (4, 5), np.float32)
+        assert arr.nbytes == 80
+        assert arr.data.shape == (4, 5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(0)
+
+
+class TestPlannedMode:
+    def test_planned_has_no_data(self):
+        mem = DeviceMemory(1 << 30, backed=False)
+        arr = mem.alloc("x", 1000, np.int32)
+        assert not arr.is_backed
+        with pytest.raises(GpuSimError, match="planned"):
+            arr.data
+
+    def test_planned_oom_still_enforced(self):
+        mem = DeviceMemory(100, backed=False)
+        with pytest.raises(DeviceOutOfMemoryError):
+            mem.alloc("x", 10**9, np.int32)
+
+    def test_planned_paper_scale_is_cheap(self):
+        """sk-2005-scale allocation must not allocate real memory."""
+        mem = DeviceMemory(12196 * 2**20, backed=False)
+        mem.alloc("row_A", 1_950_000_000, np.int32)  # 7.8 GB planned
+        assert mem.used_bytes == 7_800_000_000
+
+
+class TestTransfers:
+    def test_h2d_copies(self):
+        mem = DeviceMemory(1 << 20)
+        host = np.arange(10, dtype=np.int32)
+        arr = mem.h2d("x", host)
+        assert np.array_equal(arr.data, host)
+        host[0] = 99
+        assert arr.data[0] == 0  # independent copy
+
+    def test_d2h_copies(self):
+        mem = DeviceMemory(1 << 20)
+        arr = mem.h2d("x", np.arange(10, dtype=np.int32))
+        out = mem.d2h(arr)
+        out[0] = 99
+        assert arr.data[0] == 0
+
+    def test_transfer_accounting(self):
+        mem = DeviceMemory(1 << 20)
+        arr = mem.h2d("x", np.zeros(100, dtype=np.int32))
+        mem.d2h(arr)
+        assert mem.transfer_bytes_h2d == 400
+        assert mem.transfer_bytes_d2h == 400
+        expected = 800 / (PCIE_BANDWIDTH_GBS * 1e9)
+        assert mem.transfer_time_s() == pytest.approx(expected)
+
+    def test_usage_report_lists_arrays(self):
+        mem = DeviceMemory(1 << 20)
+        mem.alloc("weights", 100, np.float32)
+        report = mem.usage_report()
+        assert "weights" in report and "MiB" in report

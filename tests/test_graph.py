@@ -1,0 +1,115 @@
+"""Graph container tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_directed_keeps_orientation(self):
+        g = Graph([0], [1], 2, directed=True)
+        assert g.m == 1
+        assert g.src.tolist() == [0]
+        assert g.dst.tolist() == [1]
+
+    def test_undirected_symmetrizes(self):
+        g = Graph([0], [1], 2, directed=False)
+        assert g.m == 2
+        assert g.num_undirected_edges == 1
+
+    def test_num_undirected_edges_rejected_on_digraph(self):
+        g = Graph([0], [1], 2, directed=True)
+        with pytest.raises(ValueError):
+            g.num_undirected_edges
+
+    def test_self_loops_dropped(self):
+        g = Graph([0, 1], [0, 0], 2, directed=True)
+        assert g.m == 1
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph([0, 0, 0], [1, 1, 1], 2, directed=True)
+        assert g.m == 1
+
+    def test_from_edges_pairs(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], 3, directed=True)
+        assert g.m == 2
+
+    def test_from_edges_empty(self):
+        g = Graph.from_edges([], 3, directed=False)
+        assert g.m == 0 and g.n == 3
+
+    def test_from_edges_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(m, 2\)"):
+            Graph.from_edges(np.zeros((2, 3)), 3, directed=True)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            Graph([], [], -1, directed=True)
+
+    def test_from_scipy(self):
+        from scipy.sparse import coo_array
+
+        sp = coo_array((np.ones(2), ([0, 1], [1, 2])), shape=(3, 3))
+        g = Graph.from_scipy(sp, directed=True)
+        assert g.m == 2
+
+    def test_from_scipy_rejects_non_square(self):
+        from scipy.sparse import coo_array
+
+        sp = coo_array(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            Graph.from_scipy(sp, directed=True)
+
+    def test_networkx_roundtrip(self):
+        import networkx as nx
+
+        nxg = nx.DiGraph([(0, 1), (1, 2), (2, 0)])
+        g = Graph.from_networkx(nxg)
+        back = g.to_networkx()
+        assert sorted(back.edges()) == sorted(nxg.edges())
+
+
+class TestDerived:
+    def test_degrees_directed(self):
+        g = Graph([0, 0, 1], [1, 2, 2], 3, directed=True)
+        assert g.out_degree().tolist() == [2, 1, 0]
+        assert g.in_degree().tolist() == [0, 1, 2]
+
+    def test_degrees_undirected_symmetric(self):
+        g = Graph([0, 0], [1, 2], 3, directed=False)
+        assert np.array_equal(g.out_degree(), g.in_degree())
+
+    def test_degrees_cached(self):
+        g = Graph([0], [1], 2, directed=True)
+        assert g.out_degree() is g.out_degree()
+
+    def test_reverse(self):
+        g = Graph([0, 1], [1, 2], 3, directed=True)
+        r = g.reverse()
+        assert np.array_equal(r.out_degree(), g.in_degree())
+        assert r.m == g.m
+
+    def test_reverse_of_undirected_is_identical(self):
+        g = Graph([0, 1], [1, 2], 3, directed=False)
+        r = g.reverse()
+        assert np.array_equal(np.sort(r.src), np.sort(g.src))
+
+    def test_formats_agree(self):
+        g = Graph([0, 0, 1, 3], [1, 2, 3, 0], 4, directed=True)
+        d = g.to_csc().to_dense()
+        assert np.array_equal(g.to_cooc().to_dense(), d)
+        assert np.array_equal(g.to_csr().to_dense(), d)
+
+    def test_format_views_cached(self):
+        g = Graph([0], [1], 2, directed=True)
+        assert g.to_csc() is g.to_csc()
+        assert g.to_cooc() is g.to_cooc()
+
+    def test_scipy_csc_matches(self):
+        g = Graph([0, 1], [1, 2], 3, directed=True)
+        assert np.array_equal(np.asarray(g.to_scipy_csc().todense()), g.to_csc().to_dense())
+
+    def test_repr(self):
+        g = Graph([0], [1], 2, directed=False, name="t")
+        assert "undirected" in repr(g) and "'t'" in repr(g)

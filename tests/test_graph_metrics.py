@@ -1,0 +1,107 @@
+"""Structural metric tests (scf, degree stats, BFS depth)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import (
+    DegreeStats,
+    bfs_depth,
+    bfs_levels,
+    classify_regularity,
+    degree_stats,
+    scale_free_metric,
+)
+
+
+def star(n):
+    return Graph(np.zeros(n - 1, dtype=np.int64), np.arange(1, n), n, directed=False)
+
+
+def path(n):
+    idx = np.arange(n - 1)
+    return Graph(idx, idx + 1, n, directed=False)
+
+
+class TestDegreeStats:
+    def test_path(self):
+        s = degree_stats(path(5))
+        assert s.max == 2 and s.mean == pytest.approx(8 / 5)
+
+    def test_uses_out_degree_for_digraphs(self):
+        g = Graph([0, 0, 0], [1, 2, 3], 4, directed=True)
+        assert degree_stats(g).max == 3
+
+    def test_empty_graph(self):
+        s = degree_stats(Graph([], [], 0, directed=False))
+        assert s == DegreeStats(0, 0.0, 0.0)
+
+    def test_str_format(self):
+        assert str(DegreeStats(44, 6.2, 3.9)) == "44/6/4"
+
+
+class TestScaleFreeMetric:
+    def test_ring_is_regular(self):
+        n = 64
+        idx = np.arange(n)
+        g = Graph(idx, (idx + 1) % n, n, directed=False)
+        # every degree is 2: expected neighbour degree = 2
+        assert scale_free_metric(g) == pytest.approx(2.0)
+
+    def test_star_is_low(self):
+        # hub neighbours are all leaves: metric ~2 despite extreme max degree
+        # (this is the mawi phenomenon: regular under scf)
+        assert scale_free_metric(star(256)) < 3
+
+    def test_clique_equals_degree(self):
+        n = 16
+        src, dst = np.nonzero(~np.eye(n, dtype=bool))
+        g = Graph(src, dst, n, directed=False)
+        assert scale_free_metric(g) == pytest.approx(n - 1)
+
+    def test_empty(self):
+        assert scale_free_metric(Graph([], [], 3, directed=False)) == 0.0
+
+    def test_mycielski_is_irregular_at_scale(self):
+        from repro.graphs.generators import mycielski_graph
+
+        assert classify_regularity(mycielski_graph(13)) == "irregular"
+
+    def test_road_like_is_regular(self):
+        assert classify_regularity(path(200)) == "regular"
+
+
+class TestBFS:
+    def test_path_depth(self):
+        assert bfs_depth(path(10), 0) == 9
+        assert bfs_depth(path(10), 5) == 5
+
+    def test_star_depth(self):
+        assert bfs_depth(star(10), 0) == 1
+        assert bfs_depth(star(10), 3) == 2
+
+    def test_levels_unreachable(self):
+        g = Graph([0], [1], 4, directed=True)
+        lv = bfs_levels(g, 0)
+        assert lv[0] == 0 and lv[1] == 1
+        assert lv[2] == -1 and lv[3] == -1
+
+    def test_directed_respects_orientation(self):
+        g = Graph([0, 1], [1, 2], 3, directed=True)
+        assert bfs_depth(g, 0) == 2
+        assert bfs_depth(g, 2) == 0
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            bfs_levels(path(3), 7)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from tests.conftest import random_graph
+
+        g = random_graph(50, 0.06, directed=True, seed=9)
+        lv = bfs_levels(g, 0)
+        nx_lv = nx.single_source_shortest_path_length(g.to_networkx(), 0)
+        for v in range(g.n):
+            assert lv[v] == nx_lv.get(v, -1)

@@ -1,0 +1,126 @@
+"""Performance-accounting tests: MTEPs, footprint model, CPU models."""
+
+import pytest
+
+from repro.gpusim.device import TITAN_XP
+from repro.perf.calibration import CPU_CALIBRATION
+from repro.perf.cpu import CpuCostModel, MulticoreCostModel
+from repro.perf.memory_model import (
+    FootprintModel,
+    gunrock_footprint_words,
+    turbobc_footprint_words,
+)
+from repro.perf.mteps import bc_per_vertex_mteps, exact_bc_mteps, gteps
+
+
+class TestMteps:
+    def test_bc_per_vertex_paper_convention(self):
+        # mark3jac060sc: m = 171k edges in 2.1 ms -> 82 MTEPs (Table 1)
+        assert bc_per_vertex_mteps(171_000, 2.1e-3) == pytest.approx(81.4, abs=0.5)
+
+    def test_exact_bc_paper_convention(self):
+        # mycielskian16 row of Table 5: n*m = 1.639e12 in 159.8 s -> 10257 MTEPs
+        assert exact_bc_mteps(49_151, 33_343_414, 159.8) == pytest.approx(10_255, rel=0.01)
+
+    def test_gteps(self):
+        assert gteps(18_470) == pytest.approx(18.47)
+
+    def test_rejects_zero_runtime(self):
+        with pytest.raises(ValueError):
+            bc_per_vertex_mteps(10, 0.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            exact_bc_mteps(-1, 10, 1.0)
+
+
+class TestFootprintModel:
+    def test_turbobc_csc_is_7n_plus_m(self):
+        assert turbobc_footprint_words(10, 100, "csc") == 70 + 1 + 100
+
+    def test_turbobc_cooc_is_6n_plus_2m(self):
+        assert turbobc_footprint_words(10, 100, "cooc") == 60 + 200
+
+    def test_gunrock_is_9n_plus_2m(self):
+        assert gunrock_footprint_words(10, 100) == 90 + 2 + 200
+
+    def test_reduction_is_2n_plus_m(self):
+        """The paper's claimed saving."""
+        model = FootprintModel(1000, 5000)
+        assert model.reduction_words() == 2 * 1000 + 1 + 5000
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            turbobc_footprint_words(1, 1, "csr")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gunrock_footprint_words(-1, 0)
+
+    @pytest.mark.parametrize(
+        "name,n,m,fmt",
+        [
+            ("kmer_V1r", 214_000_000, 465_000_000, "csc"),
+            ("it-2004", 42_000_000, 1_151_000_000, "cooc"),
+            ("GAP-twitter", 62_000_000, 1_469_000_000, "csc"),
+            ("sk-2005", 51_000_000, 1_950_000_000, "csc"),
+        ],
+    )
+    def test_table4_verdicts(self, name, n, m, fmt):
+        """Every Table 4 graph fits TurboBC but OOMs gunrock on the TITAN Xp."""
+        model = FootprintModel(n, m)
+        cap = TITAN_XP.global_memory_bytes
+        assert model.fits(cap, system="turbobc", fmt=fmt), name
+        assert not model.fits(cap, system="gunrock"), name
+
+    def test_table3_graphs_fit_both(self):
+        """mycielskian19 (the largest Table 3 graph) fits both systems."""
+        model = FootprintModel(393_000, 903_195_000)
+        cap = TITAN_XP.global_memory_bytes
+        assert model.fits(cap, system="turbobc")
+        assert model.fits(cap, system="gunrock")
+
+    def test_fits_unknown_system(self):
+        with pytest.raises(ValueError):
+            FootprintModel(1, 1).fits(100, system="cusparse")
+
+
+class TestCpuModels:
+    def test_sequential_linear_in_ops(self):
+        a = CpuCostModel()
+        a.charge_stream(1000)
+        b = CpuCostModel()
+        b.charge_stream(2000)
+        assert b.time_s == pytest.approx(2 * a.time_s)
+
+    def test_random_costs_more_than_stream(self):
+        a = CpuCostModel()
+        a.charge_stream(1000)
+        b = CpuCostModel()
+        b.charge_random(1000)
+        assert b.time_s > a.time_s
+
+    def test_rejects_negative_charge(self):
+        with pytest.raises(ValueError):
+            CpuCostModel().charge_stream(-1)
+
+    def test_multicore_sync_floor(self):
+        m = MulticoreCostModel()
+        m.charge_level(0, 0, 0)
+        assert m.time_s == pytest.approx(m.machine.sync_overhead_s)
+
+    def test_multicore_bandwidth_ceiling(self):
+        m = MulticoreCostModel()
+        huge_bytes = int(m.machine.bandwidth_gbs * 1e9)  # 1 s of traffic
+        m.charge_level(0, 0, huge_bytes)
+        assert m.time_s >= 1.0
+
+    def test_multicore_parallel_speedup(self):
+        m = MulticoreCostModel()
+        m.charge_level(10_000_000, 0, 0)
+        serial = 10_000_000 * CPU_CALIBRATION.sequential_random_access_s
+        assert m.time_s < serial  # parallelism helps
+
+    def test_multicore_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MulticoreCostModel().charge_level(-1, 0, 0)

@@ -1,0 +1,164 @@
+"""Benchmark-suite registry and experiment-runner tests.
+
+Runner tests use miniature stand-in entries so the suite stays fast; the
+real registry entries are validated structurally and two small ones are
+actually built.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import (
+    check_paper_scale_memory,
+    run_bc_per_vertex,
+    run_exact_bc,
+    _plan_gunrock_arrays,
+    _plan_turbobc_arrays,
+)
+from repro.bench.tables import format_comparison_table, format_rows
+from repro.graphs import suite
+from repro.graphs.suite import BenchmarkGraph, PaperRow, TABLE5
+from repro.gpusim.device import Device, TITAN_XP
+from tests.conftest import random_graph
+
+
+def tiny_entry(name="tiny", directed=False, algorithm="sccsc", table=1):
+    return BenchmarkGraph(
+        name=name,
+        table=table,
+        directed=directed,
+        algorithm=algorithm,
+        paper=PaperRow(100, 500, 10, 5, 2, 4, 9, 1.0, 100, 10, 2.0, 1.5),
+        factory=lambda: random_graph(60, 0.08, directed=directed, seed=1,
+                                     connected_chain=True),
+    )
+
+
+class TestRegistry:
+    def test_thirty_three_graphs(self):
+        assert len(suite.SUITE) == 33
+
+    def test_table_sizes_match_paper(self):
+        assert len(suite.table(1)) == 10
+        assert len(suite.table(2)) == 10
+        assert len(suite.table(3)) == 9
+        assert len(suite.table(4)) == 4
+
+    def test_directedness_split(self):
+        directed = sum(e.directed for e in suite.SUITE.values())
+        assert directed == 15  # the paper: 15 directed, 18 undirected
+
+    def test_table5_references_resolve(self):
+        for row in TABLE5:
+            assert row.graph_name in suite.SUITE
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            suite.get("facebook")
+
+    def test_table_bounds(self):
+        with pytest.raises(ValueError):
+            suite.table(5)
+
+    def test_gunrock_oom_flags(self):
+        for e in suite.table(4):
+            assert e.paper.gunrock_oom
+        for e in suite.table(3):
+            assert not e.paper.gunrock_oom
+
+    def test_build_caches(self):
+        e = suite.get("mycielskian15")  # repro-scale: mycielskian 12
+        try:
+            g1 = e.build()
+            assert g1 is e.build()
+            assert g1.name == "mycielskian15"
+        finally:
+            suite.clear_graph_cache()
+
+    def test_paper_rows_have_expected_magnitudes(self):
+        for e in suite.SUITE.values():
+            p = e.paper
+            assert p.n > 0 and p.m > 0
+            assert p.degree_max >= p.degree_mean
+            assert p.depth >= 1
+
+    def test_algorithms_match_tables(self):
+        assert all(e.algorithm == "sccsc" for e in suite.table(1))
+        assert all(e.algorithm == "sccooc" for e in suite.table(2))
+        assert all(e.algorithm == "veccsc" for e in suite.table(3))
+
+
+class TestRunner:
+    def test_bc_per_vertex_row(self):
+        row = run_bc_per_vertex(tiny_entry())
+        assert row.verified
+        assert row.runtime_ms > 0
+        assert row.mteps > 0
+        assert row.speedup_sequential > 0
+        assert row.speedup_gunrock > 0
+        assert row.speedup_ligra > 0
+        assert not row.gunrock_oom
+
+    def test_bc_per_vertex_subset_of_systems(self):
+        row = run_bc_per_vertex(tiny_entry(), systems=("sequential",), verify=False)
+        assert row.speedup_gunrock is None
+        assert row.verified is None
+
+    def test_exact_bc_row_extrapolates(self):
+        entry = tiny_entry(directed=True, algorithm="sccooc")
+        row = run_exact_bc(entry, sample_sources=10)
+        assert row.verified
+        assert row.mteps > 0
+        # extrapolated total must exceed the sampled time
+        assert row.runtime_ms > 0
+
+    def test_exact_bc_all_sources_when_small(self):
+        entry = tiny_entry()
+        row = run_exact_bc(entry, sample_sources=10**6)  # > n: runs everything
+        assert row.verified
+
+
+class TestPaperScaleMemory:
+    def test_table4_oom_reproduced(self):
+        for e in suite.table(4):
+            v = check_paper_scale_memory(e)
+            assert v["turbobc_fits"], e.name
+            assert not v["gunrock_fits"], e.name
+            assert v["turbobc_alloc_ok"], e.name
+            assert not v["gunrock_alloc_ok"], e.name
+
+    def test_model_matches_allocator(self):
+        """Closed-form words must equal the allocator's planned peak."""
+        n, m = 1_000_000, 20_000_000
+        dev = Device(backed=False)
+        peak = _plan_turbobc_arrays(dev, n, m, "csc")
+        assert peak == 4 * (7 * n + 1 + m)
+        from repro.perf.memory_model import gunrock_measured_words
+
+        dev = Device(backed=False)
+        peak = _plan_gunrock_arrays(dev, n, m)
+        assert peak == 4 * gunrock_measured_words(n, m)
+
+    def test_mycielski_group_fits_both(self):
+        for name in suite.MYCIELSKI_GROUP:
+            v = check_paper_scale_memory(suite.get(name))
+            assert v["turbobc_fits"] and v["gunrock_fits"], name
+
+    def test_custom_capacity(self):
+        e = suite.get("mycielskian19")
+        v = check_paper_scale_memory(e, capacity_bytes=2**20)
+        assert not v["turbobc_fits"]
+
+
+class TestFormatting:
+    def test_format_rows_renders(self):
+        row = run_bc_per_vertex(tiny_entry(), systems=("sequential",))
+        text = format_rows([row], title="T")
+        assert "tiny" in text and "MTEPs" in text and text.startswith("T")
+
+    def test_comparison_table_oom_marker(self):
+        entry = tiny_entry()
+        row = run_bc_per_vertex(entry, systems=())
+        row.gunrock_oom = True
+        text = format_comparison_table([entry], [row])
+        assert "OOM" in text

@@ -1,0 +1,91 @@
+"""Frontier-traversal machinery tests (used by the CPU baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_sigma_levels,
+    expand_frontier,
+    out_adjacency,
+)
+from tests.conftest import random_graph
+
+
+class TestOutAdjacency:
+    def test_groups_by_source(self):
+        g = Graph([0, 0, 2, 1], [1, 2, 0, 2], 3, directed=True)
+        starts, nbrs = out_adjacency(g)
+        assert starts.tolist() == [0, 2, 3, 4]
+        assert sorted(nbrs[0:2].tolist()) == [1, 2]
+
+    def test_cached(self):
+        g = Graph([0], [1], 2, directed=True)
+        assert out_adjacency(g)[1] is out_adjacency(g)[1]
+
+    def test_isolated_vertices(self):
+        g = Graph([0], [1], 5, directed=True)
+        starts, _ = out_adjacency(g)
+        assert starts.tolist() == [0, 1, 1, 1, 1, 1]
+
+
+class TestExpandFrontier:
+    def test_gathers_all_neighbours(self):
+        g = Graph([0, 0, 1], [1, 2, 2], 3, directed=True)
+        starts, nbrs = out_adjacency(g)
+        targets, origin = expand_frontier(starts, nbrs, np.array([0, 1]))
+        assert sorted(targets.tolist()) == [1, 2, 2]
+        assert origin.tolist() == [0, 0, 1]
+
+    def test_empty_frontier(self):
+        g = Graph([0], [1], 2, directed=True)
+        starts, nbrs = out_adjacency(g)
+        targets, origin = expand_frontier(starts, nbrs, np.empty(0, dtype=np.int64))
+        assert targets.size == 0 and origin.size == 0
+
+    def test_frontier_of_sinks(self):
+        g = Graph([0], [1], 3, directed=True)
+        starts, nbrs = out_adjacency(g)
+        targets, _ = expand_frontier(starts, nbrs, np.array([1, 2]))
+        assert targets.size == 0
+
+
+class TestBfsSigmaLevels:
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_matches_turbo_forward(self, directed):
+        from repro.core.bfs import turbo_bfs
+
+        g = random_graph(60, 0.06, directed=directed, seed=17)
+        sigma, levels, depth, _ = bfs_sigma_levels(g, 0)
+        ref = turbo_bfs(g, 0, forward_dtype=np.float64)
+        np.testing.assert_array_equal(sigma, ref.sigma)
+        np.testing.assert_array_equal(levels[sigma > 0], ref.levels[sigma > 0])
+        assert depth == ref.depth
+
+    def test_trace_accounts(self):
+        g = Graph([0, 0, 1, 2], [1, 2, 3, 3], 4, directed=True)
+        sigma, levels, depth, trace = bfs_sigma_levels(g, 0)
+        assert sigma.tolist() == [1, 1, 1, 2]
+        assert depth == 2
+        assert trace.frontier_sizes[:2] == [1, 2]
+        assert trace.frontier_edges[:2] == [2, 2]
+        assert trace.discovered[:2] == [2, 1]
+        # vertex 3 receives two simultaneous contributions at level 2
+        assert trace.max_target_multiplicity[1] == 2
+
+    def test_unvisited_in_edges_monotone(self):
+        g = random_graph(80, 0.05, directed=False, seed=19)
+        _, _, _, trace = bfs_sigma_levels(g, 0)
+        ue = trace.unvisited_in_edges
+        assert all(a >= b for a, b in zip(ue, ue[1:]))
+
+    def test_source_out_of_range(self):
+        g = Graph([0], [1], 2, directed=True)
+        with pytest.raises(ValueError):
+            bfs_sigma_levels(g, 5)
+
+    def test_isolated_source(self):
+        g = Graph([1], [0], 3, directed=True)
+        sigma, levels, depth, trace = bfs_sigma_levels(g, 0)
+        assert depth == 0
+        assert sigma.tolist() == [1, 0, 0]

@@ -1,0 +1,207 @@
+"""End-to-end TurboBC tests against the Brandes oracle and networkx."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brandes import brandes_bc
+from repro.core.bc import turbo_bc
+from repro.graphs.graph import Graph
+from repro.gpusim.device import Device
+from tests.conftest import assert_bc_close, networkx_bc, random_graph
+
+ALGOS = ["sccooc", "sccsc", "veccsc"]
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_path_graph(self, path_graph, algorithm):
+        res = turbo_bc(path_graph, algorithm=algorithm)
+        # undirected path 0-1-2-3-4: bc = [0, 3, 4, 3, 0]
+        assert_bc_close(res.bc, [0, 3, 4, 3, 0])
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_directed_diamond(self, diamond_graph, algorithm):
+        res = turbo_bc(diamond_graph, algorithm=algorithm)
+        assert_bc_close(res.bc, [0, 0.5, 0.5, 0])
+
+    def test_star_center(self):
+        g = Graph([0, 0, 0, 0], [1, 2, 3, 4], 5, directed=False)
+        res = turbo_bc(g)
+        # all shortest paths between the 4 leaves pass through the hub
+        assert_bc_close(res.bc, [6, 0, 0, 0, 0])
+
+    def test_cycle_symmetric(self):
+        n = 7
+        idx = np.arange(n)
+        g = Graph(idx, (idx + 1) % n, n, directed=False)
+        res = turbo_bc(g)
+        assert np.allclose(res.bc, res.bc[0])
+
+    def test_disconnected_components(self):
+        g = Graph([0, 1, 3, 4], [1, 2, 4, 5], 6, directed=False)
+        res = turbo_bc(g)
+        assert_bc_close(res.bc, [0, 1, 0, 0, 1, 0])
+
+    def test_empty_graph(self):
+        g = Graph([], [], 4, directed=False)
+        res = turbo_bc(g)
+        assert not res.bc.any()
+
+    def test_single_vertex(self):
+        g = Graph([], [], 1, directed=True)
+        res = turbo_bc(g)
+        assert res.bc.tolist() == [0.0]
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    @pytest.mark.parametrize("directed", [True, False])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_all_sources_vs_brandes(self, algorithm, directed, seed):
+        g = random_graph(45, 0.07, directed=directed, seed=seed)
+        res = turbo_bc(g, algorithm=algorithm, forward_dtype=np.int64,
+                       backward_dtype=np.float64)
+        assert_bc_close(res.bc, brandes_bc(g), rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_float32_backward_accuracy(self, directed):
+        """The paper's float32 dependency vectors stay within single-precision
+        accumulation error of the float64 oracle."""
+        g = random_graph(45, 0.07, directed=directed, seed=21)
+        res = turbo_bc(g, forward_dtype=np.int64)  # default float32 backward
+        assert_bc_close(res.bc, brandes_bc(g), rtol=1e-4, atol=1e-3)
+
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_vs_networkx(self, directed):
+        g = random_graph(35, 0.1, directed=directed, seed=8)
+        res = turbo_bc(g, forward_dtype=np.int64, backward_dtype=np.float64)
+        assert_bc_close(res.bc, networkx_bc(g), rtol=1e-9, atol=1e-9)
+
+    def test_single_source_subset(self, small_undirected):
+        full = turbo_bc(small_undirected, sources=5, forward_dtype=np.int64,
+                        backward_dtype=np.float64)
+        oracle = brandes_bc(small_undirected, sources=5)
+        assert_bc_close(full.bc, oracle, rtol=1e-9, atol=1e-9)
+
+    def test_source_list(self, small_directed):
+        res = turbo_bc(small_directed, sources=[0, 3, 7], forward_dtype=np.int64,
+                       backward_dtype=np.float64)
+        oracle = brandes_bc(small_directed, sources=[0, 3, 7])
+        assert_bc_close(res.bc, oracle, rtol=1e-9, atol=1e-9)
+
+    def test_relabelling_invariance(self, rng):
+        """BC values permute with the vertices."""
+        g = random_graph(40, 0.08, directed=False, seed=13)
+        perm = rng.permutation(g.n)
+        g2 = Graph(perm[g.src], perm[g.dst], g.n, directed=False)
+        bc1 = turbo_bc(g, forward_dtype=np.int64, backward_dtype=np.float64).bc
+        bc2 = turbo_bc(g2, forward_dtype=np.int64, backward_dtype=np.float64).bc
+        assert_bc_close(bc2[perm], bc1, rtol=1e-9, atol=1e-9)
+
+
+class TestDtypePolicy:
+    def overflow_graph(self):
+        edges = []
+        v = 0
+        for _ in range(40):
+            a, b, c = v + 1, v + 2, v + 3
+            edges += [(v, a), (v, b), (a, c), (b, c)]
+            v = c
+        return Graph.from_edges(edges, v + 1, directed=True)
+
+    def test_auto_falls_back_to_float64(self):
+        g = self.overflow_graph()
+        res = turbo_bc(g, sources=0)  # default "auto"
+        assert_bc_close(res.bc, brandes_bc(g, sources=0), rtol=1e-6, atol=1e-6)
+
+    def test_explicit_int32_raises(self):
+        from repro.core.forward import SigmaOverflowError
+
+        with pytest.raises(SigmaOverflowError):
+            turbo_bc(self.overflow_graph(), sources=0, forward_dtype=np.int32)
+
+    def test_int32_fine_on_small_graph(self, small_undirected):
+        res = turbo_bc(small_undirected, forward_dtype=np.int32)
+        assert_bc_close(res.bc, brandes_bc(small_undirected), rtol=1e-5, atol=1e-4)
+
+
+class TestStatsAndDevice:
+    def test_stats_fields(self, small_undirected):
+        res = turbo_bc(small_undirected, sources=0, algorithm="sccsc")
+        st = res.stats
+        assert st.algorithm == "TurboBC-scCSC"
+        assert st.n == small_undirected.n
+        assert st.m == small_undirected.m
+        assert st.sources == 1
+        assert st.gpu_time_s > 0
+        assert st.kernel_launches > 0
+        assert st.mteps() > 0
+        assert st.runtime_ms == pytest.approx(st.gpu_time_s * 1e3)
+
+    def test_device_clean_after_run(self, small_undirected):
+        device = Device()
+        turbo_bc(small_undirected, sources=0, device=device)
+        assert device.memory.used_bytes == 0
+
+    def test_peak_memory_tracks_footprint(self, small_undirected):
+        res = turbo_bc(small_undirected, sources=0, algorithm="sccsc",
+                       forward_dtype=np.int32)
+        n, m = small_undirected.n, small_undirected.m
+        expected = 4 * (7 * n + 1 + m)  # the paper's 7n + m words
+        assert res.stats.peak_memory_bytes == expected
+
+    def test_keep_forward(self, small_undirected):
+        res = turbo_bc(small_undirected, sources=2, keep_forward=True)
+        assert res.forward is not None
+        assert res.forward.source == 2
+
+    def test_unknown_algorithm_rejected(self, small_undirected):
+        with pytest.raises(ValueError, match="unknown"):
+            turbo_bc(small_undirected, algorithm="nope")
+
+    def test_mteps_conventions(self, small_undirected):
+        res = turbo_bc(small_undirected, sources=[0, 1])
+        expected = small_undirected.m * 2 / res.stats.gpu_time_s / 1e6
+        assert res.stats.mteps() == pytest.approx(expected)
+
+    def test_top_k(self, path_graph):
+        res = turbo_bc(path_graph)
+        top = res.top(2)
+        assert top[0] == (2, 4.0)
+        assert len(top) == 2
+
+
+class TestSelector:
+    def test_irregular_picks_veccsc(self):
+        from repro.core.bc import select_algorithm
+        from repro.graphs.generators import mycielski_graph
+
+        assert select_algorithm(mycielski_graph(13)).name == "veccsc"
+
+    def test_outlier_regular_picks_sccooc(self):
+        from repro.core.bc import select_algorithm
+        from repro.graphs.generators import traffic_trace_graph
+
+        assert select_algorithm(traffic_trace_graph(30_000, seed=1)).name == "sccooc"
+
+    def test_uniform_regular_picks_sccsc(self):
+        from repro.core.bc import select_algorithm
+        from repro.graphs.generators import delaunay_graph
+
+        assert select_algorithm(delaunay_graph(10, seed=1)).name == "sccsc"
+
+    def test_scf_can_be_precomputed(self, small_undirected):
+        from repro.core.bc import select_algorithm
+
+        assert select_algorithm(small_undirected, scf=10_000).name == "veccsc"
+
+    def test_label(self):
+        from repro.core.bc import TurboBCAlgorithm
+
+        assert TurboBCAlgorithm("sccooc").label == "TurboBC-scCOOC"
+
+    def test_invalid_name(self):
+        from repro.core.bc import TurboBCAlgorithm
+
+        with pytest.raises(ValueError):
+            TurboBCAlgorithm("csr")

@@ -1,0 +1,204 @@
+"""Tests for the validation module and the analytics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    gini_coefficient,
+    normalize_bc,
+    spearman_rank_correlation,
+    top_k,
+    top_k_overlap,
+)
+from repro.core.bc import turbo_bc
+from repro.core.bfs import turbo_bfs
+from repro.core.validate import validate_bc, validate_bfs
+from repro.graphs.graph import Graph
+from tests.conftest import random_graph
+
+
+class TestValidateBFS:
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_accepts_correct_result(self, directed):
+        g = random_graph(50, 0.07, directed=directed, seed=4)
+        res = turbo_bfs(g, 0, forward_dtype=np.int64)
+        report = validate_bfs(g, res)
+        assert report.ok, report.errors
+
+    def test_detects_corrupted_sigma(self, small_undirected):
+        res = turbo_bfs(small_undirected, 0, forward_dtype=np.int64)
+        reached = np.flatnonzero(res.sigma > 0)
+        victim = int(reached[-1])
+        if victim == 0:
+            pytest.skip("graph too small")
+        res.sigma[victim] += 5
+        report = validate_bfs(small_undirected, res)
+        assert not report.ok
+        assert any("sigma mismatch" in e for e in report.errors)
+
+    def test_detects_level_skip(self, small_undirected):
+        res = turbo_bfs(small_undirected, 0, forward_dtype=np.int64)
+        deep = np.flatnonzero((res.sigma > 0) & (res.levels >= 1))
+        if deep.size == 0:
+            pytest.skip("no depth")
+        res.levels[int(deep[-1])] += 5
+        report = validate_bfs(small_undirected, res)
+        assert not report.ok
+
+    def test_detects_wrong_source_sigma(self, small_undirected):
+        res = turbo_bfs(small_undirected, 0, forward_dtype=np.int64)
+        res.sigma[0] = 3
+        report = validate_bfs(small_undirected, res)
+        assert not report.ok
+        assert any("source" in e for e in report.errors)
+
+    def test_detects_unreached_leak(self):
+        g = Graph([0, 1], [1, 2], 4, directed=True)
+        res = turbo_bfs(g, 0, forward_dtype=np.int64)
+        res.sigma[2] = 0  # pretend 2 was never reached
+        report = validate_bfs(g, res)
+        assert not report.ok
+
+    def test_raise_if_failed(self, small_undirected):
+        res = turbo_bfs(small_undirected, 0, forward_dtype=np.int64)
+        res.sigma[0] = 99
+        with pytest.raises(AssertionError, match="validation failed"):
+            validate_bfs(small_undirected, res).raise_if_failed()
+
+
+class TestValidateBC:
+    def test_accepts_correct_bc(self, small_undirected):
+        res = turbo_bc(small_undirected, forward_dtype=np.int64,
+                       backward_dtype=np.float64)
+        report = validate_bc(small_undirected, res.bc, check_conservation=True)
+        assert report.ok, report.errors
+
+    def test_detects_negative(self, small_undirected):
+        bc = np.zeros(small_undirected.n)
+        bc[3] = -1.0
+        assert not validate_bc(small_undirected, bc).ok
+
+    def test_detects_conservation_violation(self, small_undirected):
+        res = turbo_bc(small_undirected, forward_dtype=np.int64)
+        bc = res.bc.copy()
+        hub = int(np.argmax(bc))
+        bc[hub] *= 2
+        report = validate_bc(small_undirected, bc, check_conservation=True)
+        assert not report.ok
+
+    def test_detects_shape_mismatch(self, small_undirected):
+        assert not validate_bc(small_undirected, np.zeros(3)).ok
+
+    def test_detects_leaf_with_bc(self):
+        g = Graph([0, 1], [1, 2], 3, directed=False)  # path: 0 and 2 are leaves
+        bc = np.array([5.0, 1.0, 0.0])
+        assert not validate_bc(g, bc).ok
+
+
+class TestNormalize:
+    def test_matches_networkx(self, small_undirected):
+        import networkx as nx
+
+        res = turbo_bc(small_undirected, forward_dtype=np.int64,
+                       backward_dtype=np.float64)
+        norm = normalize_bc(res.bc, small_undirected.n, directed=False)
+        expected = nx.betweenness_centrality(
+            small_undirected.to_networkx(), normalized=True
+        )
+        np.testing.assert_allclose(
+            norm, [expected[i] for i in range(small_undirected.n)], atol=1e-9
+        )
+
+    def test_tiny_graph(self):
+        assert normalize_bc(np.zeros(2), 2, directed=True).tolist() == [0, 0]
+
+    def test_directed_scale_differs(self):
+        bc = np.ones(5)
+        u = normalize_bc(bc, 5, directed=False)
+        d = normalize_bc(bc, 5, directed=True)
+        np.testing.assert_allclose(u, 2 * d)
+
+
+class TestRankings:
+    def test_top_k_order(self):
+        v = np.array([1.0, 9.0, 3.0, 9.0])
+        assert top_k(v, 3).tolist() == [1, 3, 2]  # ties by index
+
+    def test_top_k_bounds(self):
+        assert top_k(np.array([1.0]), 5).tolist() == [0]
+        assert top_k(np.array([1.0]), 0).size == 0
+
+    def test_overlap_identical(self):
+        v = np.arange(10.0)
+        assert top_k_overlap(v, v, 3) == 1.0
+
+    def test_overlap_disjoint(self):
+        a = np.array([1.0, 0, 0, 0])
+        b = np.array([0.0, 0, 0, 1])
+        assert top_k_overlap(a, b, 1) == 0.0
+
+    def test_spearman_perfect(self):
+        a = np.array([1.0, 2, 3, 4])
+        assert spearman_rank_correlation(a, 10 * a) == pytest.approx(1.0)
+
+    def test_spearman_reversed(self):
+        a = np.array([1.0, 2, 3, 4])
+        assert spearman_rank_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_spearman_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation(np.ones(3), np.ones(4))
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.ones(100)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_hub_near_one(self):
+        v = np.zeros(1000)
+        v[0] = 1.0
+        assert gini_coefficient(v) > 0.99
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+    def test_road_vs_social_concentration(self):
+        """BC mass is more concentrated on a hub graph than on a path."""
+        from repro.graphs.generators import traffic_trace_graph
+        from repro.baselines.brandes import brandes_bc
+
+        idx = np.arange(99)
+        path = Graph(idx, idx + 1, 100, directed=False)
+        hub = traffic_trace_graph(100, seed=1)
+        g_path = gini_coefficient(brandes_bc(path))
+        g_hub = gini_coefficient(brandes_bc(hub))
+        assert g_hub > g_path
+
+
+class TestSubgraph:
+    def test_induced_edges(self):
+        g = Graph([0, 1, 2, 3], [1, 2, 3, 0], 5, directed=True)
+        sub, mapping = g.subgraph([1, 2, 3])
+        assert mapping.tolist() == [1, 2, 3]
+        assert sub.m == 2  # 1->2, 2->3 survive; 3->0 and 0->1 cut
+
+    def test_bc_on_component_matches(self):
+        g = random_graph(40, 0.08, directed=False, seed=9)
+        from repro.baselines.brandes import brandes_bc
+        from repro.graphs.traversal import bfs_sigma_levels
+
+        sigma, _, _, _ = bfs_sigma_levels(g, 0)
+        comp = np.flatnonzero(sigma > 0)
+        sub, mapping = g.subgraph(comp)
+        bc_full = brandes_bc(g)
+        bc_sub = brandes_bc(sub)
+        np.testing.assert_allclose(bc_sub, bc_full[mapping], atol=1e-9)
+
+    def test_out_of_range(self):
+        g = Graph([0], [1], 2, directed=True)
+        with pytest.raises(ValueError):
+            g.subgraph([0, 7])
