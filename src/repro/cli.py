@@ -65,11 +65,13 @@ def cmd_bc(args) -> int:
         algorithm=args.algorithm,
         device=device,
         forward_dtype="auto",
+        batch_size=args.batch_size,
     )
     st = result.stats
+    batched = f", batch={st.batch_size}" if st.batch_size > 1 else ""
     print(f"{st.algorithm} on {graph}: modeled {st.runtime_ms:.3f} ms, "
           f"{st.mteps():.1f} MTEPs, {st.kernel_launches} launches, "
-          f"peak {st.peak_memory_bytes / 2**20:.2f} MiB")
+          f"peak {st.peak_memory_bytes / 2**20:.2f} MiB{batched}")
     print(f"top-{args.top} vertices by betweenness:")
     for v, score in result.top(args.top):
         print(f"  {v:10d}  {score:.4f}")
@@ -114,6 +116,21 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def _batch_size_arg(value: str):
+    """argparse type for ``--batch-size``: positive int or the string 'auto'."""
+    if value == "auto":
+        return value
+    try:
+        b = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"batch size must be a positive integer or 'auto', got {value!r}"
+        ) from None
+    if b < 1:
+        raise argparse.ArgumentTypeError(f"batch size must be >= 1, got {b}")
+    return b
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -128,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="single BFS source (default: exact BC, all sources)")
     p_bc.add_argument("--algorithm", choices=("sccooc", "sccsc", "veccsc"),
                       default=None, help="pin the kernel (default: auto by scf)")
+    p_bc.add_argument("--batch-size", type=_batch_size_arg, default=1,
+                      metavar="B|auto",
+                      help="sources per SpMM batch: a positive int, or 'auto' "
+                           "to size from device memory (default: 1)")
     p_bc.add_argument("--top", type=int, default=10)
     p_bc.add_argument("--profile", action="store_true", help="print the kernel profile")
     p_bc.add_argument("--output", help="write the bc vector to a file")

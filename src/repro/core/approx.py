@@ -27,13 +27,16 @@ def approximate_bc(
     algorithm: str | TurboBCAlgorithm | None = None,
     device: Device | None = None,
     forward_dtype="auto",
+    batch_size: int | str = 1,
 ) -> BCResult:
     """Estimate BC from ``n_pivots`` uniformly sampled sources.
 
     Returns a :class:`~repro.core.result.BCResult` whose ``bc`` vector is the
     rescaled (``n / k``) estimate; ``stats`` describes the sampled run (the
     modeled time is the *actual* sampled cost, not an extrapolation --
-    that is the point of approximating).
+    that is the point of approximating).  ``batch_size`` is forwarded to
+    :func:`~repro.core.bc.turbo_bc` -- pivot sampling composes naturally
+    with SpMM batching.
 
     Raises ``ValueError`` if ``n_pivots`` is not in ``[1, n]``.
     """
@@ -48,6 +51,7 @@ def approximate_bc(
         algorithm=algorithm,
         device=device,
         forward_dtype=forward_dtype,
+        batch_size=batch_size,
     )
     scale = n / n_pivots
     return BCResult(bc=result.bc * scale, stats=result.stats, forward=result.forward)

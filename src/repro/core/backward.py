@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.core import frontier as FK
 from repro.core.context import TurboBCContext
-from repro.core.result import BFSResult
+from repro.core.result import BatchedBFSResult, BFSResult
 
 
 def accumulate_dependencies(ctx: TurboBCContext, fwd: BFSResult) -> np.ndarray:
@@ -33,3 +33,28 @@ def accumulate_dependencies(ctx: TurboBCContext, fwd: BFSResult) -> np.ndarray:
         FK.delta_update_kernel(ctx.device, S, sigma, delta, delta_ut, depth, tag=tag)
         depth -= 1
     return delta
+
+
+def accumulate_dependencies_batch(ctx: TurboBCContext, fwd: BatchedBFSResult) -> np.ndarray:
+    """Batched backward stage: the Brandes recurrence on ``(n, B)`` matrices.
+
+    Walks from the *deepest* lane's level down to 2; a lane whose BFS tree
+    is shorter selects no vertices at the deeper levels (its ``S`` column
+    never holds them), so its delta column stays exactly zero until the walk
+    reaches its own depth -- from where it proceeds identically to the
+    per-source :func:`accumulate_dependencies`.  Per-lane results are
+    bit-identical to the sequential stage.
+    """
+    Delta, _Delta_u, _Delta_ut = ctx.swap_to_backward_batch()
+    Sigma = fwd.sigma
+    S = fwd.levels
+    depth = fwd.depth
+    while depth > 1:
+        tag = f"d={depth}"
+        Delta_u, _ = FK.delta_u_batch_kernel(ctx.device, S, Sigma, Delta, depth, tag=tag)
+        Delta_ut, _ = ctx.spmm_backward(
+            Delta_u.astype(ctx.backward_dtype, copy=False), tag=tag
+        )
+        FK.delta_update_batch_kernel(ctx.device, S, Sigma, Delta, Delta_ut, depth, tag=tag)
+        depth -= 1
+    return Delta

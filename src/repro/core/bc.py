@@ -8,13 +8,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core import frontier as FK
-from repro.core.backward import accumulate_dependencies
+from repro.core.backward import accumulate_dependencies, accumulate_dependencies_batch
 from repro.core.context import ALGORITHMS, TurboBCContext
-from repro.core.forward import bfs_forward
+from repro.core.forward import SigmaOverflowError, bfs_forward, bfs_forward_batch
 from repro.core.result import BCResult, BCRunStats, BFSResult
 from repro.graphs.graph import Graph
 from repro.graphs.metrics import SCF_IRREGULAR_THRESHOLD, scale_free_metric
 from repro.gpusim.device import Device
+from repro.gpusim.errors import DeviceOutOfMemoryError
+from repro.perf.memory_model import turbobc_batched_footprint_words
 
 
 @dataclass(frozen=True)
@@ -61,11 +63,71 @@ def select_algorithm(graph: Graph, *, scf: float | None = None) -> TurboBCAlgori
 
 
 def _resolve_sources(graph: Graph, sources) -> list[int]:
+    """Normalise ``sources`` to a validated list of vertex indices.
+
+    Out-of-range and duplicate sources are rejected up front with a clear
+    ``ValueError`` -- not N passes deep inside ``bfs_forward`` (a duplicate
+    would silently double-count its dependencies).
+    """
     if sources is None:
         return list(range(graph.n))
     if isinstance(sources, (int, np.integer)):
-        return [int(sources)]
-    return [int(s) for s in sources]
+        src = [int(sources)]
+    else:
+        src = [int(s) for s in sources]
+    bad = [s for s in src if not 0 <= s < graph.n]
+    if bad:
+        raise ValueError(
+            f"source(s) {bad} out of range for a graph with n = {graph.n}"
+        )
+    if len(set(src)) != len(src):
+        seen: set[int] = set()
+        dups = sorted({s for s in src if s in seen or seen.add(s)})
+        raise ValueError(f"duplicate source(s) {dups}: each source may appear once")
+    return src
+
+
+#: Cap on the auto-sized batch: past ~64 lanes the per-launch savings have
+#: flattened while the host-side (n, B) working set keeps growing.
+_AUTO_BATCH_CAP = 64
+
+
+def _batched_footprint_bytes(graph: Graph, batch: int, fmt: str,
+                             forward_dtype, backward_dtype) -> int:
+    """Actual peak bytes of a batched run with the given vector dtypes.
+
+    The word model (:func:`turbobc_batched_footprint_words`) assumes 4-byte
+    words; float64 re-runs double the vector terms, so the driver's
+    admission check recomputes the same shape in bytes.
+    """
+    n, m = graph.n, graph.m
+    fwd = np.dtype(forward_dtype).itemsize
+    bwd = np.dtype(backward_dtype).itemsize
+    matrix = (n + 1 + m) * 4 if fmt == "csc" else 2 * m * 4
+    fixed = matrix + n * bwd  # the stored format + bc
+    forward_peak = batch * n * (3 * fwd + 4)           # F, Ft, Sigma + S
+    backward_peak = batch * n * (fwd + 4 + 3 * bwd)    # Sigma, S + three deltas
+    return fixed + max(forward_peak, backward_peak)
+
+
+def _auto_batch_size(graph: Graph, device: Device, n_sources: int, fmt: str,
+                     forward_dtype, backward_dtype) -> int:
+    """Size ``batch_size="auto"`` from the device memory model.
+
+    The largest B whose batched footprint fits the device's free memory,
+    clamped to ``[1, min(n_sources, 64)]``.
+    """
+    if n_sources <= 1:
+        return 1
+    fixed = _batched_footprint_bytes(graph, 1, fmt, forward_dtype, backward_dtype)
+    per_lane = (
+        _batched_footprint_bytes(graph, 2, fmt, forward_dtype, backward_dtype) - fixed
+    )
+    headroom = device.memory.free_bytes - (fixed - per_lane)
+    if per_lane <= 0:
+        return 1
+    batch = int(headroom // per_lane)
+    return max(1, min(batch, n_sources, _AUTO_BATCH_CAP))
 
 
 def turbo_bc(
@@ -76,6 +138,7 @@ def turbo_bc(
     device: Device | None = None,
     forward_dtype="auto",
     backward_dtype=np.float32,
+    batch_size: int | str = 1,
     keep_forward: bool = False,
 ) -> BCResult:
     """Compute betweenness centrality with TurboBC on the simulated device.
@@ -98,7 +161,16 @@ def turbo_bc(
         The default ``"auto"`` runs the paper's int32 forward vectors and
         transparently restarts with float64 if the shortest-path counts
         overflow (deep meshes have combinatorially many equal-length paths,
-        which the CUDA code's int32 sigma cannot represent).
+        which the CUDA code's int32 sigma cannot represent).  The batched
+        path restarts *only the overflowed sources* rather than the whole
+        run.
+    batch_size:
+        Number of BFS lanes run simultaneously through the SpMM kernels.
+        ``1`` (the default) is the paper's per-source pipeline; an int ``B``
+        processes sources in chunks of B columns; ``"auto"`` picks the
+        largest batch whose working set fits the device's free memory
+        (capped at 64).  Results are identical to ``batch_size=1`` up to
+        float accumulation order.
     keep_forward:
         Attach the last source's :class:`BFSResult` (copied host-side) to
         the returned result.
@@ -117,9 +189,43 @@ def turbo_bc(
     device = device or Device()
     src_list = _resolve_sources(graph, sources)
 
-    if isinstance(forward_dtype, str) and forward_dtype == "auto":
-        from repro.core.forward import SigmaOverflowError
+    fmt = ALGORITHMS[algorithm.name][0]
+    dtype_is_auto = isinstance(forward_dtype, str) and forward_dtype == "auto"
+    admission_fdt = np.int32 if dtype_is_auto else forward_dtype
+    if isinstance(batch_size, str):
+        if batch_size != "auto":
+            raise ValueError(
+                f"batch_size must be a positive int or 'auto', got {batch_size!r}"
+            )
+        batch = _auto_batch_size(
+            graph, device, len(src_list), fmt, admission_fdt, backward_dtype
+        )
+    else:
+        batch = int(batch_size)
+        if batch < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch}")
+        batch = min(batch, max(len(src_list), 1))
+    if batch > 1:
+        need = _batched_footprint_bytes(
+            graph, batch, fmt, admission_fdt, backward_dtype
+        )
+        if not device.memory.fits(need):
+            raise DeviceOutOfMemoryError(
+                need, device.memory.used_bytes, device.memory.capacity_bytes,
+                f"batched working set (B={batch})",
+            )
+        return _turbo_bc_batched(
+            graph,
+            src_list,
+            algorithm,
+            device,
+            forward_dtype=forward_dtype,
+            backward_dtype=backward_dtype,
+            batch=batch,
+            keep_forward=keep_forward,
+        )
 
+    if dtype_is_auto:
         try:
             return turbo_bc(
                 graph,
@@ -128,6 +234,7 @@ def turbo_bc(
                 device=device,
                 forward_dtype=np.int32,
                 backward_dtype=backward_dtype,
+                batch_size=1,
                 keep_forward=keep_forward,
             )
         except SigmaOverflowError:
@@ -139,6 +246,7 @@ def turbo_bc(
                 device=device,
                 forward_dtype=np.float64,
                 backward_dtype=np.float64,
+                batch_size=1,
                 keep_forward=keep_forward,
             )
 
@@ -191,5 +299,138 @@ def turbo_bc(
         peak_memory_bytes=device.memory.peak_bytes,
         depth_per_source=depths,
         wall_time_s=time.perf_counter() - t0,
+    )
+    return BCResult(bc=bc, stats=stats, forward=last_forward)
+
+
+def _turbo_bc_batched(
+    graph: Graph,
+    src_list: list[int],
+    algorithm: TurboBCAlgorithm,
+    device: Device,
+    *,
+    forward_dtype,
+    backward_dtype,
+    batch: int,
+    keep_forward: bool,
+) -> BCResult:
+    """The ``batch_size > 1`` driver: sources in chunks of B SpMM lanes.
+
+    With ``forward_dtype="auto"`` the main pass runs the paper's int32
+    vectors; lanes whose sigma overflows are excluded from the backward
+    stage (their columns zeroed, their ``bc`` fold skipped) and re-run
+    sequentially in float64 after the batch context closes -- only the
+    affected sources pay the wide-dtype cost.  An explicitly requested
+    integer dtype raises :class:`SigmaOverflowError` instead, matching the
+    sequential driver.
+    """
+    dtype_is_auto = isinstance(forward_dtype, str) and forward_dtype == "auto"
+    fdt = np.int32 if dtype_is_auto else np.dtype(forward_dtype)
+
+    t0 = time.perf_counter()
+    launches_before = device.profiler.total_launches()
+    gpu_time_before = device.profiler.total_time_s()
+
+    ctx = TurboBCContext(
+        device,
+        graph,
+        algorithm.name,
+        forward_dtype=fdt,
+        backward_dtype=backward_dtype,
+    )
+    bc_accum = ctx.bc_arr.data
+    depth_map: dict[int, int] = {}
+    rerun_sources: list[int] = []
+    last_forward = None
+    try:
+        for start in range(0, len(src_list), batch):
+            chunk = src_list[start : start + batch]
+            fwd = bfs_forward_batch(ctx, chunk)
+            over = fwd.overflowed
+            if over.any():
+                if not dtype_is_auto:
+                    bad = [chunk[j] for j in np.flatnonzero(over)]
+                    raise SigmaOverflowError(
+                        f"sigma overflowed dtype {fdt} during BFS from source(s) {bad}"
+                    )
+                # Zero the overflowed lanes so the backward matrices hold no
+                # garbage (a zeroed column is an exact no-op in every batched
+                # kernel) and queue their sources for the float64 re-run.
+                for j in np.flatnonzero(over):
+                    rerun_sources.append(chunk[j])
+                    fwd.sigma[:, j] = 0
+                    fwd.levels[:, j] = 0
+                    fwd.depths[j] = 0
+            for j, s in enumerate(chunk):
+                if not over[j]:
+                    depth_map[s] = fwd.depths[j]
+            if keep_forward and chunk[-1] == src_list[-1] and not over[len(chunk) - 1]:
+                last_forward = fwd.lane(len(chunk) - 1)
+            if fwd.depth > 1:
+                delta = accumulate_dependencies_batch(ctx, fwd)
+                FK.bc_update_batch_kernel(
+                    device,
+                    bc_accum,
+                    delta,
+                    chunk,
+                    undirected=not graph.directed,
+                    skip=over if over.any() else None,
+                    tag=f"s={chunk[0]}..{chunk[-1]}",
+                )
+            ctx.release_source()
+        bc = ctx.close().astype(np.float64)
+    except BaseException:
+        ctx.abort()
+        raise
+
+    if rerun_sources:
+        # Re-run only the overflowed sources, sequentially, with float64
+        # vectors -- after the batch context released its working set.
+        rctx = TurboBCContext(
+            device,
+            graph,
+            algorithm.name,
+            forward_dtype=np.float64,
+            backward_dtype=np.float64,
+        )
+        rbc = rctx.bc_arr.data
+        try:
+            for s in rerun_sources:
+                rfwd = bfs_forward(rctx, s)
+                depth_map[s] = rfwd.depth
+                if keep_forward and s == src_list[-1]:
+                    last_forward = BFSResult(
+                        source=s,
+                        sigma=rfwd.sigma.copy(),
+                        levels=rfwd.levels.copy(),
+                        depth=rfwd.depth,
+                        frontier_sizes=list(rfwd.frontier_sizes),
+                    )
+                if rfwd.depth > 1:
+                    rdelta = accumulate_dependencies(rctx, rfwd)
+                    FK.bc_update_kernel(
+                        device, rbc, rdelta, s,
+                        undirected=not graph.directed,
+                        tag=f"s={s} f64",
+                    )
+                rctx.release_source()
+            bc += rctx.close().astype(np.float64)
+        except BaseException:
+            rctx.abort()
+            raise
+
+    stats = BCRunStats(
+        algorithm=algorithm.label,
+        n=graph.n,
+        m=graph.m,
+        sources=len(src_list),
+        gpu_time_s=device.profiler.total_time_s() - gpu_time_before,
+        kernel_launches=device.profiler.total_launches() - launches_before,
+        transfer_time_s=device.memory.transfer_time_s(),
+        peak_memory_bytes=device.memory.peak_bytes,
+        depth_per_source=[depth_map[s] for s in src_list],
+        wall_time_s=time.perf_counter() - t0,
+        batch_size=batch,
+        rerun_sources=rerun_sources,
     )
     return BCResult(bc=bc, stats=stats, forward=last_forward)

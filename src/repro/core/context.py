@@ -18,10 +18,16 @@ from repro.formats.csc import CSCMatrix
 from repro.gpusim.device import Device
 from repro.gpusim.kernel import KernelLaunch
 from repro.spmv import (
+    sccooc_spmm,
+    sccooc_spmm_scatter,
     sccooc_spmv,
     sccooc_spmv_scatter,
+    sccsc_spmm,
+    sccsc_spmm_scatter,
     sccsc_spmv,
     sccsc_spmv_scatter,
+    veccsc_spmm,
+    veccsc_spmm_scatter,
     veccsc_spmv,
     veccsc_spmv_scatter,
 )
@@ -96,6 +102,44 @@ class TurboBCContext:
         ]
         f, _ft, sigma, S = self._forward_arrs
         return sigma.data, S.data, f.data
+
+    def alloc_forward_batch(self, batch: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`alloc_forward`: ``(n, B)`` matrices, lane per source.
+
+        Row-major layout keeps each vertex's B lane values contiguous -- the
+        B-wide coalesced loads the SpMM cost model charges for.  Returns the
+        backing arrays for (Sigma, S, F).
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        n = self.graph.n
+        mem = self.device.memory
+        self._forward_arrs = [
+            mem.alloc("F", (n, batch), self.forward_dtype),
+            mem.alloc("Ft", (n, batch), self.forward_dtype),
+            mem.alloc("Sigma", (n, batch), self.forward_dtype),
+            mem.alloc("S", (n, batch), np.int32),
+        ]
+        f, _ft, sigma, S = self._forward_arrs
+        return sigma.data, S.data, f.data
+
+    def swap_to_backward_batch(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`swap_to_backward`: the Section 3.4 choreography on
+        ``(n, B)`` matrices.  The batched peak -- matrix + ``bc`` + ``Sigma``
+        + ``S`` + three delta matrices -- is the ``5nB + 2n + 1 + m`` words
+        of the batched footprint model."""
+        mem = self.device.memory
+        f, ft, sigma, S = self._forward_arrs
+        mem.free(f)
+        mem.free(ft)
+        self._forward_arrs = [sigma, S]
+        shape = sigma.shape
+        self._backward_arrs = [
+            mem.alloc("Delta", shape, self.backward_dtype),
+            mem.alloc("Delta_u", shape, self.backward_dtype),
+            mem.alloc("Delta_ut", shape, self.backward_dtype),
+        ]
+        return tuple(a.data for a in self._backward_arrs)
 
     def swap_to_backward(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Free ``f``/``ft`` and allocate the float backward vectors.
@@ -180,3 +224,36 @@ class TurboBCContext:
         if self.algorithm == "sccsc":
             return sccsc_spmv(self.device, self.matrix, x, tag=tag)
         return veccsc_spmv(self.device, self.matrix, x, tag=tag)
+
+    # -- SpMM dispatch (batched) ----------------------------------------------
+
+    def spmm_forward(
+        self, X: np.ndarray, Sigma: np.ndarray, active: np.ndarray, *, tag: str = ""
+    ) -> tuple[np.ndarray, KernelLaunch]:
+        """Batched line-19 product ``Ft = A^T F`` over all batch lanes.
+
+        CSC kernels fuse the per-(column, lane) ``sigma == 0`` mask ANDed
+        with the lane-active bitmap, so drained lanes cost nothing; the COOC
+        kernel is unmasked (drained lanes have all-zero frontier columns).
+        """
+        if self.algorithm == "sccooc":
+            return sccooc_spmm(self.device, self.matrix, X, tag=tag)
+        allowed = (Sigma == 0) & active[None, :]
+        if self.algorithm == "sccsc":
+            return sccsc_spmm(self.device, self.matrix, X, allowed=allowed, tag=tag)
+        return veccsc_spmm(self.device, self.matrix, X, allowed=allowed, tag=tag)
+
+    def spmm_backward(self, X: np.ndarray, *, tag: str = "") -> tuple[np.ndarray, KernelLaunch]:
+        """Batched line-37 product; same gather/scatter split as
+        :meth:`spmv_backward`."""
+        if self.graph.directed:
+            if self.algorithm == "sccooc":
+                return sccooc_spmm_scatter(self.device, self.matrix, X, tag=tag)
+            if self.algorithm == "sccsc":
+                return sccsc_spmm_scatter(self.device, self.matrix, X, tag=tag)
+            return veccsc_spmm_scatter(self.device, self.matrix, X, tag=tag)
+        if self.algorithm == "sccooc":
+            return sccooc_spmm(self.device, self.matrix, X, tag=tag)
+        if self.algorithm == "sccsc":
+            return sccsc_spmm(self.device, self.matrix, X, tag=tag)
+        return veccsc_spmm(self.device, self.matrix, X, tag=tag)

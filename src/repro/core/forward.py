@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core import frontier as FK
 from repro.core.context import TurboBCContext
-from repro.core.result import BFSResult
+from repro.core.result import BatchedBFSResult, BFSResult
 
 
 class SigmaOverflowError(RuntimeError):
@@ -83,4 +83,67 @@ def bfs_forward(ctx: TurboBCContext, source: int) -> BFSResult:
         levels=S,
         depth=depth,
         frontier_sizes=frontier_sizes,
+    )
+
+
+def bfs_forward_batch(ctx: TurboBCContext, sources) -> BatchedBFSResult:
+    """Run the forward stage for a whole batch of sources at once.
+
+    One BFS lane per column of the ``(n, B)`` arrays; each level is a single
+    masked SpMM plus one batched update kernel.  The batch runs until every
+    lane's frontier has drained (the per-lane convergence bitmap), with
+    drained lanes masked out of the SpMM.  Per-lane results are bit-identical
+    to :func:`bfs_forward`.
+
+    Sigma overflow is reported per lane in the result's ``overflowed``
+    bitmap instead of raising -- the driver re-runs only the affected
+    sources (or raises, for an explicitly requested integer dtype).
+    """
+    graph = ctx.graph
+    n = graph.n
+    src = [int(s) for s in sources]
+    B = len(src)
+    if B < 1:
+        raise ValueError("sources batch must be non-empty")
+    for s in src:
+        if not 0 <= s < n:
+            raise ValueError(f"source {s} out of range for n = {n}")
+    Sigma, S, F = ctx.alloc_forward_batch(B)
+
+    lanes = np.arange(B)
+    F[src, lanes] = 1
+    Sigma[src, lanes] = 1
+    FK.init_sources_kernel(ctx.device, n, B, tag="d=1")
+
+    active = np.ones(B, dtype=bool)
+    depths = np.zeros(B, dtype=np.int64)
+    frontier_sizes: list[list[int]] = [[] for _ in range(B)]
+    depth = 0
+    while active.any():
+        depth += 1
+        tag = f"d={depth}"
+        Ft, _ = ctx.spmm_forward(F, Sigma, active, tag=tag)
+        newF, new_per_lane, _ = FK.frontier_update_batch_kernel(
+            ctx.device, Ft, Sigma, S, depth, masked_spmv=ctx.mask_fused, tag=tag
+        )
+        F[...] = newF
+        # One B-word readback serves the whole batch's convergence bitmap.
+        ctx.device.sync_readback(words=B, tag=tag)
+        got = new_per_lane > 0
+        for j in np.flatnonzero(got):
+            frontier_sizes[j].append(int(new_per_lane[j]))
+        depths[got] = depth
+        active &= got
+
+    if np.issubdtype(Sigma.dtype, np.signedinteger):
+        overflowed = (Sigma < 0).any(axis=0)
+    else:
+        overflowed = ~np.isfinite(Sigma).all(axis=0)
+    return BatchedBFSResult(
+        sources=src,
+        sigma=Sigma,
+        levels=S,
+        depths=[int(d) for d in depths],
+        frontier_sizes=frontier_sizes,
+        overflowed=overflowed,
     )

@@ -164,6 +164,168 @@ def delta_update_kernel(
     return device.launch(stats, tag=tag)
 
 
+def init_sources_kernel(
+    device: Device, n: int, batch: int, *, tag: str = ""
+) -> KernelLaunch:
+    """Batched lines 15-18: ``F[s_j, j] = 1``, ``Sigma[s_j, j] = 1``."""
+    stats = KernelStats(
+        name="bfs_init",
+        threads=batch,
+        warp_cycles=2 * W.warp_count(batch),
+        dram_write_bytes=2 * batch * W.TRANSACTION_BYTES,
+        requested_load_bytes=0,
+    )
+    return device.launch(stats, tag=tag)
+
+
+def frontier_update_batch_kernel(
+    device: Device,
+    Ft: np.ndarray,
+    Sigma: np.ndarray,
+    S: np.ndarray,
+    depth: int,
+    *,
+    masked_spmv: bool,
+    tag: str = "",
+) -> tuple[np.ndarray, np.ndarray, KernelLaunch]:
+    """Batched lines 20-27: mask, depth stamp, sigma update, per-lane flags.
+
+    Operates on ``(n, B)`` arrays -- one BFS lane per column.  Drained lanes
+    have all-zero frontier columns, so the elementwise update is a no-op for
+    them; every touched element gets exactly the per-source kernel's update
+    (same expressions, same dtypes).  Returns the new frontier matrix, the
+    per-lane count of newly discovered vertices (the convergence bitmap is
+    ``counts > 0``), and the launch record.
+    """
+    n, B = Sigma.shape
+    if masked_spmv:
+        F = Ft  # the SpMM produced zeros on discovered vertices already
+    else:
+        F = np.where(Sigma == 0, Ft, Ft.dtype.type(0))
+    touched = F != 0
+    rows, cols = np.nonzero(touched)
+    if rows.size:
+        S[touched] = depth
+        Sigma[touched] += F[touched]
+    new_per_lane = np.count_nonzero(touched, axis=0)
+    read_words = n * B if masked_spmv else 2 * n * B
+    flat = rows * B + cols  # row-major element positions for write accounting
+    stats = _stream_stats(
+        "bfs_update",
+        n * B,
+        read_words=read_words,
+        sparse_writes=flat,
+        extra_cycles=2 * rows.size,  # sigma read-modify-write lanes
+    )
+    # S and Sigma writes double the sparse write traffic.
+    stats = stats.merge(
+        KernelStats(
+            name="bfs_update",
+            dram_write_bytes=(W.gather_transactions(flat) if rows.size else 0)
+            * W.TRANSACTION_BYTES,
+        )
+    )
+    return F, new_per_lane, device.launch(stats, tag=tag)
+
+
+def delta_u_batch_kernel(
+    device: Device,
+    S: np.ndarray,
+    Sigma: np.ndarray,
+    Delta: np.ndarray,
+    depth: int,
+    *,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Batched lines 32-36 on the ``(n, B)`` depth-d slice.
+
+    Lanes whose BFS tree is shorter than ``depth`` select nothing (their
+    ``S`` column never reaches it), so a batch walks down from the deepest
+    lane with shallow lanes riding along as exact no-ops.
+    """
+    sel = (S == depth) & (Sigma > 0)
+    Delta_u = np.zeros_like(Delta)
+    rows, cols = np.nonzero(sel)
+    if rows.size:
+        Delta_u[sel] = (1.0 + Delta[sel]) / Sigma[sel]
+    n, B = Sigma.shape
+    stats = _stream_stats(
+        "delta_u",
+        n * B,
+        read_words=3 * n * B,  # S, Sigma, Delta
+        sparse_writes=rows * B + cols,
+        extra_cycles=4 * rows.size,  # FP divide lanes
+    )
+    stats.flops = rows.size
+    return Delta_u, device.launch(stats, tag=tag)
+
+
+def delta_update_batch_kernel(
+    device: Device,
+    S: np.ndarray,
+    Sigma: np.ndarray,
+    Delta: np.ndarray,
+    Delta_ut: np.ndarray,
+    depth: int,
+    *,
+    tag: str = "",
+) -> KernelLaunch:
+    """Batched lines 38-40: ``Delta += Delta_ut * Sigma`` on the depth-(d-1)
+    slice.  Mutates ``Delta`` in place."""
+    sel = S == (depth - 1)
+    rows, cols = np.nonzero(sel)
+    if rows.size:
+        Delta[sel] += Delta_ut[sel] * Sigma[sel]
+    n, B = Sigma.shape
+    stats = _stream_stats(
+        "delta_update",
+        n * B,
+        read_words=4 * n * B,  # S, Sigma, Delta, Delta_ut
+        sparse_writes=rows * B + cols,
+        extra_cycles=2 * rows.size,
+    )
+    stats.flops = 2 * rows.size
+    return device.launch(stats, tag=tag)
+
+
+def bc_update_batch_kernel(
+    device: Device,
+    bc: np.ndarray,
+    Delta: np.ndarray,
+    sources,
+    *,
+    undirected: bool,
+    skip: np.ndarray | None = None,
+    tag: str = "",
+) -> KernelLaunch:
+    """Batched lines 43-47: fold every batch lane's ``delta`` into ``bc``.
+
+    Lanes are accumulated *in batch order* with the per-source kernel's
+    exact expression, so the float32 accumulation into ``bc`` matches the
+    sequential driver bit for bit.  ``skip`` masks out lanes whose sigma
+    overflowed (their re-run accumulates instead).
+    """
+    n = bc.size
+    scale = 0.5 if undirected else 1.0
+    folded = 0
+    for j, s in enumerate(sources):
+        if skip is not None and skip[j]:
+            continue
+        saved = bc[s]
+        bc += scale * Delta[:, j]
+        bc[s] = saved
+        folded += 1
+    stats = _stream_stats(
+        "bc_update",
+        n * max(folded, 1),
+        read_words=2 * n * folded,  # bc, Delta column
+        dense_write_words=n * folded,
+        extra_cycles=n * folded,
+    )
+    stats.flops = n * folded
+    return device.launch(stats, tag=tag)
+
+
 def bc_update_kernel(
     device: Device,
     bc: np.ndarray,

@@ -57,13 +57,16 @@ def multi_gpu_bc(
     algorithm: str | TurboBCAlgorithm | None = None,
     spec: DeviceSpec = TITAN_XP,
     forward_dtype="auto",
+    batch_size: int | str = 1,
 ) -> tuple[BCResult, MultiGpuStats]:
     """Source-partitioned BC over ``n_devices`` simulated GPUs.
 
     Sources are dealt round-robin (interleaving balances the per-source BFS
     depth variation better than contiguous blocks).  Returns the combined
     result plus per-device stats; ``result.stats.gpu_time_s`` is the
-    modeled makespan.
+    modeled makespan.  ``batch_size`` is forwarded to each device's
+    :func:`~repro.core.bc.turbo_bc` call, so every device runs its source
+    slice through the batched SpMM pipeline.
     """
     if n_devices < 1:
         raise ValueError(f"n_devices must be >= 1, got {n_devices}")
@@ -95,6 +98,7 @@ def multi_gpu_bc(
             algorithm=algorithm,
             device=device,
             forward_dtype=forward_dtype,
+            batch_size=batch_size,
         )
         bc += part.bc
         mg.device_times_s.append(part.stats.gpu_time_s)

@@ -40,6 +40,56 @@ class BFSResult:
 
 
 @dataclass
+class BatchedBFSResult:
+    """Output of the batched forward stage for one batch of sources.
+
+    Column ``j`` of every array belongs to ``sources[j]``.
+
+    Attributes
+    ----------
+    sources:
+        The batch's BFS roots.
+    sigma:
+        ``(n, B)`` shortest-path counts (``sigma[sources[j], j] == 1``).
+    levels:
+        ``(n, B)`` discovery depths (the paper's ``S``, one column per lane).
+    depths:
+        Per-lane BFS-tree height; the batch ran ``max(depths)`` levels.
+    frontier_sizes:
+        Per-lane discovery counts per level ``1 .. depths[j]``.
+    overflowed:
+        ``(B,)`` bool: lanes whose sigma overflowed the forward dtype.  The
+        driver re-runs *only* those sources in float64.
+    """
+
+    sources: list[int]
+    sigma: np.ndarray
+    levels: np.ndarray
+    depths: list[int]
+    frontier_sizes: list[list[int]]
+    overflowed: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.sources)
+
+    @property
+    def depth(self) -> int:
+        """The batch's level count (deepest lane)."""
+        return max(self.depths, default=0)
+
+    def lane(self, j: int) -> BFSResult:
+        """Extract lane ``j`` as a host-side per-source :class:`BFSResult`."""
+        return BFSResult(
+            source=self.sources[j],
+            sigma=self.sigma[:, j].copy(),
+            levels=self.levels[:, j].copy(),
+            depth=self.depths[j],
+            frontier_sizes=list(self.frontier_sizes[j]),
+        )
+
+
+@dataclass
 class BCRunStats:
     """Performance accounting of a (possibly multi-source) BC run.
 
@@ -57,6 +107,10 @@ class BCRunStats:
     peak_memory_bytes: int
     depth_per_source: list[int] = field(default_factory=list)
     wall_time_s: float = 0.0
+    #: Sources processed per forward/backward pass (1 = the sequential driver).
+    batch_size: int = 1
+    #: Sources whose sigma overflowed in a batch and were re-run in float64.
+    rerun_sources: list[int] = field(default_factory=list)
 
     @property
     def max_depth(self) -> int:

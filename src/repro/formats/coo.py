@@ -81,6 +81,9 @@ class COOCMatrix(BinaryMatrixBase):
                 f"row and col must have equal length, got {self.row.size} != {self.col.size}"
             )
         self._txn_cache: dict = {}
+        self._col_counts: np.ndarray | None = None
+        self._col_ptr: np.ndarray | None = None
+        self._scatter_plan: tuple[np.ndarray, np.ndarray] | None = None
         if not _skip_checks:
             self._validate()
 
@@ -116,8 +119,41 @@ class COOCMatrix(BinaryMatrixBase):
         return COOMatrix(self.row.copy(), self.col.copy(), self.shape)
 
     def column_counts(self) -> np.ndarray:
-        """In-degree of each column (number of stored entries per column)."""
-        return np.bincount(self.col, minlength=self.n_cols).astype(INDEX_DTYPE)
+        """In-degree of each column (number of stored entries per column).
+
+        Cached (do not mutate) -- kernel-stats evaluations read it per launch.
+        """
+        if self._col_counts is None:
+            self._col_counts = np.bincount(self.col, minlength=self.n_cols).astype(INDEX_DTYPE)
+        return self._col_counts
+
+    def column_ptr(self) -> np.ndarray:
+        """CSC-style column pointer over the column-sorted entries (cached).
+
+        Valid because COOC entries are sorted by column: entries of column
+        ``c`` occupy ``column_ptr()[c] .. column_ptr()[c + 1]``.
+        """
+        if self._col_ptr is None:
+            ptr = np.zeros(self.n_cols + 1, dtype=np.int64)
+            np.cumsum(self.column_counts(), out=ptr[1:])
+            self._col_ptr = ptr
+        return self._col_ptr
+
+    def scatter_plan(self) -> tuple[np.ndarray, np.ndarray]:
+        """Row-major traversal plan ``(row_ptr, cols_in_row_order)`` (cached).
+
+        Same contract as :meth:`repro.formats.csc.CSCMatrix.scatter_plan`:
+        the stable sort preserves, per row, the storage order of the entries,
+        so batched scatter products accumulate in the per-source bincount
+        order.
+        """
+        if self._scatter_plan is None:
+            order = np.argsort(self.row, kind="stable")
+            counts = np.bincount(self.row, minlength=self.n_rows)
+            row_ptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+            np.cumsum(counts, out=row_ptr[1:])
+            self._scatter_plan = (row_ptr, self.col[order])
+        return self._scatter_plan
 
     def row_counts(self) -> np.ndarray:
         """Out-degree of each row."""

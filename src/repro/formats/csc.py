@@ -27,6 +27,8 @@ class CSCMatrix(BinaryMatrixBase):
         n_rows, n_cols = int(shape[0]), int(shape[1])
         self.shape = (n_rows, n_cols)
         self._col_of_nnz: np.ndarray | None = None
+        self._col_counts: np.ndarray | None = None
+        self._scatter_plan: tuple[np.ndarray, np.ndarray] | None = None
         self._txn_cache: dict = {}
         if not _skip_checks:
             self._validate()
@@ -71,8 +73,15 @@ class CSCMatrix(BinaryMatrixBase):
         return self.row[self.col_ptr[c] : self.col_ptr[c + 1]]
 
     def column_counts(self) -> np.ndarray:
-        """Entries per column (the in-degree when A[r, c] means edge r->c)."""
-        return np.diff(self.col_ptr).astype(INDEX_DTYPE)
+        """Entries per column (the in-degree when A[r, c] means edge r->c).
+
+        Cached (do not mutate): every kernel-stats evaluation reads it, so
+        rebuilding the O(n) diff per launch would dominate small-frontier
+        levels.
+        """
+        if self._col_counts is None:
+            self._col_counts = np.diff(self.col_ptr).astype(INDEX_DTYPE)
+        return self._col_counts
 
     def column_of_nnz(self) -> np.ndarray:
         """Column index of every stored entry, in storage order.
@@ -85,6 +94,24 @@ class CSCMatrix(BinaryMatrixBase):
                 np.arange(self.n_cols, dtype=INDEX_DTYPE), np.diff(self.col_ptr)
             )
         return self._col_of_nnz
+
+    def scatter_plan(self) -> tuple[np.ndarray, np.ndarray]:
+        """Row-major traversal plan ``(row_ptr, cols_in_row_order)``.
+
+        ``row_ptr[r] .. row_ptr[r + 1]`` slices ``cols_in_row_order`` into the
+        column indices of row ``r``'s stored entries, sorted ascending.  The
+        stable sort keeps each row's entries in the storage (column-major)
+        order, so a segment reduction over this plan accumulates scatter
+        products ``y = A x`` in exactly the order the per-source bincount
+        does.  Cached: the batched backward stage reuses it every level.
+        """
+        if self._scatter_plan is None:
+            order = np.argsort(self.row, kind="stable")
+            counts = np.bincount(self.row, minlength=self.n_rows)
+            row_ptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+            np.cumsum(counts, out=row_ptr[1:])
+            self._scatter_plan = (row_ptr, self.column_of_nnz()[order])
+        return self._scatter_plan
 
     def full_gather_transactions(
         self, element_bytes: int, *, l2_bytes: int | None = None

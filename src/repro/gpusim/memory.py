@@ -144,6 +144,21 @@ class DeviceMemory:
     # -- inspection ---------------------------------------------------------
 
     @property
+    def free_bytes(self) -> int:
+        """Capacity currently left for new allocations."""
+        return self.capacity_bytes - self.used_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        """Would an allocation of ``nbytes`` succeed right now?
+
+        The batched driver sizes ``batch_size="auto"`` and rejects oversized
+        explicit batches against this check before touching the device.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return nbytes <= self.free_bytes
+
+    @property
     def live_arrays(self) -> list[DeviceArray]:
         return list(self._live.values())
 

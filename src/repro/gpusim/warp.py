@@ -128,6 +128,35 @@ def _apply_l2_bound(
     return min(txn, max(bounded, footprint_txn)) if txn > footprint_txn else txn
 
 
+def bwide_gather_transactions(
+    n_rows_loaded: int,
+    lanes: int,
+    n_rows: int,
+    element_bytes: int = 4,
+    *,
+    l2_bytes: int = L2_BYTES,
+) -> int:
+    """DRAM transactions for B-wide row loads out of an ``(n_rows, lanes)`` matrix.
+
+    The batched-frontier access pattern: for every scanned sparse entry the
+    kernel loads one *row* of the row-major frontier matrix -- ``lanes``
+    consecutive words -- so the lanes of a warp coalesce into
+    ``ceil(lanes * element_bytes / 32)`` transactions per entry instead of one
+    scattered transaction per (entry, lane).  This is the load-coalescing win
+    of SpMM over per-source SpMV.  L2-bounded like the other gathers.
+    """
+    if n_rows_loaded < 0 or lanes < 0 or n_rows < 0:
+        raise ValueError("counts must be non-negative")
+    per_row = -(-lanes * element_bytes // TRANSACTION_BYTES) if lanes else 0
+    return _apply_l2_bound(
+        n_rows_loaded * per_row,
+        n_rows_loaded * lanes,
+        element_bytes,
+        n_rows * lanes,
+        l2_bytes,
+    )
+
+
 def scalar_gather_transactions(
     n_accesses: int,
     array_words: int,

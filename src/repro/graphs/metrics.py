@@ -65,14 +65,21 @@ def degree_stats(graph: Graph) -> DegreeStats:
 def scale_free_metric(graph: Graph) -> float:
     """The scf metric: degree-biased expected neighbour degree (see module doc).
 
-    Uses out-degrees for directed graphs, per the paper's Equation 5.
+    Uses out-degrees for directed graphs, per the paper's Equation 5.  The
+    O(m) measurement is memoized on the graph instance -- the driver consults
+    it on every auto-selected run.
     """
+    cached = getattr(graph, "_scf_cache", None)
+    if cached is not None:
+        return cached
     deg = graph.out_degree().astype(np.float64)
     denom = float(np.sum(deg * deg))
     if denom == 0.0:
-        return 0.0
-    s = float(np.sum(deg[graph.src] * deg[graph.dst]))
-    return s / denom
+        scf = 0.0
+    else:
+        scf = float(np.sum(deg[graph.src] * deg[graph.dst])) / denom
+    graph._scf_cache = scf
+    return scf
 
 
 def classify_regularity(graph: Graph, *, threshold: float = SCF_IRREGULAR_THRESHOLD) -> str:

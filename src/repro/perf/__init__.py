@@ -8,6 +8,7 @@ from repro.perf.cpu import CpuCostModel, MulticoreCostModel, LIGRA_MACHINE
 from repro.perf.memory_model import (
     FootprintModel,
     gunrock_footprint_words,
+    turbobc_batched_footprint_words,
     turbobc_footprint_words,
 )
 from repro.perf.mteps import bc_per_vertex_mteps, exact_bc_mteps, gteps
@@ -20,6 +21,7 @@ __all__ = [
     "LIGRA_MACHINE",
     "FootprintModel",
     "gunrock_footprint_words",
+    "turbobc_batched_footprint_words",
     "turbobc_footprint_words",
     "bc_per_vertex_mteps",
     "exact_bc_mteps",

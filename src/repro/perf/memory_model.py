@@ -35,6 +35,26 @@ def turbobc_footprint_words(n: int, m: int, fmt: str = "csc") -> int:
     raise ValueError(f"unknown format {fmt!r}; expected 'csc' or 'cooc'")
 
 
+def turbobc_batched_footprint_words(n: int, m: int, batch: int, fmt: str = "csc") -> int:
+    """Peak device words of a batched (``batch_size = B``) TurboBC run.
+
+    The Section 3.4 choreography applies per batch: the peak is the backward
+    stage, holding the matrix, ``bc`` and two surviving forward matrices
+    (``Sigma``, ``S``) plus three delta matrices -- ``5 n B`` matrix words on
+    top of the ``2 n (+1) + m`` fixed set for CSC.  Reduces to the paper's
+    ``7n + 1 + m`` at ``B = 1``.
+    """
+    if n < 0 or m < 0:
+        raise ValueError("n and m must be non-negative")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if fmt == "csc":
+        return 5 * n * batch + 2 * n + 1 + m
+    if fmt == "cooc":
+        return 5 * n * batch + n + 2 * m
+    raise ValueError(f"unknown format {fmt!r}; expected 'csc' or 'cooc'")
+
+
 #: gunrock's enactor allocates per-vertex runtime workspace beyond the
 #: Figure 4 array set (scan space, partition tables, load-balancing
 #: buffers).  The paper calls 9n + 2m a *lower* bound and plots measured

@@ -27,21 +27,49 @@ entry ``(r, c)``: ``y[c] += x[r]``); the ``_scatter`` variants compute
 ``y = A x`` (``y[r] += x[c]``), which the backward stage of *directed*
 graphs needs -- both read the same single stored format, preserving the
 paper's one-format-per-run memory discipline.
+
+Each kernel also has an ``_spmm`` variant that multiplies by an ``n x B``
+frontier *matrix* (one column per BFS source) in a single launch: the sparse
+structure is scanned once for the whole batch and frontier rows are loaded
+B-wide (coalesced), which is what makes the batched driver fast.  Lane
+results are bit-identical to B per-source SpMV calls (see
+:mod:`repro.spmv._spmm`).
 """
 
-from repro.spmv.sccooc import sccooc_spmv, sccooc_spmv_scatter
-from repro.spmv.sccsc import sccsc_spmv, sccsc_spmv_scatter
-from repro.spmv.veccsc import veccsc_spmv, veccsc_spmv_scatter
+from repro.spmv.sccooc import (
+    sccooc_spmm,
+    sccooc_spmm_scatter,
+    sccooc_spmv,
+    sccooc_spmv_scatter,
+)
+from repro.spmv.sccsc import (
+    sccsc_spmm,
+    sccsc_spmm_scatter,
+    sccsc_spmv,
+    sccsc_spmv_scatter,
+)
+from repro.spmv.veccsc import (
+    veccsc_spmm,
+    veccsc_spmm_scatter,
+    veccsc_spmv,
+    veccsc_spmv_scatter,
+)
 from repro.spmv.reference import reference_spmv, reference_spmv_scatter
 
 KERNEL_NAMES = ("sccooc", "sccsc", "veccsc")
 
 __all__ = [
     "KERNEL_NAMES",
+    "sccooc_spmm",
+    "sccooc_spmm_scatter",
     "sccooc_spmv",
     "sccooc_spmv_scatter",
+    "sccsc_spmm",
+    "sccsc_spmm_scatter",
     "sccsc_spmv",
     "sccsc_spmv_scatter",
+    "veccsc_spmm",
+    "veccsc_spmm_scatter",
     "veccsc_spmv",
     "veccsc_spmv_scatter",
     "reference_spmv",

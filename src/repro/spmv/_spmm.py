@@ -1,0 +1,153 @@
+"""Shared numerics of the batched (SpMM) kernel variants.
+
+The batched kernels multiply the sparse adjacency structure by an ``n x B``
+frontier *matrix* -- one column per BFS source -- instead of a vector.  Their
+results must match the per-source SpMV kernels bit for bit, because the
+driver promises that ``batch_size=B`` reproduces the sequential driver's BC
+(the only acceptable deviation is float accumulation *order*, and we don't
+even take that liberty):
+
+* the SpMV kernels accumulate with ``np.bincount``, which always sums its
+  weights sequentially in storage order **in float64** and casts afterwards;
+* ``np.add.reduceat`` over axis 0 of a float64 ``(nnz, B)`` value matrix
+  accumulates each segment sequentially in the same order, so per column the
+  two are bit-identical (verified by ``tests/test_batched.py``);
+* interleaving exact zeros (masked-out lanes, drained frontier columns) into
+  a float64 accumulation is a bit-exact no-op, so the batched kernels may sum
+  whole columns and mask afterwards.
+
+Gather products reduce over the column-major storage segments directly;
+scatter products reduce over the cached row-major ``scatter_plan`` whose
+stable ordering preserves, per output row, the storage order the per-source
+bincount accumulates in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_frontier_matrix(X: np.ndarray, n_rows: int) -> np.ndarray:
+    """Validate an ``(n_rows, B)`` frontier matrix with ``B >= 1``."""
+    X = np.asarray(X)
+    if X.ndim != 2 or X.shape[0] != n_rows or X.shape[1] < 1:
+        raise ValueError(
+            f"frontier matrix must have shape ({n_rows}, B >= 1), got {X.shape}"
+        )
+    return X
+
+
+def check_allowed_matrix(allowed, n_cols: int, B: int) -> np.ndarray:
+    """Validate a per-(column, lane) boolean mask of shape ``(n_cols, B)``."""
+    allowed = np.asarray(allowed)
+    if allowed.shape != (n_cols, B) or allowed.dtype != bool:
+        raise ValueError(f"allowed must be a boolean mask of shape ({n_cols}, {B})")
+    return allowed
+
+
+def segment_sums(
+    vals: np.ndarray, seg_ptr: np.ndarray, n_segments: int
+) -> np.ndarray:
+    """Per-segment column sums of an ``(entries, B)`` float64 value matrix.
+
+    ``seg_ptr`` is a CSC-style pointer (length ``n_segments + 1``).  Returns
+    an ``(n_segments, B)`` float64 array; empty segments sum to zero.  The
+    accumulation per segment is sequential in entry order -- the bincount
+    contract.
+    """
+    counts = np.diff(seg_ptr)
+    sums = np.zeros((n_segments, vals.shape[1]), dtype=np.float64)
+    if vals.shape[0] == 0 or n_segments == 0:
+        return sums
+    # reduceat yields vals[start] (not 0) for empty segments, and an empty
+    # segment starting at len(vals) is outright invalid -- worse, clamping
+    # such a start would move the *end* boundary of the preceding non-empty
+    # segment.  Reducing over the non-empty segments only sidesteps both:
+    # empty segments hold no entries, so consecutive non-empty starts are
+    # exactly the segment boundaries.
+    nonempty = counts > 0
+    if nonempty.any():
+        sums[nonempty] = np.add.reduceat(vals, seg_ptr[:-1][nonempty], axis=0)
+    return sums
+
+
+def filtered_segment_sums(
+    idx: np.ndarray,
+    seg_ptr: np.ndarray,
+    X: np.ndarray,
+    seg_select: np.ndarray | None = None,
+) -> np.ndarray:
+    """``sums[s, j] = sum over segment-s entries k of X[idx[k], j]`` in float64.
+
+    Entries whose ``X`` row is all-zero are dropped *before* the float64
+    value matrix is built: adding an exact zero to a non-negative float64
+    accumulation is a bit-exact no-op, and the frontier/dependency matrices
+    are zero almost everywhere, so this is what keeps the per-level value
+    matrix at O(frontier entries x B) instead of O(nnz x B).  ``seg_select``
+    additionally drops whole segments (their sums read zero).
+    """
+    keep = X.any(axis=1)[idx]
+    if seg_select is not None:
+        keep &= np.repeat(seg_select, np.diff(seg_ptr))
+    n_segments = seg_ptr.size - 1
+    kept_idx = idx[keep]
+    if kept_idx.size == 0:
+        return np.zeros((n_segments, X.shape[1]), dtype=np.float64)
+    if kept_idx.size > X.shape[0]:
+        # dense frontier: one up-front float64 copy of X beats a second
+        # (kept, B)-sized pass (int32 -> float64 is exact either way)
+        vals = X.astype(np.float64, copy=False)[kept_idx]
+    else:
+        vals = X[kept_idx].astype(np.float64, copy=False)
+    kept_cum = np.zeros(idx.size + 1, dtype=np.int64)
+    np.cumsum(keep, out=kept_cum[1:])
+    return segment_sums(vals, kept_cum[seg_ptr], n_segments)
+
+
+def gather_spmm_values(
+    row: np.ndarray,
+    col_ptr: np.ndarray,
+    X: np.ndarray,
+    col_select: np.ndarray | None = None,
+) -> np.ndarray:
+    """Column sums ``sums[c, j] = sum_{k in column c} X[row[k], j]`` in float64.
+
+    ``col_select`` (length ``n_cols`` bool) restricts the scan to the selected
+    columns -- the others return zero without their entries being gathered,
+    which is how the fused mask / drained-column bitmap saves work.  The
+    result is the pre-cast accumulator of every per-column SpMV: callers cast
+    to the output dtype exactly like the SpMV kernels do.
+    """
+    return filtered_segment_sums(row, col_ptr, X, col_select)
+
+
+def scatter_spmm_values(
+    row_ptr: np.ndarray,
+    cols_in_row_order: np.ndarray,
+    X: np.ndarray,
+) -> np.ndarray:
+    """Row sums ``sums[r, j] = sum_{k in row r} X[col[k], j]`` in float64.
+
+    ``(row_ptr, cols_in_row_order)`` is a format's cached ``scatter_plan``.
+    Lanes whose column value is zero contribute exact zeros, so no activity
+    mask is needed for numerical parity with the scatter SpMV.
+    """
+    return filtered_segment_sums(cols_in_row_order, row_ptr, X)
+
+
+def cast_like_spmv(sums: np.ndarray, out_dtype, *, positive_only: bool) -> np.ndarray:
+    """Cast the float64 accumulator to the kernel output dtype.
+
+    ``positive_only`` reproduces the gather kernels' ``sum > 0`` write
+    sparsity (scatter kernels store every accumulated row).  Int overflow is
+    allowed to wrap exactly as in the SpMV kernels -- the sigma check
+    surfaces it.
+    """
+    out = np.zeros(sums.shape, dtype=out_dtype)
+    with np.errstate(invalid="ignore"):
+        if positive_only:
+            written = sums > 0
+            out[written] = sums[written].astype(out_dtype, copy=False)
+        else:
+            out[...] = sums.astype(out_dtype, copy=False)
+    return out

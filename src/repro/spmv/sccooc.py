@@ -25,6 +25,7 @@ from repro.formats.coo import COOCMatrix
 from repro.gpusim.device import Device
 from repro.gpusim.kernel import KernelLaunch, KernelStats
 from repro.gpusim import warp as W
+from repro.spmv import _spmm as M
 
 #: Issue cycles every thread pays: index math, row load, compare.
 _BASE_CYCLES = 6
@@ -137,4 +138,122 @@ def sccooc_spmv_scatter(
         out_dtype or x.dtype,
         cooc.full_gather_transactions("col", x.dtype.itemsize,
                                       l2_bytes=device.spec.l2_bytes),
+    )
+
+
+# -- batched (SpMM) variants --------------------------------------------------
+#
+# The SpMM kernel keeps the thread-per-edge shape: each thread loads its
+# source index once (amortised B-fold versus B SpMV launches), fetches the
+# B-wide frontier row with coalesced B-word transactions, and issues one
+# atomic per positive lane into the destination's B-wide output row.
+
+
+def _sccooc_spmm_common(
+    device: Device,
+    src_idx: np.ndarray,
+    dst_idx: np.ndarray,
+    plan_idx: np.ndarray,
+    seg_ptr: np.ndarray,
+    X: np.ndarray,
+    n_out: int,
+    name: str,
+    tag: str,
+    out_dtype,
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Shared batched gather/scatter scCOOC.
+
+    ``src_idx``/``dst_idx`` are the storage-order load/store index arrays
+    (for the cost model); ``plan_idx``/``seg_ptr`` describe the same product
+    as a segment reduction grouped by destination (``column_ptr`` for the
+    gather, the cached ``scatter_plan`` for the scatter) -- per destination
+    the segment preserves storage order, so lane results are bit-identical
+    to B per-source SpMV calls.
+    """
+    l2_bytes = device.spec.l2_bytes
+    m = src_idx.size
+    B = X.shape[1]
+    Xp = np.where(X > 0, X, X.dtype.type(0))
+    sums = M.filtered_segment_sums(plan_idx, seg_ptr, Xp)
+    y = M.cast_like_spmv(sums, out_dtype, positive_only=False)
+
+    lanes_per_src = np.count_nonzero(Xp, axis=1)
+    src_lanes = lanes_per_src[src_idx]
+    entry_active = src_lanes > 0
+    n_active = int(np.count_nonzero(entry_active))
+    lane_total = int(src_lanes.sum())
+    dst_active = dst_idx[entry_active]
+
+    itemsize = X.dtype.itemsize
+    dtype_factor = W.dtype_cycle_factor(X.dtype)
+    read_txn = (
+        W.coalesced_transactions(m)                                    # src sweep
+        + W.bwide_gather_transactions(m, B, Xp.shape[0], itemsize,     # X rows
+                                      l2_bytes=l2_bytes)
+        + W.capped_random_transactions(n_active, m, 4, l2_bytes=l2_bytes)
+    )
+    write_txn = (
+        W.bwide_gather_transactions(n_active, B, n_out, itemsize, l2_bytes=l2_bytes)
+        if n_active
+        else 0
+    )
+    serial = (
+        int(np.bincount(dst_active, minlength=1).max()) * dtype_factor
+        if n_active
+        else 0
+    )
+    stats = KernelStats(
+        name=name,
+        threads=m,
+        warp_cycles=(
+            W.uniform_warp_cycles(m, _BASE_CYCLES)
+            + W.warp_count(lane_total) * _ACTIVE_CYCLES * dtype_factor
+            + W.atomic_conflict_cycles(dst_active) * dtype_factor
+        ),
+        dram_read_bytes=(read_txn + write_txn) * W.TRANSACTION_BYTES,
+        dram_write_bytes=write_txn * W.TRANSACTION_BYTES,
+        requested_load_bytes=(m + n_active) * 4 + (m * B + lane_total) * itemsize,
+        serial_updates=serial,
+        critical_warp_cycles=_BASE_CYCLES + _ACTIVE_CYCLES * B,
+        flops=lane_total,
+    )
+    return y, device.launch(stats, tag=tag)
+
+
+def sccooc_spmm(
+    device: Device,
+    cooc: COOCMatrix,
+    X: np.ndarray,
+    *,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Batched gather product ``Y = A^T X`` with the scCOOC kernel.
+
+    ``X`` is the ``(n, B)`` frontier matrix; like the SpMV there is no fused
+    mask (the batched update kernel applies it) and only positive lane
+    values contribute (Algorithm 2, line 5, per lane).
+    """
+    X = M.as_frontier_matrix(X, cooc.n_rows)
+    return _sccooc_spmm_common(
+        device, cooc.row, cooc.col, cooc.row, cooc.column_ptr(), X,
+        cooc.n_cols, "sccooc_spmm", tag, out_dtype or X.dtype,
+    )
+
+
+def sccooc_spmm_scatter(
+    device: Device,
+    cooc: COOCMatrix,
+    X: np.ndarray,
+    *,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Batched scatter product ``Y = A X`` with the scCOOC kernel (swapped
+    index-array roles); used by the batched backward stage on digraphs."""
+    X = M.as_frontier_matrix(X, cooc.n_cols)
+    row_ptr, cols_in_row_order = cooc.scatter_plan()
+    return _sccooc_spmm_common(
+        device, cooc.col, cooc.row, cols_in_row_order, row_ptr, X,
+        cooc.n_rows, "sccooc_spmm_scatter", tag, out_dtype or X.dtype,
     )

@@ -27,6 +27,7 @@ from repro.formats.csc import CSCMatrix
 from repro.gpusim.device import Device
 from repro.gpusim.kernel import KernelLaunch, KernelStats
 from repro.gpusim import warp as W
+from repro.spmv import _spmm as M
 
 #: Issue cycles per thread for index math + the mask compare.
 _BASE_CYCLES = 4
@@ -178,3 +179,142 @@ def sccsc_spmv_scatter(
         flops=total,
     )
     return y, device.launch(stats, tag=tag)
+
+
+# -- batched (SpMM) variants --------------------------------------------------
+#
+# The SpMM kernel is the same thread-per-column loop, but each thread scans
+# its column once for a whole batch of B frontiers: per entry it loads one
+# row index (amortised B-fold versus B SpMV launches) and one B-word row of
+# the row-major frontier matrix (coalesced into ceil(B*itemsize/32)
+# transactions, versus B scattered words), accumulating B partial sums.
+
+
+def _sccsc_spmm_stats(
+    csc: CSCMatrix,
+    lanes: np.ndarray,
+    B: int,
+    x_dtype,
+    write_txn: int,
+    name: str,
+    l2_bytes: int,
+    *,
+    serial_updates: int = 0,
+    atomic: bool = False,
+) -> KernelStats:
+    """Hardware stats for a thread-per-column SpMM pass.
+
+    ``lanes[c]`` is the number of batch lanes column ``c`` is processed for;
+    columns with ``lanes == 0`` cost one B-wide mask compare only.  The
+    ``atomic`` flavour (scatter) pays an extra store per lane-entry.
+    """
+    x_itemsize = np.dtype(x_dtype).itemsize
+    dtype_factor = W.dtype_cycle_factor(x_dtype)
+    n = csc.n_cols
+    degrees = csc.column_counts()
+    scanned = np.where(lanes > 0, degrees, 0).astype(np.int64)
+    total_scanned = int(scanned.sum())
+    lane_entries = int((scanned * lanes).sum())
+    per_entry = 2 + (1 if atomic else 0)
+    row_txn = int(np.sum((scanned + 7) // 8))
+    x_txn = W.bwide_gather_transactions(
+        total_scanned, B, csc.n_rows, x_itemsize, l2_bytes=l2_bytes
+    )
+    ptr_txn = 2 * W.coalesced_transactions(n)
+    mask_txn = W.coalesced_transactions(n * B)
+    work = scanned * per_entry + scanned * lanes * dtype_factor
+    return KernelStats(
+        name=name,
+        threads=n,
+        warp_cycles=W.divergent_warp_cycles(work, base_cycles=_BASE_CYCLES),
+        dram_read_bytes=(ptr_txn + mask_txn + row_txn + x_txn) * W.TRANSACTION_BYTES,
+        dram_write_bytes=write_txn * W.TRANSACTION_BYTES,
+        requested_load_bytes=(2 * n + n * B + total_scanned) * 4
+        + lane_entries * x_itemsize,
+        serial_updates=serial_updates,
+        critical_warp_cycles=W.max_warp_cycles(
+            scanned * (_CRITICAL_CYCLES_PER_ENTRY + lanes * dtype_factor)
+        ),
+        flops=lane_entries,
+    )
+
+
+def sccsc_spmm(
+    device: Device,
+    csc: CSCMatrix,
+    X: np.ndarray,
+    *,
+    allowed: np.ndarray | None = None,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Masked batched gather product ``Y = A^T X`` with the scCSC kernel.
+
+    ``X`` is an ``(n, B)`` frontier matrix; ``allowed`` an ``(n, B)``
+    per-(column, lane) mask (the batched forward stage passes
+    ``sigma == 0 & lane-active``).  Column ``c``'s entries are scanned once
+    if *any* lane allows it; lane results are bit-identical to B separate
+    :func:`sccsc_spmv` calls.
+    """
+    X = M.as_frontier_matrix(X, csc.n_rows)
+    n = csc.n_cols
+    B = X.shape[1]
+    if allowed is None:
+        allowed = np.ones((n, B), dtype=bool)
+    else:
+        allowed = M.check_allowed_matrix(allowed, n, B)
+    col_select = allowed.any(axis=1)
+    sums = M.gather_spmm_values(
+        csc.row, csc.col_ptr, X, None if col_select.all() else col_select
+    )
+    if not allowed.all():
+        sums[~allowed] = 0.0
+    out_dtype = out_dtype or X.dtype
+    Y = M.cast_like_spmv(sums, out_dtype, positive_only=True)
+
+    written_cols = int(np.count_nonzero((sums > 0).any(axis=1)))
+    write_txn = written_cols * (-(-B * np.dtype(out_dtype).itemsize // W.TRANSACTION_BYTES))
+    lanes = allowed.sum(axis=1, dtype=np.int64)
+    stats = _sccsc_spmm_stats(csc, lanes, B, X.dtype, write_txn, "sccsc_spmm",
+                              device.spec.l2_bytes)
+    return Y, device.launch(stats, tag=tag)
+
+
+def sccsc_spmm_scatter(
+    device: Device,
+    csc: CSCMatrix,
+    X: np.ndarray,
+    *,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Batched scatter product ``Y = A X`` with a thread-per-column kernel.
+
+    Each thread whose column has any positive lane value atomically adds its
+    B-wide value row across the column's rows; lane results are bit-identical
+    to B separate :func:`sccsc_spmv_scatter` calls (the scatter plan's stable
+    ordering preserves the per-source accumulation order).
+    """
+    X = M.as_frontier_matrix(X, csc.n_cols)
+    n = csc.n_cols
+    B = X.shape[1]
+    Xp = np.where(X > 0, X, X.dtype.type(0))
+    row_ptr, cols_in_row_order = csc.scatter_plan()
+    sums = M.scatter_spmm_values(row_ptr, cols_in_row_order, Xp)
+    out_dtype = out_dtype or X.dtype
+    Y = M.cast_like_spmv(sums, out_dtype, positive_only=False)
+
+    lanes = np.count_nonzero(Xp, axis=1).astype(np.int64)
+    degrees = csc.column_counts()
+    total_scanned = int(np.where(lanes > 0, degrees, 0).sum())
+    write_txn = W.bwide_gather_transactions(
+        total_scanned, B, csc.n_rows, np.dtype(out_dtype).itemsize,
+        l2_bytes=device.spec.l2_bytes,
+    )
+    # Longest same-address atomic chain: a row's entries can all target one
+    # (row, lane) slot, so the cached row multiplicity bounds it.
+    serial = int(np.diff(row_ptr).max()) if csc.nnz else 0
+    stats = _sccsc_spmm_stats(csc, lanes, B, X.dtype, write_txn,
+                              "sccsc_spmm_scatter", device.spec.l2_bytes,
+                              serial_updates=serial, atomic=True)
+    return Y, device.launch(stats, tag=tag)

@@ -21,6 +21,7 @@ from repro.formats.csc import CSCMatrix
 from repro.gpusim.device import Device
 from repro.gpusim.kernel import KernelLaunch, KernelStats
 from repro.gpusim import warp as W
+from repro.spmv import _spmm as M
 
 #: Issue cycles per warp for setup: pointer loads, mask compare, bookkeeping.
 _BASE_CYCLES = 6
@@ -161,3 +162,139 @@ def veccsc_spmv_scatter(
                           int(rows_sel.size), "veccsc_spmv_scatter",
                           device.spec.l2_bytes, serial_updates=serial)
     return y, device.launch(stats, tag=tag)
+
+
+# -- batched (SpMM) variants --------------------------------------------------
+#
+# The warp-per-column SpMM streams each selected column's 32-entry strips
+# once for all B lanes: the lanes load 32 row indices coalesced, fetch 32
+# B-wide frontier rows (B-word coalesced transactions instead of scattered
+# words), accumulate B partial sums and run one shuffle reduction per lane.
+# Crucially, the frontier-load transaction count has a closed form
+# (:func:`repro.gpusim.warp.bwide_gather_transactions`) -- no per-launch
+# index sort like the SpMV's warp-merge accounting.
+
+
+def _veccsc_spmm_stats(
+    csc: CSCMatrix,
+    lanes: np.ndarray,
+    B: int,
+    x_dtype,
+    write_txn: int,
+    name: str,
+    l2_bytes: int,
+    *,
+    serial_updates: int = 0,
+) -> KernelStats:
+    """Hardware stats for a warp-per-column SpMM pass over the columns with
+    ``lanes > 0`` (``lanes[c]`` = batch lanes column ``c`` contributes to)."""
+    x_itemsize = np.dtype(x_dtype).itemsize
+    dtype_factor = W.dtype_cycle_factor(x_dtype)
+    n = csc.n_cols
+    degrees = csc.column_counts()
+    scanned = np.where(lanes > 0, degrees, 0).astype(np.int64)
+    strips = (scanned + W.WARP_SIZE - 1) // W.WARP_SIZE
+    total_scanned = int(scanned.sum())
+    lane_entries = int((scanned * lanes).sum())
+    active = scanned > 0
+    warp_cycles = int(
+        n * _BASE_CYCLES
+        + ((strips * (_CYCLES_PER_STRIP + lanes)) * dtype_factor).sum()
+        + int((lanes[active]).sum()) * _SHUFFLE_CYCLES * dtype_factor
+    )
+    critical = W.max_warp_cycles(
+        strips * (_CYCLES_PER_STRIP + lanes),
+        cycles_per_unit=4 * dtype_factor,
+    )
+    row_txn = int(np.sum((scanned + 7) // 8)) + int(active.sum())
+    x_txn = W.bwide_gather_transactions(
+        total_scanned, B, csc.n_rows, x_itemsize, l2_bytes=l2_bytes
+    )
+    ptr_txn = 2 * W.coalesced_transactions(n)
+    mask_txn = W.coalesced_transactions(n * B)
+    return KernelStats(
+        name=name,
+        threads=32 * n,
+        warp_cycles=warp_cycles,
+        dram_read_bytes=(ptr_txn + mask_txn + row_txn + x_txn) * W.TRANSACTION_BYTES,
+        dram_write_bytes=write_txn * W.TRANSACTION_BYTES,
+        requested_load_bytes=(2 * n + n * B + total_scanned) * 4
+        + lane_entries * x_itemsize,
+        serial_updates=serial_updates,
+        critical_warp_cycles=critical,
+        flops=lane_entries,
+    )
+
+
+def veccsc_spmm(
+    device: Device,
+    csc: CSCMatrix,
+    X: np.ndarray,
+    *,
+    allowed: np.ndarray | None = None,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Masked batched gather product ``Y = A^T X`` with the veCSC kernel.
+
+    Semantically identical to :func:`repro.spmv.sccsc.sccsc_spmm` -- only
+    the hardware cost differs (warp-per-column streaming, no divergence on
+    hub columns).
+    """
+    X = M.as_frontier_matrix(X, csc.n_rows)
+    n = csc.n_cols
+    B = X.shape[1]
+    if allowed is None:
+        allowed = np.ones((n, B), dtype=bool)
+    else:
+        allowed = M.check_allowed_matrix(allowed, n, B)
+    col_select = allowed.any(axis=1)
+    sums = M.gather_spmm_values(
+        csc.row, csc.col_ptr, X, None if col_select.all() else col_select
+    )
+    if not allowed.all():
+        sums[~allowed] = 0.0
+    out_dtype = out_dtype or X.dtype
+    Y = M.cast_like_spmv(sums, out_dtype, positive_only=True)
+
+    written_cols = int(np.count_nonzero((sums > 0).any(axis=1)))
+    write_txn = written_cols * (-(-B * np.dtype(out_dtype).itemsize // W.TRANSACTION_BYTES))
+    lanes = allowed.sum(axis=1, dtype=np.int64)
+    stats = _veccsc_spmm_stats(csc, lanes, B, X.dtype, write_txn, "veccsc_spmm",
+                               device.spec.l2_bytes)
+    return Y, device.launch(stats, tag=tag)
+
+
+def veccsc_spmm_scatter(
+    device: Device,
+    csc: CSCMatrix,
+    X: np.ndarray,
+    *,
+    out_dtype=None,
+    tag: str = "",
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Batched scatter product ``Y = A X`` with a warp-per-column kernel.
+
+    Lane results are bit-identical to B separate
+    :func:`veccsc_spmv_scatter` calls.
+    """
+    X = M.as_frontier_matrix(X, csc.n_cols)
+    B = X.shape[1]
+    Xp = np.where(X > 0, X, X.dtype.type(0))
+    row_ptr, cols_in_row_order = csc.scatter_plan()
+    sums = M.scatter_spmm_values(row_ptr, cols_in_row_order, Xp)
+    out_dtype = out_dtype or X.dtype
+    Y = M.cast_like_spmv(sums, out_dtype, positive_only=False)
+
+    lanes = np.count_nonzero(Xp, axis=1).astype(np.int64)
+    degrees = csc.column_counts()
+    total_scanned = int(np.where(lanes > 0, degrees, 0).sum())
+    write_txn = W.bwide_gather_transactions(
+        total_scanned, B, csc.n_rows, np.dtype(out_dtype).itemsize,
+        l2_bytes=device.spec.l2_bytes,
+    )
+    serial = int(np.diff(row_ptr).max()) if csc.nnz else 0
+    stats = _veccsc_spmm_stats(csc, lanes, B, X.dtype, write_txn,
+                               "veccsc_spmm_scatter", device.spec.l2_bytes,
+                               serial_updates=serial)
+    return Y, device.launch(stats, tag=tag)
