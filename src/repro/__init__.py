@@ -30,7 +30,9 @@ Public surface:
   :func:`~repro.baselines.gunrock.gunrock_bc`,
   :func:`~repro.baselines.ligra.ligra_bc`;
 * the simulator: :class:`~repro.gpusim.Device`,
-  :class:`~repro.gpusim.DeviceSpec`, :data:`~repro.gpusim.TITAN_XP`.
+  :class:`~repro.gpusim.DeviceSpec`, :data:`~repro.gpusim.TITAN_XP`;
+* observability: :mod:`repro.obs` -- run-level span traces, a metrics
+  registry and Chrome-trace/JSONL export (``obs.session()``).
 """
 
 from repro.baselines import brandes_bc, gunrock_bc, ligra_bc
@@ -55,6 +57,7 @@ from repro.core import (
     validate_bc,
     validate_bfs,
 )
+from repro import obs
 from repro.formats import COOCMatrix, CSCMatrix, CSRMatrix
 from repro.graphs import (
     Graph,
@@ -70,6 +73,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "Graph",
+    "obs",
     "turbo_bc",
     "turbo_bfs",
     "sequential_bc",

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro import obs
 
 from repro.baselines.gunrock import gunrock_bc
 from repro.baselines.ligra import ligra_bc
@@ -18,6 +21,8 @@ from repro.gpusim.device import Device, DeviceSpec, TITAN_XP
 from repro.gpusim.errors import DeviceOutOfMemoryError
 from repro.perf.memory_model import FootprintModel
 from repro.perf.mteps import bc_per_vertex_mteps, exact_bc_mteps
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -37,6 +42,9 @@ class ExperimentRow:
     speedup_ligra: float | None = None
     gunrock_oom: bool = False
     verified: bool | None = None
+    #: Metrics snapshot of the TurboBC run (``RunTelemetry.snapshot()``),
+    #: populated when the experiment runs with ``collect_telemetry=True``.
+    telemetry: dict | None = None
 
 
 def scaled_device_spec(entry: BenchmarkGraph, base: DeviceSpec = TITAN_XP) -> DeviceSpec:
@@ -61,6 +69,7 @@ def run_bc_per_vertex(
     verify: bool = True,
     device: Device | None = None,
     scale_l2: bool = False,
+    collect_telemetry: bool = False,
 ) -> ExperimentRow:
     """BC/vertex experiment (Tables 1-4): one source, all systems.
 
@@ -68,13 +77,25 @@ def run_bc_per_vertex(
     oracle, mirroring the paper's protocol ("only the correct results were
     accepted").  ``scale_l2`` runs the GPU systems on a scaled device (see
     :func:`scaled_device_spec`) -- used by the big-graph experiments.
+    ``collect_telemetry`` runs the TurboBC pass under a metrics-only
+    telemetry session and stores the snapshot on the row (the structured
+    event source the BENCH_* trajectory tracking consumes).
     """
     graph = entry.build()
     spec = scaled_device_spec(entry) if scale_l2 else TITAN_XP
     device = device or Device(spec)
-    result = turbo_bc(
-        graph, sources=entry.source, algorithm=entry.algorithm, device=device
-    )
+    logger.debug("bc/vertex %s: n=%d m=%d", entry.name, graph.n, graph.m)
+    telemetry = None
+    if collect_telemetry:
+        with obs.session(trace=False) as tel:
+            result = turbo_bc(
+                graph, sources=entry.source, algorithm=entry.algorithm, device=device
+            )
+        telemetry = tel.snapshot()
+    else:
+        result = turbo_bc(
+            graph, sources=entry.source, algorithm=entry.algorithm, device=device
+        )
     t_turbo = result.stats.gpu_time_s
     row = ExperimentRow(
         name=entry.name,
@@ -85,6 +106,7 @@ def run_bc_per_vertex(
         scf=scale_free_metric(graph),
         runtime_ms=t_turbo * 1e3,
         mteps=bc_per_vertex_mteps(graph.m, t_turbo),
+        telemetry=telemetry,
     )
     oracle = None
     if "sequential" in systems or verify:
@@ -120,6 +142,7 @@ def run_exact_bc(
     sample_sources: int = 48,
     seed: int = 0,
     verify: bool = True,
+    collect_telemetry: bool = False,
 ) -> ExperimentRow:
     """Exact-BC experiment (Table 5): all sources, sampled + extrapolated.
 
@@ -134,7 +157,14 @@ def run_exact_bc(
     rng = np.random.default_rng(seed)
     k = min(sample_sources, n)
     sources = np.sort(rng.choice(n, size=k, replace=False))
-    result = turbo_bc(graph, sources=sources, algorithm=entry.algorithm)
+    logger.debug("exact bc %s: sampling %d of %d sources", entry.name, k, n)
+    telemetry = None
+    if collect_telemetry:
+        with obs.session(trace=False) as tel:
+            result = turbo_bc(graph, sources=sources, algorithm=entry.algorithm)
+        telemetry = tel.snapshot()
+    else:
+        result = turbo_bc(graph, sources=sources, algorithm=entry.algorithm)
     t_total = result.stats.gpu_time_s * (n / k)
     seq = sequential_bc(graph, sources=sources)
     t_seq = seq.stats.gpu_time_s * (n / k)
@@ -152,6 +182,7 @@ def run_exact_bc(
         mteps=exact_bc_mteps(n, graph.m, t_total),
         speedup_sequential=t_seq / t_total,
         verified=verified,
+        telemetry=telemetry,
     )
 
 

@@ -5,18 +5,35 @@ Three subcommands cover the workflows a user reaches for first:
 * ``info <graph>`` -- print a suite graph's paper row and repro-scale
   structure;
 * ``bc <graph>`` -- run TurboBC (one source or all) on a suite graph or a
-  MatrixMarket/edge-list file and print the result + profile;
+  MatrixMarket/edge-list file and print the result + profile; ``--trace-out``
+  / ``--metrics-json`` / ``--stats-json`` export the run's telemetry (see
+  DESIGN.md §8);
 * ``table <k>`` -- regenerate one of the paper's graph tables
   (paper-vs-measured);
 * ``suite`` -- list the whole 33-graph benchmark registry.
+
+``--log-level`` configures structured :mod:`logging` for every subcommand
+(progress and diagnostics go to the log, results to stdout).
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import json
+import logging
 
 import numpy as np
+
+logger = logging.getLogger("repro.cli")
+
+
+def _configure_logging(level: str) -> None:
+    """Structured key=value logging on stderr for the whole process."""
+    logging.basicConfig(
+        level=getattr(logging, level.upper()),
+        format="ts=%(asctime)s level=%(levelname)s logger=%(name)s msg=%(message)s",
+        datefmt="%Y-%m-%dT%H:%M:%S",
+    )
 
 
 def _load_graph(spec: str):
@@ -54,19 +71,29 @@ def cmd_info(args) -> int:
 
 
 def cmd_bc(args) -> int:
-    from repro import Device, turbo_bc
+    from repro import Device, obs, turbo_bc
 
     graph = _load_graph(args.graph)
     device = Device()
     sources = args.source if args.source is not None else None
-    result = turbo_bc(
-        graph,
-        sources=sources,
-        algorithm=args.algorithm,
-        device=device,
-        forward_dtype="auto",
-        batch_size=args.batch_size,
-    )
+    want_telemetry = bool(args.trace_out or args.metrics_json)
+    tel = obs.RunTelemetry(trace=bool(args.trace_out)) if want_telemetry else None
+    if tel is not None:
+        obs.activate(tel)
+    try:
+        result = turbo_bc(
+            graph,
+            sources=sources,
+            algorithm=args.algorithm,
+            device=device,
+            forward_dtype="auto",
+            batch_size=args.batch_size,
+        )
+    finally:
+        if tel is not None:
+            if tel.tracer is not None:
+                tel.tracer.finish()
+            obs.deactivate()
     st = result.stats
     batched = f", batch={st.batch_size}" if st.batch_size > 1 else ""
     print(f"{st.algorithm} on {graph}: modeled {st.runtime_ms:.3f} ms, "
@@ -80,7 +107,21 @@ def cmd_bc(args) -> int:
         print(device.profiler.report())
     if args.output:
         np.savetxt(args.output, result.bc)
-        print(f"bc vector written to {args.output}")
+        logger.info("bc vector written to %s", args.output)
+    if args.trace_out:
+        if str(args.trace_out).endswith(".jsonl"):
+            obs.write_jsonl(args.trace_out, tel)
+        else:
+            obs.write_chrome_trace(args.trace_out, tel)
+        logger.info("trace written to %s (load in ui.perfetto.dev)", args.trace_out)
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            json.dump(tel.snapshot(), fh, indent=2)
+        logger.info("metrics snapshot written to %s", args.metrics_json)
+    if args.stats_json:
+        with open(args.stats_json, "w") as fh:
+            json.dump(st.to_dict(), fh, indent=2)
+        logger.info("run stats written to %s", args.stats_json)
     return 0
 
 
@@ -91,7 +132,7 @@ def cmd_table(args) -> int:
     entries = suite.table(args.k)
     rows = []
     for e in entries:
-        print(f"running {e.name} ...", file=sys.stderr)
+        logger.info("running %s ...", e.name)
         rows.append(run_bc_per_vertex(e))
     print(format_comparison_table(
         entries, rows, title=f"Table {args.k} (paper vs measured)"
@@ -133,6 +174,9 @@ def _batch_size_arg(value: str):
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--log-level", default="warning",
+                        choices=("debug", "info", "warning", "error"),
+                        help="structured-logging threshold (default: warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_info = sub.add_parser("info", help="describe a benchmark-suite graph")
@@ -152,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bc.add_argument("--top", type=int, default=10)
     p_bc.add_argument("--profile", action="store_true", help="print the kernel profile")
     p_bc.add_argument("--output", help="write the bc vector to a file")
+    p_bc.add_argument("--trace-out", metavar="FILE",
+                      help="write the run's span trace: Chrome-trace JSON "
+                           "(open in ui.perfetto.dev), or JSONL if FILE ends "
+                           "in .jsonl")
+    p_bc.add_argument("--metrics-json", metavar="FILE",
+                      help="write the run's metrics snapshot (kernel-launch "
+                           "counts, frontier histogram, per-kernel GLT, "
+                           "peak memory) as JSON")
+    p_bc.add_argument("--stats-json", metavar="FILE",
+                      help="write the BCRunStats summary as JSON")
     p_bc.set_defaults(func=cmd_bc)
 
     p_table = sub.add_parser("table", help="regenerate a paper table")
@@ -165,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.log_level)
     return args.func(args)
 
 

@@ -13,6 +13,7 @@ import numpy as np
 from repro.core import frontier as FK
 from repro.core.context import TurboBCContext
 from repro.core.result import BatchedBFSResult, BFSResult
+from repro.obs import telemetry as obs
 
 
 def accumulate_dependencies(ctx: TurboBCContext, fwd: BFSResult) -> np.ndarray:
@@ -22,16 +23,20 @@ def accumulate_dependencies(ctx: TurboBCContext, fwd: BFSResult) -> np.ndarray:
     vectors first (Section 3.4's allocation choreography).  ``fwd.sigma``
     and ``fwd.levels`` are read in place.
     """
-    delta, _delta_u, _delta_ut = ctx.swap_to_backward()
-    sigma = fwd.sigma
-    S = fwd.levels
-    depth = fwd.depth
-    while depth > 1:
-        tag = f"d={depth}"
-        delta_u, _ = FK.delta_u_kernel(ctx.device, S, sigma, delta, depth, tag=tag)
-        delta_ut, _ = ctx.spmv_backward(delta_u.astype(ctx.backward_dtype, copy=False), tag=tag)
-        FK.delta_update_kernel(ctx.device, S, sigma, delta, delta_ut, depth, tag=tag)
-        depth -= 1
+    with obs.span("backward", source=fwd.source):
+        delta, _delta_u, _delta_ut = ctx.swap_to_backward()
+        sigma = fwd.sigma
+        S = fwd.levels
+        depth = fwd.depth
+        while depth > 1:
+            tag = f"d={depth}"
+            with obs.span("level", depth=depth):
+                delta_u, _ = FK.delta_u_kernel(ctx.device, S, sigma, delta, depth, tag=tag)
+                delta_ut, _ = ctx.spmv_backward(
+                    delta_u.astype(ctx.backward_dtype, copy=False), tag=tag
+                )
+                FK.delta_update_kernel(ctx.device, S, sigma, delta, delta_ut, depth, tag=tag)
+            depth -= 1
     return delta
 
 
@@ -45,16 +50,22 @@ def accumulate_dependencies_batch(ctx: TurboBCContext, fwd: BatchedBFSResult) ->
     per-source :func:`accumulate_dependencies`.  Per-lane results are
     bit-identical to the sequential stage.
     """
-    Delta, _Delta_u, _Delta_ut = ctx.swap_to_backward_batch()
-    Sigma = fwd.sigma
-    S = fwd.levels
-    depth = fwd.depth
-    while depth > 1:
-        tag = f"d={depth}"
-        Delta_u, _ = FK.delta_u_batch_kernel(ctx.device, S, Sigma, Delta, depth, tag=tag)
-        Delta_ut, _ = ctx.spmm_backward(
-            Delta_u.astype(ctx.backward_dtype, copy=False), tag=tag
-        )
-        FK.delta_update_batch_kernel(ctx.device, S, Sigma, Delta, Delta_ut, depth, tag=tag)
-        depth -= 1
+    with obs.span("backward", sources=fwd.sources, batch=fwd.batch_size):
+        Delta, _Delta_u, _Delta_ut = ctx.swap_to_backward_batch()
+        Sigma = fwd.sigma
+        S = fwd.levels
+        depth = fwd.depth
+        while depth > 1:
+            tag = f"d={depth}"
+            with obs.span("level", depth=depth):
+                Delta_u, _ = FK.delta_u_batch_kernel(
+                    ctx.device, S, Sigma, Delta, depth, tag=tag
+                )
+                Delta_ut, _ = ctx.spmm_backward(
+                    Delta_u.astype(ctx.backward_dtype, copy=False), tag=tag
+                )
+                FK.delta_update_batch_kernel(
+                    ctx.device, S, Sigma, Delta, Delta_ut, depth, tag=tag
+                )
+            depth -= 1
     return Delta

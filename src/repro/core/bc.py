@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
@@ -16,7 +17,9 @@ from repro.graphs.graph import Graph
 from repro.graphs.metrics import SCF_IRREGULAR_THRESHOLD, scale_free_metric
 from repro.gpusim.device import Device
 from repro.gpusim.errors import DeviceOutOfMemoryError
-from repro.perf.memory_model import turbobc_batched_footprint_words
+from repro.obs import telemetry as obs
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -186,6 +189,9 @@ def turbo_bc(
         algorithm = TurboBCAlgorithm(algorithm)
     if algorithm is None:
         algorithm = select_algorithm(graph)
+        logger.debug(
+            "auto-selected %s for n=%d m=%d", algorithm.label, graph.n, graph.m
+        )
     device = device or Device()
     src_list = _resolve_sources(graph, sources)
 
@@ -238,6 +244,13 @@ def turbo_bc(
                 keep_forward=keep_forward,
             )
         except SigmaOverflowError:
+            logger.warning(
+                "sigma overflowed int32; re-running all %d source(s) in float64",
+                len(src_list),
+            )
+            tel = obs.get_telemetry()
+            if tel is not None and tel.metrics is not None:
+                tel.metrics.counter("sigma_overflow_reruns").inc(len(src_list))
             device.reset()
             return turbo_bc(
                 graph,
@@ -253,40 +266,53 @@ def turbo_bc(
     t0 = time.perf_counter()
     launches_before = device.profiler.total_launches()
     gpu_time_before = device.profiler.total_time_s()
+    tel = obs.get_telemetry()
+    if tel is not None:
+        tel.bind_device(device)
+    device.memory.reset_run_peak()
 
-    ctx = TurboBCContext(
-        device,
-        graph,
-        algorithm.name,
-        forward_dtype=forward_dtype,
-        backward_dtype=backward_dtype,
-    )
-    bc_accum = ctx.bc_arr.data  # float32 device vector
-    depths: list[int] = []
-    last_forward = None
-    try:
-        for s in src_list:
-            fwd = bfs_forward(ctx, s)
-            depths.append(fwd.depth)
-            if keep_forward:
-                last_forward = BFSResult(
-                    source=s,
-                    sigma=fwd.sigma.copy(),
-                    levels=fwd.levels.copy(),
-                    depth=fwd.depth,
-                    frontier_sizes=list(fwd.frontier_sizes),
-                )
-            if fwd.depth > 1:
-                delta = accumulate_dependencies(ctx, fwd)
-                FK.bc_update_kernel(
-                    device, bc_accum, delta, s, undirected=not graph.directed,
-                    tag=f"s={s}",
-                )
-            ctx.release_source()
-        bc = ctx.close().astype(np.float64)
-    except BaseException:
-        ctx.abort()
-        raise
+    with obs.span(
+        "bc_run",
+        algorithm=algorithm.label,
+        n=graph.n,
+        m=graph.m,
+        sources=len(src_list),
+        batch_size=1,
+    ):
+        ctx = TurboBCContext(
+            device,
+            graph,
+            algorithm.name,
+            forward_dtype=forward_dtype,
+            backward_dtype=backward_dtype,
+        )
+        bc_accum = ctx.bc_arr.data  # float32 device vector
+        depths: list[int] = []
+        last_forward = None
+        try:
+            for s in src_list:
+                with obs.span("source", source=s):
+                    fwd = bfs_forward(ctx, s)
+                    depths.append(fwd.depth)
+                    if keep_forward:
+                        last_forward = BFSResult(
+                            source=s,
+                            sigma=fwd.sigma.copy(),
+                            levels=fwd.levels.copy(),
+                            depth=fwd.depth,
+                            frontier_sizes=list(fwd.frontier_sizes),
+                        )
+                    if fwd.depth > 1:
+                        delta = accumulate_dependencies(ctx, fwd)
+                        FK.bc_update_kernel(
+                            device, bc_accum, delta, s, undirected=not graph.directed,
+                            tag=f"s={s}",
+                        )
+                    ctx.release_source()
+            bc = ctx.close().astype(np.float64)
+        except BaseException:
+            ctx.abort()
+            raise
 
     stats = BCRunStats(
         algorithm=algorithm.label,
@@ -296,11 +322,11 @@ def turbo_bc(
         gpu_time_s=device.profiler.total_time_s() - gpu_time_before,
         kernel_launches=device.profiler.total_launches() - launches_before,
         transfer_time_s=device.memory.transfer_time_s(),
-        peak_memory_bytes=device.memory.peak_bytes,
+        peak_memory_bytes=device.memory.run_peak_bytes,
         depth_per_source=depths,
         wall_time_s=time.perf_counter() - t0,
     )
-    return BCResult(bc=bc, stats=stats, forward=last_forward)
+    return BCResult(bc=bc, stats=stats, forward=last_forward, telemetry=tel)
 
 
 def _turbo_bc_batched(
@@ -330,94 +356,121 @@ def _turbo_bc_batched(
     t0 = time.perf_counter()
     launches_before = device.profiler.total_launches()
     gpu_time_before = device.profiler.total_time_s()
+    tel = obs.get_telemetry()
+    if tel is not None:
+        tel.bind_device(device)
+    device.memory.reset_run_peak()
 
-    ctx = TurboBCContext(
-        device,
-        graph,
-        algorithm.name,
-        forward_dtype=fdt,
-        backward_dtype=backward_dtype,
-    )
-    bc_accum = ctx.bc_arr.data
-    depth_map: dict[int, int] = {}
-    rerun_sources: list[int] = []
-    last_forward = None
-    try:
-        for start in range(0, len(src_list), batch):
-            chunk = src_list[start : start + batch]
-            fwd = bfs_forward_batch(ctx, chunk)
-            over = fwd.overflowed
-            if over.any():
-                if not dtype_is_auto:
-                    bad = [chunk[j] for j in np.flatnonzero(over)]
-                    raise SigmaOverflowError(
-                        f"sigma overflowed dtype {fdt} during BFS from source(s) {bad}"
-                    )
-                # Zero the overflowed lanes so the backward matrices hold no
-                # garbage (a zeroed column is an exact no-op in every batched
-                # kernel) and queue their sources for the float64 re-run.
-                for j in np.flatnonzero(over):
-                    rerun_sources.append(chunk[j])
-                    fwd.sigma[:, j] = 0
-                    fwd.levels[:, j] = 0
-                    fwd.depths[j] = 0
-            for j, s in enumerate(chunk):
-                if not over[j]:
-                    depth_map[s] = fwd.depths[j]
-            if keep_forward and chunk[-1] == src_list[-1] and not over[len(chunk) - 1]:
-                last_forward = fwd.lane(len(chunk) - 1)
-            if fwd.depth > 1:
-                delta = accumulate_dependencies_batch(ctx, fwd)
-                FK.bc_update_batch_kernel(
-                    device,
-                    bc_accum,
-                    delta,
-                    chunk,
-                    undirected=not graph.directed,
-                    skip=over if over.any() else None,
-                    tag=f"s={chunk[0]}..{chunk[-1]}",
-                )
-            ctx.release_source()
-        bc = ctx.close().astype(np.float64)
-    except BaseException:
-        ctx.abort()
-        raise
-
-    if rerun_sources:
-        # Re-run only the overflowed sources, sequentially, with float64
-        # vectors -- after the batch context released its working set.
-        rctx = TurboBCContext(
+    with obs.span(
+        "bc_run",
+        algorithm=algorithm.label,
+        n=graph.n,
+        m=graph.m,
+        sources=len(src_list),
+        batch_size=batch,
+    ):
+        ctx = TurboBCContext(
             device,
             graph,
             algorithm.name,
-            forward_dtype=np.float64,
-            backward_dtype=np.float64,
+            forward_dtype=fdt,
+            backward_dtype=backward_dtype,
         )
-        rbc = rctx.bc_arr.data
+        bc_accum = ctx.bc_arr.data
+        depth_map: dict[int, int] = {}
+        rerun_sources: list[int] = []
+        last_forward = None
         try:
-            for s in rerun_sources:
-                rfwd = bfs_forward(rctx, s)
-                depth_map[s] = rfwd.depth
-                if keep_forward and s == src_list[-1]:
-                    last_forward = BFSResult(
-                        source=s,
-                        sigma=rfwd.sigma.copy(),
-                        levels=rfwd.levels.copy(),
-                        depth=rfwd.depth,
-                        frontier_sizes=list(rfwd.frontier_sizes),
-                    )
-                if rfwd.depth > 1:
-                    rdelta = accumulate_dependencies(rctx, rfwd)
-                    FK.bc_update_kernel(
-                        device, rbc, rdelta, s,
-                        undirected=not graph.directed,
-                        tag=f"s={s} f64",
-                    )
-                rctx.release_source()
-            bc += rctx.close().astype(np.float64)
+            for start in range(0, len(src_list), batch):
+                chunk = src_list[start : start + batch]
+                with obs.span("batch", sources=chunk):
+                    fwd = bfs_forward_batch(ctx, chunk)
+                    over = fwd.overflowed
+                    if over.any():
+                        if not dtype_is_auto:
+                            bad = [chunk[j] for j in np.flatnonzero(over)]
+                            raise SigmaOverflowError(
+                                f"sigma overflowed dtype {fdt} during BFS from "
+                                f"source(s) {bad}"
+                            )
+                        # Zero the overflowed lanes so the backward matrices
+                        # hold no garbage (a zeroed column is an exact no-op in
+                        # every batched kernel) and queue their sources for the
+                        # float64 re-run.
+                        for j in np.flatnonzero(over):
+                            rerun_sources.append(chunk[j])
+                            fwd.sigma[:, j] = 0
+                            fwd.levels[:, j] = 0
+                            fwd.depths[j] = 0
+                    for j, s in enumerate(chunk):
+                        if not over[j]:
+                            depth_map[s] = fwd.depths[j]
+                    if (
+                        keep_forward
+                        and chunk[-1] == src_list[-1]
+                        and not over[len(chunk) - 1]
+                    ):
+                        last_forward = fwd.lane(len(chunk) - 1)
+                    if fwd.depth > 1:
+                        delta = accumulate_dependencies_batch(ctx, fwd)
+                        FK.bc_update_batch_kernel(
+                            device,
+                            bc_accum,
+                            delta,
+                            chunk,
+                            undirected=not graph.directed,
+                            skip=over if over.any() else None,
+                            tag=f"s={chunk[0]}..{chunk[-1]}",
+                        )
+                    ctx.release_source()
+            bc = ctx.close().astype(np.float64)
         except BaseException:
-            rctx.abort()
+            ctx.abort()
             raise
+
+        if rerun_sources:
+            logger.warning(
+                "sigma overflowed int32 in %d batched lane(s); re-running "
+                "source(s) %s in float64", len(rerun_sources), rerun_sources,
+            )
+            if tel is not None and tel.metrics is not None:
+                tel.metrics.counter("sigma_overflow_reruns").inc(len(rerun_sources))
+            # Re-run only the overflowed sources, sequentially, with float64
+            # vectors -- after the batch context released its working set.
+            with obs.span("rerun", sources=rerun_sources):
+                rctx = TurboBCContext(
+                    device,
+                    graph,
+                    algorithm.name,
+                    forward_dtype=np.float64,
+                    backward_dtype=np.float64,
+                )
+                rbc = rctx.bc_arr.data
+                try:
+                    for s in rerun_sources:
+                        with obs.span("source", source=s):
+                            rfwd = bfs_forward(rctx, s)
+                            depth_map[s] = rfwd.depth
+                            if keep_forward and s == src_list[-1]:
+                                last_forward = BFSResult(
+                                    source=s,
+                                    sigma=rfwd.sigma.copy(),
+                                    levels=rfwd.levels.copy(),
+                                    depth=rfwd.depth,
+                                    frontier_sizes=list(rfwd.frontier_sizes),
+                                )
+                            if rfwd.depth > 1:
+                                rdelta = accumulate_dependencies(rctx, rfwd)
+                                FK.bc_update_kernel(
+                                    device, rbc, rdelta, s,
+                                    undirected=not graph.directed,
+                                    tag=f"s={s} f64",
+                                )
+                            rctx.release_source()
+                    bc += rctx.close().astype(np.float64)
+                except BaseException:
+                    rctx.abort()
+                    raise
 
     stats = BCRunStats(
         algorithm=algorithm.label,
@@ -427,10 +480,10 @@ def _turbo_bc_batched(
         gpu_time_s=device.profiler.total_time_s() - gpu_time_before,
         kernel_launches=device.profiler.total_launches() - launches_before,
         transfer_time_s=device.memory.transfer_time_s(),
-        peak_memory_bytes=device.memory.peak_bytes,
+        peak_memory_bytes=device.memory.run_peak_bytes,
         depth_per_source=[depth_map[s] for s in src_list],
         wall_time_s=time.perf_counter() - t0,
         batch_size=batch,
         rerun_sources=rerun_sources,
     )
-    return BCResult(bc=bc, stats=stats, forward=last_forward)
+    return BCResult(bc=bc, stats=stats, forward=last_forward, telemetry=tel)

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core import frontier as FK
 from repro.core.context import TurboBCContext
 from repro.core.result import BatchedBFSResult, BFSResult
+from repro.obs import telemetry as obs
 
 
 class SigmaOverflowError(RuntimeError):
@@ -46,28 +47,36 @@ def bfs_forward(ctx: TurboBCContext, source: int) -> BFSResult:
 
     depth = 0
     frontier_sizes: list[int] = []
-    f[source] = 1
-    sigma[source] = 1
-    FK.init_source_kernel(ctx.device, n, tag="d=1")
+    tel = obs.get_telemetry()
+    with obs.span("forward", source=source):
+        f[source] = 1
+        sigma[source] = 1
+        FK.init_source_kernel(ctx.device, n, tag="d=1")
 
-    converged = False
-    while not converged:
-        depth += 1
-        tag = f"d={depth}"
-        ft, _ = ctx.spmv_forward(f, sigma, tag=tag)
-        new_f, any_new, _ = FK.frontier_update_kernel(
-            ctx.device, ft, sigma, S, depth, masked_spmv=ctx.mask_fused, tag=tag
-        )
-        f[...] = new_f
-        size = int(np.count_nonzero(new_f))
-        if any_new:
-            frontier_sizes.append(size)
-        # The host must read the convergence flag back each level to decide
-        # whether to launch the next one.
-        ctx.device.sync_readback(tag=tag)
-        converged = not any_new
+        converged = False
+        while not converged:
+            depth += 1
+            tag = f"d={depth}"
+            with obs.span("level", depth=depth) as sp:
+                ft, _ = ctx.spmv_forward(f, sigma, tag=tag)
+                new_f, any_new, _ = FK.frontier_update_kernel(
+                    ctx.device, ft, sigma, S, depth, masked_spmv=ctx.mask_fused, tag=tag
+                )
+                f[...] = new_f
+                size = int(np.count_nonzero(new_f))
+                if any_new:
+                    frontier_sizes.append(size)
+                    sp.set(frontier_size=size)
+                    if tel is not None and tel.metrics is not None:
+                        tel.metrics.histogram("frontier_size").record(size)
+                # The host must read the convergence flag back each level to
+                # decide whether to launch the next one.
+                ctx.device.sync_readback(tag=tag)
+                converged = not any_new
 
-    depth -= 1  # the terminating iteration discovered nothing (line 29)
+        depth -= 1  # the terminating iteration discovered nothing (line 29)
+        if tel is not None and tel.metrics is not None:
+            tel.metrics.histogram("bfs_depth").record(depth)
     overflowed = (
         np.any(sigma < 0)
         if np.issubdtype(sigma.dtype, np.signedinteger)
@@ -111,29 +120,40 @@ def bfs_forward_batch(ctx: TurboBCContext, sources) -> BatchedBFSResult:
     Sigma, S, F = ctx.alloc_forward_batch(B)
 
     lanes = np.arange(B)
-    F[src, lanes] = 1
-    Sigma[src, lanes] = 1
-    FK.init_sources_kernel(ctx.device, n, B, tag="d=1")
+    tel = obs.get_telemetry()
+    with obs.span("forward", sources=src, batch=B):
+        F[src, lanes] = 1
+        Sigma[src, lanes] = 1
+        FK.init_sources_kernel(ctx.device, n, B, tag="d=1")
 
-    active = np.ones(B, dtype=bool)
-    depths = np.zeros(B, dtype=np.int64)
-    frontier_sizes: list[list[int]] = [[] for _ in range(B)]
-    depth = 0
-    while active.any():
-        depth += 1
-        tag = f"d={depth}"
-        Ft, _ = ctx.spmm_forward(F, Sigma, active, tag=tag)
-        newF, new_per_lane, _ = FK.frontier_update_batch_kernel(
-            ctx.device, Ft, Sigma, S, depth, masked_spmv=ctx.mask_fused, tag=tag
-        )
-        F[...] = newF
-        # One B-word readback serves the whole batch's convergence bitmap.
-        ctx.device.sync_readback(words=B, tag=tag)
-        got = new_per_lane > 0
-        for j in np.flatnonzero(got):
-            frontier_sizes[j].append(int(new_per_lane[j]))
-        depths[got] = depth
-        active &= got
+        active = np.ones(B, dtype=bool)
+        depths = np.zeros(B, dtype=np.int64)
+        frontier_sizes: list[list[int]] = [[] for _ in range(B)]
+        depth = 0
+        while active.any():
+            depth += 1
+            tag = f"d={depth}"
+            with obs.span("level", depth=depth) as sp:
+                Ft, _ = ctx.spmm_forward(F, Sigma, active, tag=tag)
+                newF, new_per_lane, _ = FK.frontier_update_batch_kernel(
+                    ctx.device, Ft, Sigma, S, depth, masked_spmv=ctx.mask_fused, tag=tag
+                )
+                F[...] = newF
+                # One B-word readback serves the whole batch's convergence bitmap.
+                ctx.device.sync_readback(words=B, tag=tag)
+                got = new_per_lane > 0
+                for j in np.flatnonzero(got):
+                    size = int(new_per_lane[j])
+                    frontier_sizes[j].append(size)
+                    if tel is not None and tel.metrics is not None:
+                        tel.metrics.histogram("frontier_size").record(size)
+                sp.set(frontier_size=int(new_per_lane.sum()),
+                       active_lanes=int(got.sum()))
+                depths[got] = depth
+                active &= got
+        if tel is not None and tel.metrics is not None:
+            for d in depths:
+                tel.metrics.histogram("bfs_depth").record(int(d))
 
     if np.issubdtype(Sigma.dtype, np.signedinteger):
         overflowed = (Sigma < 0).any(axis=0)

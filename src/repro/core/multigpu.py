@@ -25,6 +25,7 @@ from repro.core.result import BCResult, BCRunStats
 from repro.graphs.graph import Graph
 from repro.gpusim.device import Device, DeviceSpec, TITAN_XP
 from repro.gpusim.memory import PCIE_BANDWIDTH_GBS
+from repro.obs import telemetry as obs
 
 
 @dataclass
@@ -92,14 +93,16 @@ def multi_gpu_bc(
             mg.device_times_s.append(0.0)
             continue
         device = Device(spec)
-        part = turbo_bc(
-            graph,
-            sources=slice_sources,
-            algorithm=algorithm,
-            device=device,
-            forward_dtype=forward_dtype,
-            batch_size=batch_size,
-        )
+        with obs.span("device", index=k, sources=int(slice_sources.size)) as sp:
+            part = turbo_bc(
+                graph,
+                sources=slice_sources,
+                algorithm=algorithm,
+                device=device,
+                forward_dtype=forward_dtype,
+                batch_size=batch_size,
+            )
+            sp.set(gpu_time_s=part.stats.gpu_time_s)
         bc += part.bc
         mg.device_times_s.append(part.stats.gpu_time_s)
         launches += part.stats.kernel_launches

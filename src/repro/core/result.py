@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs is standalone)
+    from repro.obs.telemetry import RunTelemetry
 
 
 @dataclass
@@ -130,6 +134,27 @@ class BCRunStats:
     def runtime_ms(self) -> float:
         return self.gpu_time_s * 1e3
 
+    def to_dict(self) -> dict:
+        """Machine-readable snapshot (the CLI's ``--stats-json`` payload)."""
+        return {
+            "schema": "repro/bc_run_stats/v1",
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "m": self.m,
+            "sources": self.sources,
+            "gpu_time_s": self.gpu_time_s,
+            "runtime_ms": self.runtime_ms,
+            "mteps": self.mteps(),
+            "kernel_launches": self.kernel_launches,
+            "transfer_time_s": self.transfer_time_s,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "depth_per_source": list(self.depth_per_source),
+            "max_depth": self.max_depth,
+            "wall_time_s": self.wall_time_s,
+            "batch_size": self.batch_size,
+            "rerun_sources": list(self.rerun_sources),
+        }
+
 
 @dataclass
 class BCResult:
@@ -143,6 +168,9 @@ class BCResult:
     bc: np.ndarray
     stats: BCRunStats
     forward: BFSResult | None = None
+    #: The telemetry session that observed the run (``None`` unless one was
+    #: active -- see :mod:`repro.obs`); carries the span tree and metrics.
+    telemetry: "RunTelemetry | None" = None
 
     @property
     def n(self) -> int:

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from repro.gpusim.kernel import KernelLaunch, KernelStats
 from repro.gpusim.memory import DeviceMemory
 from repro.gpusim.profiler import Profiler
+from repro.obs.telemetry import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,9 @@ class Device:
             tag=tag,
         )
         self.profiler.record(launch)
+        tel = get_telemetry()
+        if tel is not None:
+            tel.on_kernel_launch(launch, self.profiler.total_time_s())
         return launch
 
     def sync_readback(self, *, words: int = 1, tag: str = "") -> KernelLaunch:
@@ -109,6 +113,9 @@ class Device:
             tag=tag,
         )
         self.profiler.record(launch)
+        tel = get_telemetry()
+        if tel is not None:
+            tel.on_kernel_launch(launch, self.profiler.total_time_s())
         return launch
 
     def reset(self) -> None:

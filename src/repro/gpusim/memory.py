@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpusim.errors import DeviceArrayFreedError, DeviceOutOfMemoryError, GpuSimError
+from repro.obs.telemetry import get_telemetry
 
 #: Effective host-to-device bandwidth of the PCIe 3.0 x16 link of the
 #: paper's server, used to account transfer times.
@@ -75,6 +76,7 @@ class DeviceMemory:
         self.backed = bool(backed)
         self.used_bytes = 0
         self.peak_bytes = 0
+        self.run_peak_bytes = 0
         self.transfer_bytes_h2d = 0
         self.transfer_bytes_d2h = 0
         self._live: dict[int, DeviceArray] = {}
@@ -98,7 +100,11 @@ class DeviceMemory:
         arr = DeviceArray(name, shape, dtype, data)
         self.used_bytes += arr.nbytes
         self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        self.run_peak_bytes = max(self.run_peak_bytes, self.used_bytes)
         self._live[id(arr)] = arr
+        tel = get_telemetry()
+        if tel is not None:
+            tel.on_memory(self.used_bytes, arr.nbytes, name)
         return arr
 
     def free(self, arr: DeviceArray) -> None:
@@ -109,6 +115,19 @@ class DeviceMemory:
         self.used_bytes -= arr.nbytes
         arr._freed = True
         arr._data = None
+        tel = get_telemetry()
+        if tel is not None:
+            tel.on_memory(self.used_bytes, -arr.nbytes, arr.name)
+
+    def reset_run_peak(self) -> int:
+        """Rebase the resettable high-water mark to current usage.
+
+        The device-lifetime ``peak_bytes`` never goes down; a driver that
+        reuses a device calls this at run start so its stats report *this
+        run's* peak.  Returns the new baseline.
+        """
+        self.run_peak_bytes = self.used_bytes
+        return self.run_peak_bytes
 
     def free_all(self) -> None:
         """Release every live allocation (end-of-run cleanup)."""

@@ -42,18 +42,23 @@ class Profiler:
 
     def __init__(self):
         self.launches: list[KernelLaunch] = []
+        self._total_time_s = 0.0
 
     def record(self, launch: KernelLaunch) -> None:
         self.launches.append(launch)
+        # Maintained incrementally so per-span GPU-clock snapshots are O(1);
+        # the left-fold accumulation is bit-identical to sum() over the list.
+        self._total_time_s += launch.time_s
 
     def clear(self) -> None:
         self.launches.clear()
+        self._total_time_s = 0.0
 
     # -- aggregate queries ----------------------------------------------------
 
     def total_time_s(self) -> float:
         """Sum of all launch times (kernels execute back-to-back in-stream)."""
-        return sum(l.time_s for l in self.launches)
+        return self._total_time_s
 
     def total_launches(self) -> int:
         return len(self.launches)
@@ -80,8 +85,35 @@ class Profiler:
         )
 
     def summaries(self) -> list[KernelSummary]:
-        """Per-kernel aggregates, hottest (most total time) first."""
-        out = [self.summary(n) for n in self.kernel_names()]
+        """Per-kernel aggregates, hottest (most total time) first.
+
+        A single pass over the launch log -- the naive per-name rescan is
+        O(names x launches), which an exact-BC run (millions of launches,
+        a dozen names) turns into a visible report-time stall.
+        """
+        agg: dict[str, list] = {}
+        for l in self.launches:
+            a = agg.get(l.name)
+            if a is None:
+                a = agg[l.name] = [0, 0.0, 0.0, 0, 0, 0]
+            a[0] += 1
+            a[1] += l.time_s
+            a[2] += l.exec_time_s
+            a[3] += l.stats.dram_bytes
+            a[4] += l.stats.requested_load_bytes
+            a[5] += l.stats.warp_cycles
+        out = [
+            KernelSummary(
+                name=name,
+                launches=a[0],
+                total_time_s=a[1],
+                exec_time_s=a[2],
+                dram_bytes=a[3],
+                requested_load_bytes=a[4],
+                warp_cycles=a[5],
+            )
+            for name, a in agg.items()
+        ]
         out.sort(key=lambda s: -s.total_time_s)
         return out
 

@@ -1,0 +1,63 @@
+"""Observability for TurboBC runs: tracing, metrics, structured export.
+
+Three pieces (see DESIGN.md §8):
+
+* :mod:`repro.obs.trace` -- a nestable span tree per run (run -> batch/source
+  -> stage -> BFS level, with kernel launches as leaf events), capturing
+  wall-clock time, simulated GPU time and memory high-water deltas;
+* :mod:`repro.obs.metrics` -- a registry of counters, gauges and power-of-two
+  histograms with a JSON snapshot;
+* :mod:`repro.obs.export` -- Chrome-trace/Perfetto and JSONL exporters.
+
+:mod:`repro.obs.telemetry` ties them together: a :class:`RunTelemetry` holds
+one run's tracer + registry, and :func:`session` installs it as the active
+sink the instrumented simulator and drivers feed.  With no active session
+every instrumentation point is a no-op (one module-global read), so results
+and tier-1 timings are unchanged when observability is off.
+
+Usage::
+
+    from repro import obs, turbo_bc
+
+    with obs.session() as tel:
+        result = turbo_bc(graph, sources=0)
+    obs.write_chrome_trace("trace.json", tel)   # load in ui.perfetto.dev
+    print(tel.snapshot()["per_kernel_glt_gbs"])
+"""
+
+from repro.obs.export import (
+    jsonl_records,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import (
+    RunTelemetry,
+    activate,
+    deactivate,
+    get_telemetry,
+    session,
+    span,
+)
+from repro.obs.trace import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "RunTelemetry",
+    "Span",
+    "Tracer",
+    "activate",
+    "deactivate",
+    "get_telemetry",
+    "jsonl_records",
+    "session",
+    "span",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

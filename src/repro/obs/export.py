@@ -1,0 +1,123 @@
+"""Trace exporters: Chrome-trace (Perfetto) JSON and JSONL event logs.
+
+The Chrome trace format (the ``traceEvents`` JSON consumed by
+``chrome://tracing`` and https://ui.perfetto.dev) renders the span tree on a
+"host (wall clock)" track and every modeled kernel launch on a
+"gpu (modeled)" track, with the device-memory timeline as a counter track --
+one file answers "where inside the run did time and memory go".
+
+The JSONL exporter writes one self-contained JSON object per line (spans
+depth-first, then kernel events, then memory samples), which is the format
+the bench trajectory tooling and ad-hoc ``jq`` queries consume.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.telemetry import RunTelemetry
+from repro.obs.trace import Span
+
+_HOST_TID = 1
+_GPU_TID = 2
+_US = 1e6  # chrome-trace timestamps are microseconds
+
+
+def chrome_trace_events(telemetry: RunTelemetry, *, pid: int = 1) -> list[dict]:
+    """The ``traceEvents`` list for a telemetry session."""
+    events: list[dict] = [
+        {"ph": "M", "pid": pid, "tid": _HOST_TID, "name": "thread_name",
+         "args": {"name": "host (wall clock)"}},
+        {"ph": "M", "pid": pid, "tid": _GPU_TID, "name": "thread_name",
+         "args": {"name": "gpu (modeled)"}},
+    ]
+    for root in telemetry.roots:
+        for span in root.walk():
+            events.append(_span_event(span, pid))
+            for ev in span.events:
+                if ev.get("name") == "kernel":
+                    events.append(_kernel_event(ev, pid))
+    for wall_s, used in telemetry.memory_timeline:
+        events.append({
+            "ph": "C", "pid": pid, "tid": _HOST_TID, "name": "device_mem_used",
+            "ts": wall_s * _US, "args": {"bytes": used},
+        })
+    return events
+
+
+def _span_event(span: Span, pid: int) -> dict:
+    args = dict(span.attrs)
+    args["gpu_time_ms"] = span.gpu_time_s * 1e3
+    args["mem_high_water_delta_bytes"] = span.mem_high_water_delta_bytes
+    return {
+        "ph": "X",
+        "pid": pid,
+        "tid": _HOST_TID,
+        "name": span.name,
+        "ts": span.start_s * _US,
+        "dur": span.duration_s * _US,
+        "args": args,
+    }
+
+
+def _kernel_event(ev: dict, pid: int) -> dict:
+    return {
+        "ph": "X",
+        "pid": pid,
+        "tid": _GPU_TID,
+        "name": ev.get("kernel", "kernel"),
+        "ts": ev.get("gpu_ts_s", 0.0) * _US,
+        "dur": ev.get("gpu_dur_s", 0.0) * _US,
+        "args": {"tag": ev.get("tag", "")},
+    }
+
+
+def to_chrome_trace(telemetry: RunTelemetry) -> dict:
+    """The full Chrome-trace document (load in Perfetto / chrome://tracing)."""
+    return {
+        "traceEvents": chrome_trace_events(telemetry),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "schema": "repro.obs/trace/v1"},
+    }
+
+
+def write_chrome_trace(path, telemetry: RunTelemetry) -> None:
+    """Write the Chrome-trace JSON file for a telemetry session."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(telemetry), fh)
+
+
+def jsonl_records(telemetry: RunTelemetry) -> list[dict]:
+    """Flat event records: spans (depth-first), kernels, memory samples."""
+    records: list[dict] = []
+    for root in telemetry.roots:
+        _flatten(root, 0, records)
+    for wall_s, used in telemetry.memory_timeline:
+        records.append({"type": "memory", "wall_s": wall_s, "used_bytes": used})
+    return records
+
+
+def _flatten(span: Span, depth: int, out: list[dict]) -> None:
+    out.append({
+        "type": "span",
+        "name": span.name,
+        "depth": depth,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "duration_s": span.duration_s,
+        "gpu_time_s": span.gpu_time_s,
+        "mem_high_water_delta_bytes": span.mem_high_water_delta_bytes,
+        "attrs": dict(span.attrs),
+    })
+    for ev in span.events:
+        out.append({"type": "event", "span": span.name, **ev})
+    for child in span.children:
+        _flatten(child, depth + 1, out)
+
+
+def write_jsonl(path, telemetry: RunTelemetry) -> None:
+    """Write one JSON object per line (``.jsonl`` flavour of ``--trace-out``)."""
+    with open(path, "w") as fh:
+        for rec in jsonl_records(telemetry):
+            fh.write(json.dumps(rec))
+            fh.write("\n")

@@ -1,0 +1,129 @@
+"""A small in-process metrics registry: counters, gauges, histograms.
+
+The registry is the structured-numbers side of the observability layer
+(the trace is the structured-time side): kernel launches by name,
+sigma-overflow re-runs, BFS convergence iterations, the frontier-size
+distribution, the device-memory timeline and the inputs of the per-kernel
+GLT aggregate all land here.  ``to_dict()`` snapshots everything into plain
+JSON-able types for ``--metrics-json`` and the bench harness.
+
+Metrics are keyed by name plus optional labels, Prometheus-style::
+
+    registry.counter("kernel_launches", kernel="bfs_update").inc()
+    registry.histogram("frontier_size").record(412)
+
+Label sets render as ``name{key=value}`` keys in the snapshot.
+"""
+
+from __future__ import annotations
+
+
+def _key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, with its observed extrema."""
+
+    __slots__ = ("value", "max", "min")
+
+    def __init__(self):
+        self.value = 0
+        self.max: int | float | None = None
+        self.min: int | float | None = None
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.min is None or value < self.min:
+            self.min = value
+
+
+class Histogram:
+    """A distribution in power-of-two buckets.
+
+    Bucket ``b`` counts samples with ``2**(b-1) < value <= 2**b`` (bucket 0
+    counts values <= 1, negatives included).  Power-of-two buckets need no
+    a-priori range, which fits frontier sizes spanning 1 .. n.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.min: int | float | None = None
+        self.max: int | float | None = None
+        self.buckets: dict[int, int] = {}
+
+    def record(self, value: int | float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        b = max(0, int(value) - 1).bit_length() if value > 1 else 0
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            # "le_2^b" -> count, ascending buckets
+            "buckets": {f"le_2^{b}": c for b, c in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with a JSON snapshot."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._counters.setdefault(_key(name, labels), Counter())
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._gauges.setdefault(_key(name, labels), Gauge())
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._histograms.setdefault(_key(name, labels), Histogram())
+
+    def to_dict(self) -> dict:
+        """Snapshot every metric into plain dicts (stable key order)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {
+                k: {"value": g.value, "max": g.max, "min": g.min}
+                for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {k: h.to_dict() for k, h in sorted(self._histograms.items())},
+        }

@@ -1,0 +1,163 @@
+"""RunTelemetry: one run's tracer + metrics, and the active-session switch.
+
+The simulator and the drivers are instrumented against *this module*, not
+against a concrete tracer: they call :func:`span`, :func:`get_telemetry` and
+the ``on_*`` hooks of whatever :class:`RunTelemetry` is active.  When nothing
+is active (the default), :func:`span` hands back the shared no-op span and
+:func:`get_telemetry` returns ``None`` -- the instrumented paths cost a
+module-global read, which is what keeps tier-1 timings and results untouched.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.session() as tel:
+        result = turbo_bc(graph, sources=0)
+    obs.write_chrome_trace("trace.json", tel)
+    json.dump(tel.snapshot(), open("metrics.json", "w"))
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, Span, Tracer
+
+
+class RunTelemetry:
+    """Everything observed about one run: a span tree plus a metrics registry.
+
+    The simulated device feeds it through :meth:`on_kernel_launch` and
+    :meth:`on_memory`; the drivers open spans through it.  ``tracer`` or
+    ``metrics`` may be disabled independently (``None``).
+    """
+
+    def __init__(self, *, trace: bool = True, metrics: bool = True,
+                 clock=time.perf_counter):
+        self.tracer: Tracer | None = Tracer(clock=clock) if trace else None
+        self.metrics: MetricsRegistry | None = MetricsRegistry() if metrics else None
+        #: (wall_s, used_bytes) samples, one per device alloc/free.
+        self.memory_timeline: list[tuple[float, int]] = []
+        self._clock = clock
+        self._t0 = clock()
+        # per-kernel GLT accumulators: name -> [requested_load_bytes, exec_s]
+        self._glt: dict[str, list] = {}
+
+    def span(self, name: str, **attrs):
+        if self.tracer is None:
+            return NOOP_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def bind_device(self, device) -> None:
+        if self.tracer is not None:
+            self.tracer.bind_device(device)
+
+    # -- simulator hooks ------------------------------------------------------
+
+    def on_kernel_launch(self, launch, gpu_total_s: float) -> None:
+        """Record one kernel launch (called by ``Device.launch``).
+
+        ``gpu_total_s`` is the device's cumulative modeled time *after* the
+        launch, so the launch occupies ``[gpu_total_s - time_s, gpu_total_s]``
+        on the modeled-GPU timeline.
+        """
+        name = launch.name
+        if self.metrics is not None:
+            self.metrics.counter("kernel_launches", kernel=name).inc()
+            acc = self._glt.setdefault(name, [0, 0.0])
+            acc[0] += launch.stats.requested_load_bytes
+            acc[1] += launch.exec_time_s
+        if self.tracer is not None:
+            self.tracer.add_event(
+                "kernel",
+                kernel=name,
+                tag=launch.tag,
+                gpu_ts_s=gpu_total_s - launch.time_s,
+                gpu_dur_s=launch.time_s,
+            )
+
+    def on_memory(self, used_bytes: int, delta_bytes: int, name: str) -> None:
+        """Record one allocation/free (called by ``DeviceMemory``)."""
+        if self.metrics is not None:
+            self.metrics.gauge("device_mem_used_bytes").set(used_bytes)
+        self.memory_timeline.append((self._clock() - self._t0, used_bytes))
+        if self.tracer is not None:
+            self.tracer.observe_memory(used_bytes)
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def roots(self) -> list[Span]:
+        """Top-level spans of the trace (empty when tracing is disabled)."""
+        return self.tracer.roots if self.tracer is not None else []
+
+    def per_kernel_glt_gbs(self) -> dict[str, float]:
+        """Aggregate Global-memory Load Throughput per kernel, in GB/s."""
+        out = {}
+        for name, (req, exec_s) in sorted(self._glt.items()):
+            out[name] = (req / exec_s / 1e9) if exec_s > 0 else 0.0
+        return out
+
+    def snapshot(self) -> dict:
+        """The run's metrics as one JSON-able dict (``--metrics-json``)."""
+        metrics = self.metrics.to_dict() if self.metrics is not None else {}
+        peak = max((u for _, u in self.memory_timeline), default=0)
+        return {
+            "schema": "repro.obs/metrics/v1",
+            "metrics": metrics,
+            "per_kernel_glt_gbs": self.per_kernel_glt_gbs(),
+            "run_peak_memory_bytes": peak,
+            "memory_timeline_samples": len(self.memory_timeline),
+        }
+
+
+# -- the active session -------------------------------------------------------
+
+_ACTIVE: RunTelemetry | None = None
+
+
+def get_telemetry() -> RunTelemetry | None:
+    """The active telemetry session, or ``None`` (the zero-cost default)."""
+    return _ACTIVE
+
+
+def span(name: str, **attrs):
+    """Open a span on the active session; a shared no-op when inactive."""
+    tel = _ACTIVE
+    if tel is None or tel.tracer is None:
+        return NOOP_SPAN
+    return tel.tracer.span(name, **attrs)
+
+
+def activate(telemetry: RunTelemetry) -> RunTelemetry:
+    """Install ``telemetry`` as the active session (returns it)."""
+    global _ACTIVE
+    _ACTIVE = telemetry
+    return telemetry
+
+
+def deactivate() -> None:
+    """Clear the active session (instrumentation reverts to no-ops)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def session(telemetry: RunTelemetry | None = None, **kwargs):
+    """Run a block with an active telemetry session, restoring the previous.
+
+    ``kwargs`` construct a fresh :class:`RunTelemetry` when none is passed.
+    Nested sessions stack: the inner session captures, the outer resumes.
+    """
+    global _ACTIVE
+    tel = telemetry if telemetry is not None else RunTelemetry(**kwargs)
+    prev = _ACTIVE
+    _ACTIVE = tel
+    try:
+        yield tel
+    finally:
+        if tel.tracer is not None:
+            tel.tracer.finish()
+        _ACTIVE = prev

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.context import TurboBCContext
 from repro.gpusim.device import Device
-from repro.gpusim.errors import GpuSimError
 from tests.conftest import random_graph
 
 

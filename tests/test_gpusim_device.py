@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpusim.device import Device, DeviceSpec, TITAN_XP
+from repro.gpusim.device import TITAN_XP
 from repro.gpusim.errors import InvalidKernelError
 from repro.gpusim.kernel import KernelLaunch, KernelStats
 

@@ -1,0 +1,386 @@
+"""Observability-layer tests: span trees, metrics, exporters, and the
+zero-cost / bit-identical guarantees the tier-1 suite depends on."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs, turbo_bc
+from repro.core.multigpu import multi_gpu_bc
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import KernelStats
+from repro.gpusim.memory import DeviceMemory
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, Tracer
+from tests.conftest import random_graph
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_session():
+    """Every test must leave the global telemetry switch off."""
+    yield
+    assert obs.get_telemetry() is None
+    obs.deactivate()
+
+
+class TestTracer:
+    def test_span_nesting_builds_tree(self):
+        tr = Tracer()
+        with tr.span("run"):
+            with tr.span("source", source=3):
+                with tr.span("forward"):
+                    with tr.span("level", depth=1):
+                        pass
+                    with tr.span("level", depth=2):
+                        pass
+        (root,) = tr.roots
+        assert root.name == "run"
+        assert [s.name for s in root.walk()] == [
+            "run", "source", "forward", "level", "level",
+        ]
+        assert root.children[0].attrs == {"source": 3}
+        assert len(root.find("level")) == 2
+
+    def test_span_times_are_ordered(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer = tr.roots[0]
+        inner = outer.children[0]
+        assert outer.start_s <= inner.start_s <= inner.end_s <= outer.end_s
+        assert outer.duration_s >= inner.duration_s
+
+    def test_set_and_event(self):
+        tr = Tracer()
+        with tr.span("level") as sp:
+            sp.set(frontier_size=7)
+            sp.event("kernel", kernel="spmv")
+        assert tr.roots[0].attrs["frontier_size"] == 7
+        assert tr.roots[0].events == [{"name": "kernel", "kernel": "spmv"}]
+
+    def test_finish_closes_open_spans(self):
+        tr = Tracer()
+        tr.span("a").__enter__()
+        tr.span("b").__enter__()
+        roots = tr.finish()
+        assert [r.name for r in roots] == ["a"]
+        assert roots[0].end_s is not None
+        assert roots[0].children[0].end_s is not None
+
+    def test_observe_memory_high_water(self):
+        tr = Tracer()
+        mem_used = [100]
+        tr._mem_gauge = lambda: mem_used[0]
+        with tr.span("run") as sp:
+            tr.observe_memory(500)
+            tr.observe_memory(300)
+        assert sp.mem_start_bytes == 100
+        assert sp.mem_peak_bytes == 500
+        assert sp.mem_high_water_delta_bytes == 400
+
+    def test_to_dict_round_trips_json(self):
+        tr = Tracer()
+        with tr.span("run", n=4):
+            with tr.span("level", depth=1):
+                pass
+        d = tr.roots[0].to_dict()
+        again = json.loads(json.dumps(d))
+        assert again["name"] == "run"
+        assert again["children"][0]["attrs"] == {"depth": 1}
+
+
+class TestNoopPath:
+    def test_span_is_shared_noop_when_inactive(self):
+        assert obs.get_telemetry() is None
+        assert obs.span("anything", a=1) is NOOP_SPAN
+        with obs.span("x") as sp:
+            sp.set(y=2)
+            sp.event("e")
+
+    def test_session_restores_previous(self):
+        with obs.session() as outer:
+            assert obs.get_telemetry() is outer
+            with obs.session() as inner:
+                assert obs.get_telemetry() is inner
+            assert obs.get_telemetry() is outer
+        assert obs.get_telemetry() is None
+
+    def test_session_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.session():
+                raise RuntimeError("boom")
+        assert obs.get_telemetry() is None
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("launches", kernel="spmv").inc()
+        reg.counter("launches", kernel="spmv").inc(2)
+        reg.gauge("mem").set(10)
+        reg.gauge("mem").set(4)
+        h = reg.histogram("frontier")
+        for v in (1, 2, 3, 900):
+            h.record(v)
+        d = reg.to_dict()
+        assert d["counters"] == {"launches{kernel=spmv}": 3}
+        assert d["gauges"]["mem"] == {"value": 4, "max": 10, "min": 4}
+        hist = d["histograms"]["frontier"]
+        assert hist["count"] == 4
+        assert hist["sum"] == 906
+        assert hist["min"] == 1 and hist["max"] == 900
+        # 1 -> le_2^0; 2 -> le_2^1; 3 -> le_2^2; 900 -> le_2^10
+        assert hist["buckets"] == {
+            "le_2^0": 1, "le_2^1": 1, "le_2^2": 1, "le_2^10": 1,
+        }
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+
+class TestRunTelemetrySchema:
+    def test_bc_run_snapshot_contents(self, small_undirected):
+        with obs.session() as tel:
+            res = turbo_bc(small_undirected, device=Device())
+        snap = tel.snapshot()
+        assert snap["schema"] == "repro.obs/metrics/v1"
+        counters = snap["metrics"]["counters"]
+        launch_total = sum(
+            v for k, v in counters.items() if k.startswith("kernel_launches")
+        )
+        assert launch_total == res.stats.kernel_launches
+        assert snap["metrics"]["histograms"]["frontier_size"]["count"] > 0
+        assert snap["metrics"]["histograms"]["bfs_depth"]["count"] == res.stats.sources
+        assert snap["run_peak_memory_bytes"] == res.stats.peak_memory_bytes
+        glt = snap["per_kernel_glt_gbs"]
+        assert "bfs_update" in glt and glt["bfs_update"] > 0
+        assert res.telemetry is tel
+
+    def test_span_taxonomy_of_a_run(self, small_undirected):
+        with obs.session() as tel:
+            turbo_bc(small_undirected, sources=[0, 1], device=Device())
+        (run,) = tel.roots
+        assert run.name == "bc_run"
+        assert run.attrs["sources"] == 2
+        sources = run.children
+        assert [s.name for s in sources] == ["source", "source"]
+        stages = [c.name for c in sources[0].children]
+        assert stages == ["forward", "backward"]
+        levels = sources[0].children[0].children
+        assert all(s.name == "level" for s in levels)
+        assert levels[0].attrs["depth"] == 1
+        kernel_events = [e for e in levels[0].events if e["name"] == "kernel"]
+        assert {e["kernel"] for e in kernel_events} >= {"bfs_update", "sync_readback"}
+        # spans carry gpu time and the run span dominates its children
+        assert run.gpu_time_s >= sources[0].gpu_time_s > 0
+
+    def test_batched_run_has_batch_spans(self, small_undirected):
+        with obs.session() as tel:
+            turbo_bc(
+                small_undirected, sources=[0, 1, 2, 3], batch_size=2, device=Device()
+            )
+        (run,) = tel.roots
+        assert run.attrs["batch_size"] == 2
+        batches = [c for c in run.children if c.name == "batch"]
+        assert len(batches) == 2
+        assert [c.name for c in batches[0].children] == ["forward", "backward"]
+
+    def test_multigpu_device_spans(self, small_undirected):
+        with obs.session() as tel:
+            multi_gpu_bc(small_undirected, n_devices=2, sources=[0, 1, 2])
+        devices = [r for r in tel.roots if r.name == "device"]
+        assert len(devices) == 2
+        assert devices[0].attrs["sources"] == 2  # round-robin: 0, 2
+        assert devices[1].attrs["sources"] == 1
+        assert all(d.children[0].name == "bc_run" for d in devices)
+
+
+class TestParity:
+    """Telemetry on vs off must not change results or modeled work."""
+
+    @pytest.mark.parametrize("batch_size", [1, 3])
+    def test_bc_vectors_bit_identical(self, batch_size):
+        g = random_graph(40, 0.1, directed=False, seed=7)
+        base = turbo_bc(g, batch_size=batch_size, device=Device())
+        with obs.session():
+            traced = turbo_bc(g, batch_size=batch_size, device=Device())
+        assert np.array_equal(base.bc, traced.bc)
+        assert base.stats.kernel_launches == traced.stats.kernel_launches
+        assert base.stats.gpu_time_s == traced.stats.gpu_time_s
+        assert base.stats.peak_memory_bytes == traced.stats.peak_memory_bytes
+
+    def test_untraced_result_has_no_telemetry(self, small_undirected):
+        res = turbo_bc(small_undirected, sources=0)
+        assert res.telemetry is None
+
+
+class TestExporters:
+    def _run(self):
+        g = random_graph(30, 0.12, directed=False, seed=9)
+        with obs.session() as tel:
+            turbo_bc(g, sources=[0, 1], device=Device())
+        return tel
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        tel = self._run()
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path, tel)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert doc["otherData"]["schema"] == "repro.obs/trace/v1"
+        x = [e for e in events if e["ph"] == "X"]
+        assert all({"name", "ts", "dur", "pid", "tid"} <= e.keys() for e in x)
+        # spans nest: every source span lies within the bc_run span
+        run = next(e for e in x if e["name"] == "bc_run")
+        for e in (e for e in x if e["name"] == "source"):
+            assert run["ts"] <= e["ts"]
+            assert e["ts"] + e["dur"] <= run["ts"] + run["dur"] + 1e-6
+        # kernels render on the modeled-GPU track, memory as counter events
+        tids = {e["tid"] for e in x}
+        assert len(tids) == 2
+        assert any(e["ph"] == "C" and e["name"] == "device_mem_used" for e in events)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tel = self._run()
+        path = tmp_path / "trace.jsonl"
+        obs.write_jsonl(path, tel)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {r["type"] for r in records}
+        assert kinds == {"span", "event", "memory"}
+        spans = [r for r in records if r["type"] == "span"]
+        assert spans[0]["name"] == "bc_run" and spans[0]["depth"] == 0
+        assert {s["name"] for s in spans} >= {"source", "forward", "backward", "level"}
+
+    def test_snapshot_is_json_serialisable(self):
+        tel = self._run()
+        json.dumps(tel.snapshot())
+
+
+class TestProfilerAggregates:
+    def test_summaries_match_per_name_summary(self, device):
+        for i in range(5):
+            device.launch(KernelStats(name="a", dram_read_bytes=32 * (i + 1),
+                                      requested_load_bytes=64, warp_cycles=10))
+            device.launch(KernelStats(name="b", dram_write_bytes=32))
+        by_name = {s.name: s for s in device.profiler.summaries()}
+        for name in ("a", "b"):
+            assert by_name[name] == device.profiler.summary(name)
+
+    def test_report_includes_totals_and_glt(self, device):
+        device.launch(KernelStats(name="spmv", dram_read_bytes=1 << 20,
+                                  requested_load_bytes=1 << 22))
+        device.launch(KernelStats(name="spmv", dram_read_bytes=1 << 20))
+        report = device.profiler.report()
+        lines = report.splitlines()
+        assert "GLT(GB/s)" in lines[0]
+        spmv_line = next(line for line in lines if line.startswith("spmv"))
+        assert " 2 " in spmv_line  # launch count column
+        assert lines[-1].startswith("total")
+
+    def test_total_time_is_o1_and_consistent(self, device):
+        for _ in range(100):
+            device.launch(KernelStats(name="k", warp_cycles=123))
+        expected = sum(l.time_s for l in device.profiler.launches)
+        assert device.profiler.total_time_s() == expected
+        device.profiler.clear()
+        assert device.profiler.total_time_s() == 0.0
+
+
+class TestRunPeak:
+    def test_reset_run_peak_rebases(self):
+        mem = DeviceMemory(10_000)
+        a = mem.alloc("a", 1000, np.int8)
+        mem.free(a)
+        assert mem.peak_bytes == 1000
+        assert mem.run_peak_bytes == 1000
+        mem.reset_run_peak()
+        assert mem.run_peak_bytes == 0
+        mem.alloc("b", 200, np.int8)
+        assert mem.run_peak_bytes == 200
+        assert mem.peak_bytes == 1000  # lifetime peak unchanged
+
+    def test_stats_report_per_run_peak_on_reused_device(self, small_undirected):
+        device = Device()
+        big = turbo_bc(small_undirected, sources=[0, 1, 2, 3], batch_size=4,
+                       device=device)
+        small = turbo_bc(small_undirected, sources=0, device=device)
+        assert small.stats.peak_memory_bytes < big.stats.peak_memory_bytes
+        assert device.memory.peak_bytes == big.stats.peak_memory_bytes
+
+
+class TestCliTelemetryFlags:
+    def test_bc_writes_trace_metrics_stats(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graphs import io
+
+        g = random_graph(30, 0.12, directed=False, seed=5)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        stats = tmp_path / "s.json"
+        assert main([
+            "bc", str(path), "--source", "0",
+            "--trace-out", str(trace),
+            "--metrics-json", str(metrics),
+            "--stats-json", str(stats),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"bc_run", "source", "forward", "level"} <= names
+        snap = json.loads(metrics.read_text())
+        assert snap["run_peak_memory_bytes"] > 0
+        st = json.loads(stats.read_text())
+        assert st["schema"] == "repro/bc_run_stats/v1"
+        assert st["kernel_launches"] > 0
+        assert obs.get_telemetry() is None  # CLI deactivated its session
+
+    def test_stats_json_without_telemetry(self, tmp_path):
+        from repro.cli import main
+        from repro.graphs import io
+
+        g = random_graph(20, 0.15, directed=True, seed=6)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        stats = tmp_path / "s.json"
+        assert main(["bc", str(path), "--source", "0",
+                     "--stats-json", str(stats)]) == 0
+        st = json.loads(stats.read_text())
+        assert st["sources"] == 1
+        assert st["peak_memory_bytes"] > 0
+
+    def test_jsonl_trace_out(self, tmp_path):
+        from repro.cli import main
+        from repro.graphs import io
+
+        g = random_graph(20, 0.15, directed=False, seed=8)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        trace = tmp_path / "t.jsonl"
+        assert main(["bc", str(path), "--source", "0",
+                     "--trace-out", str(trace)]) == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert records[0]["type"] == "span" and records[0]["name"] == "bc_run"
+
+
+class TestBenchTelemetry:
+    def test_experiment_row_snapshot(self):
+        from repro.bench.runner import run_bc_per_vertex
+        from repro.graphs import suite
+
+        entry = suite.get("mycielskian15")
+        try:
+            row = run_bc_per_vertex(
+                entry, systems=(), verify=False, collect_telemetry=True
+            )
+        finally:
+            suite.clear_graph_cache()
+        assert row.telemetry is not None
+        assert row.telemetry["schema"] == "repro.obs/metrics/v1"
+        assert row.telemetry["run_peak_memory_bytes"] > 0
+        assert obs.get_telemetry() is None

@@ -5,7 +5,6 @@ real registry entries are validated structurally and two small ones are
 actually built.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.runner import (
@@ -18,7 +17,7 @@ from repro.bench.runner import (
 from repro.bench.tables import format_comparison_table, format_rows
 from repro.graphs import suite
 from repro.graphs.suite import BenchmarkGraph, PaperRow, TABLE5
-from repro.gpusim.device import Device, TITAN_XP
+from repro.gpusim.device import Device
 from tests.conftest import random_graph
 
 
