@@ -1,0 +1,25 @@
+# Single place the test/lint invocations live; CI and ROADMAP.md call these
+# targets instead of repeating the commands.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test test-fast test-slow lint conformance-smoke bless
+
+test:  ## tier-1: the full suite (the ROADMAP verify command)
+	$(PYTEST) -x -q
+
+test-fast:  ## tier-1 minus the slow fuzz soaks
+	$(PYTEST) -x -q -m "not slow"
+
+test-slow:  ## only the @pytest.mark.slow fuzz soaks
+	$(PYTEST) -q -m slow
+
+lint:
+	ruff check src tests benchmarks examples
+
+conformance-smoke:  ## fixed-seed differential fuzz pass, wall-clock capped
+	PYTHONPATH=src python -m repro conformance --seed 0 --budget 150 \
+		--max-seconds 60 --report conformance-report.jsonl
+
+bless:  ## regenerate tests/golden/ from the Brandes oracle (review the diff)
+	PYTHONPATH=src python -m repro conformance --bless

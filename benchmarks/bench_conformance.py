@@ -1,0 +1,90 @@
+"""Conformance-harness throughput bench: fuzz cases and checks per second.
+
+Not a paper table -- this instruments the test infrastructure itself.  The
+conformance harness (DESIGN.md §9) is budgeted by *case count* on the CLI
+and by *wall-clock* in CI (``make conformance-smoke``: 150 cases or 60 s,
+whichever first), so its throughput determines how much adversarial
+coverage a fixed CI slot buys.  The sweep runs the fuzzer + harness across
+config subsets of growing width and records cases/s and checks/s; the
+criterion pins the CI contract: the full 14-config grid must clear 150
+cases inside 60 s (with headroom, >= 3 cases/s here).
+
+Writes ``results/conformance.txt`` and ``BENCH_conformance.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.conformance import default_configs, filter_configs, run_conformance
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BUDGET = 32
+#: Config subsets of growing width: one kernel, the single-GPU b1 row, all.
+SUBSETS = (
+    ("sequential only", ["sequential"]),
+    ("per-source grid", ["*/b1"]),
+    ("full registry", None),
+)
+
+
+def _sweep():
+    rows = []
+    for label, patterns in SUBSETS:
+        configs = filter_configs(default_configs(), patterns)
+        t0 = time.perf_counter()
+        rep = run_conformance(configs, seed=0, budget=BUDGET)
+        wall = time.perf_counter() - t0
+        assert rep.ok, [d.to_record() for d in rep.divergences]
+        rows.append({
+            "subset": label,
+            "configs": len(configs),
+            "cases": rep.cases_run,
+            "checks": rep.checks_run,
+            "wall_time_s": wall,
+            "cases_per_s": rep.cases_run / wall,
+            "checks_per_s": rep.checks_run / wall,
+        })
+    return rows
+
+
+def test_conformance_throughput(report, benchmark):
+    payload = {"budget": BUDGET, "sweep": []}
+    lines = []
+
+    def run():
+        payload["sweep"].clear()
+        lines.clear()
+        payload["sweep"].extend(_sweep())
+        lines.append(f"conformance throughput (budget {BUDGET}, seed 0)")
+        lines.append(f"  {'subset':16s} {'cfgs':>5s} {'checks':>7s} "
+                     f"{'wall(s)':>8s} {'cases/s':>8s} {'checks/s':>9s}")
+        for r in payload["sweep"]:
+            lines.append(
+                f"  {r['subset']:16s} {r['configs']:5d} {r['checks']:7d} "
+                f"{r['wall_time_s']:8.2f} {r['cases_per_s']:8.1f} "
+                f"{r['checks_per_s']:9.1f}"
+            )
+        return payload["sweep"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    full = payload["sweep"][-1]
+    payload["criterion"] = {
+        "min_cases_per_s_full_grid": 3.0,
+        "achieved": full["cases_per_s"],
+        "ci_slot_cases": full["cases_per_s"] * 60,
+    }
+    (REPO_ROOT / "BENCH_conformance.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    lines.append("")
+    lines.append(f"full grid: {full['cases_per_s']:.1f} cases/s -> "
+                 f"~{full['cases_per_s'] * 60:.0f} cases per 60 s CI slot "
+                 "(criterion: >= 3 cases/s, i.e. 150-case smoke fits)")
+    report("conformance.txt", "\n".join(lines))
+
+    # the CI contract: the 150-case smoke must fit its 60 s budget
+    assert full["cases_per_s"] >= 3.0, full

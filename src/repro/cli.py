@@ -10,10 +10,15 @@ Three subcommands cover the workflows a user reaches for first:
   DESIGN.md §8);
 * ``table <k>`` -- regenerate one of the paper's graph tables
   (paper-vs-measured);
-* ``suite`` -- list the whole 33-graph benchmark registry.
+* ``suite`` -- list the whole 33-graph benchmark registry;
+* ``conformance`` -- differential fuzzing of every execution configuration
+  against the Brandes oracle, metamorphic oracles, and the golden
+  regression corpus (see DESIGN.md §9); ``--bless`` regenerates the corpus.
 
 ``--log-level`` configures structured :mod:`logging` for every subcommand
-(progress and diagnostics go to the log, results to stdout).
+(progress and diagnostics go to the log, results to stdout).  Usage errors
+(missing files, unknown graphs, conflicting export targets) exit 2 with a
+one-line message on stderr.
 """
 
 from __future__ import annotations
@@ -21,10 +26,16 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
+import sys
 
 import numpy as np
 
 logger = logging.getLogger("repro.cli")
+
+
+class CLIError(Exception):
+    """A user-facing usage error: printed as one line, exit status 2."""
 
 
 def _configure_logging(level: str) -> None:
@@ -40,18 +51,47 @@ def _load_graph(spec: str):
     """Resolve a graph argument: suite name, .mtx file, or edge list."""
     from repro.graphs import io, suite
 
-    if spec.endswith(".mtx"):
-        return io.read_matrix_market(spec)
-    if spec.endswith((".txt", ".edges", ".el")):
+    if spec.endswith((".mtx", ".txt", ".edges", ".el")):
+        if not os.path.exists(spec):
+            raise CLIError(f"graph file not found: {spec}")
+        if spec.endswith(".mtx"):
+            return io.read_matrix_market(spec)
         return io.read_edge_list(spec)
-    return suite.get(spec).build()
+    try:
+        entry = suite.get(spec)
+    except KeyError:
+        raise CLIError(
+            f"unknown graph {spec!r}: not a suite name (see `repro suite`) and "
+            "not a .mtx/.txt/.edges/.el file path"
+        ) from None
+    return entry.build()
+
+
+def _check_distinct_outputs(args, flags: dict[str, str | None]) -> None:
+    """Reject two export flags aimed at the same file (silent clobbering)."""
+    seen: dict[str, str] = {}
+    for flag, target in flags.items():
+        if target is None:
+            continue
+        key = os.path.realpath(target)
+        if key in seen:
+            raise CLIError(
+                f"{flag} and {seen[key]} both write to {target!r}; "
+                "export targets must be distinct files"
+            )
+        seen[key] = flag
 
 
 def cmd_info(args) -> int:
     from repro.graphs import suite
     from repro.graphs.metrics import bfs_depth, degree_stats, scale_free_metric
 
-    entry = suite.get(args.graph)
+    try:
+        entry = suite.get(args.graph)
+    except KeyError:
+        raise CLIError(
+            f"unknown suite graph {args.graph!r} (see `repro suite`)"
+        ) from None
     p = entry.paper
     g = entry.build()
     print(f"{entry.name} (Table {entry.table}, {'directed' if entry.directed else 'undirected'}, "
@@ -73,6 +113,12 @@ def cmd_info(args) -> int:
 def cmd_bc(args) -> int:
     from repro import Device, obs, turbo_bc
 
+    _check_distinct_outputs(args, {
+        "--output": args.output,
+        "--trace-out": args.trace_out,
+        "--metrics-json": args.metrics_json,
+        "--stats-json": args.stats_json,
+    })
     graph = _load_graph(args.graph)
     device = Device()
     sources = args.source if args.source is not None else None
@@ -137,6 +183,69 @@ def cmd_table(args) -> int:
     print(format_comparison_table(
         entries, rows, title=f"Table {args.k} (paper vs measured)"
     ))
+    return 0
+
+
+def cmd_conformance(args) -> int:
+    from repro.conformance import (
+        bless_golden,
+        check_golden,
+        default_configs,
+        filter_configs,
+        run_conformance,
+    )
+    from repro.obs import write_jsonl_records
+
+    if args.bless:
+        written = bless_golden(args.golden_dir)
+        for path in written:
+            print(path)
+        print(f"blessed {len(written)} golden corpus files")
+        return 0
+
+    configs = filter_configs(default_configs(), args.config)
+    if not configs:
+        raise CLIError(
+            f"no execution config matches {args.config!r}; "
+            f"known configs: {', '.join(c.name for c in default_configs())}"
+        )
+    logger.info("running %d configs: %s", len(configs),
+                ", ".join(c.name for c in configs))
+
+    golden_divs = [] if args.skip_golden else check_golden(configs, args.golden_dir)
+    report = run_conformance(
+        configs,
+        seed=args.seed,
+        budget=args.budget,
+        time_limit_s=args.max_seconds,
+        shrink=not args.no_shrink,
+        progress=logger.info,
+    )
+    report.divergences = golden_divs + report.divergences
+
+    if args.report:
+        write_jsonl_records(args.report, report.to_records())
+        logger.info("conformance report written to %s", args.report)
+
+    early = " (time limit hit)" if report.stopped_early else ""
+    print(f"conformance: {report.cases_run} fuzz cases, {report.checks_run} checks, "
+          f"{len(configs)} configs, seed {args.seed}, "
+          f"{report.elapsed_s:.1f}s{early}")
+    if report.divergences:
+        print(f"{len(report.divergences)} divergence(s):")
+        for div in report.divergences:
+            print(f"  [{div.kind}] {div.config} on {div.case}: {div.detail}")
+            if div.counterexample is not None:
+                ce = div.counterexample
+                print(f"    counterexample: n={ce['n']} "
+                      f"{'directed' if ce['directed'] else 'undirected'} "
+                      f"edges={ce['edges']}")
+        return 1
+    print("no divergences: every config matches the Brandes oracle, "
+          "all metamorphic oracles hold, golden corpus reproduced"
+          if not args.skip_golden else
+          "no divergences: every config matches the Brandes oracle and "
+          "all metamorphic oracles hold")
     return 0
 
 
@@ -214,13 +323,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="list the benchmark-graph registry")
     p_suite.set_defaults(func=cmd_suite)
+
+    p_conf = sub.add_parser(
+        "conformance",
+        help="differential fuzzing + metamorphic oracles + golden corpus",
+    )
+    p_conf.add_argument("--seed", type=int, default=0,
+                        help="fuzzer master seed (default: 0); case i is "
+                             "reproducible from (seed, i) alone")
+    p_conf.add_argument("--budget", type=int, default=100,
+                        help="number of fuzz cases to draw (default: 100)")
+    p_conf.add_argument("--max-seconds", type=float, default=None,
+                        help="wall-clock cap; stops drawing cases early")
+    p_conf.add_argument("--config", action="append", metavar="PAT",
+                        help="only run configs matching this glob/substring "
+                             "(repeatable; default: all registered configs)")
+    p_conf.add_argument("--report", metavar="FILE",
+                        help="write the run's JSONL report (one record per "
+                             "divergence plus a summary line)")
+    p_conf.add_argument("--golden-dir", metavar="DIR", default=None,
+                        help="golden corpus directory (default: tests/golden)")
+    p_conf.add_argument("--skip-golden", action="store_true",
+                        help="skip the golden corpus check (fuzz only)")
+    p_conf.add_argument("--no-shrink", action="store_true",
+                        help="report raw counterexamples without the "
+                             "delta-debugging shrink")
+    p_conf.add_argument("--bless", action="store_true",
+                        help="regenerate the golden corpus from the Brandes "
+                             "oracle and exit (review the diff!)")
+    p_conf.set_defaults(func=cmd_conformance)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(args.log_level)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

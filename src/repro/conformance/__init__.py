@@ -1,0 +1,71 @@
+"""Conformance subsystem: differential fuzzing, metamorphic oracles and a
+golden regression corpus across every execution mode.
+
+TurboBC's correctness claim is that three interchangeable SpMV kernels --
+and, since the batched/multi-GPU/approx extensions, a whole grid of
+execution configurations -- all produce the betweenness values of the
+sequential Brandes baseline.  Mode-dependent accumulation-order bugs are the
+dominant failure class of distributed/batched BC implementations, and point
+tests on a handful of graphs do not cover them.  This package guards the
+whole surface systematically (DESIGN.md §9):
+
+* :mod:`repro.conformance.fuzzer` -- a seedable graph fuzzer drawing
+  adversarial instances from the generator library plus targeted mutations
+  (self-loops, duplicate edges, isolated vertices, disconnected components,
+  stars/paths/cliques, directed asymmetry, int32-sigma-stress chains);
+* :mod:`repro.conformance.configs` -- the registry of execution
+  configurations (kernel x batch_size x single/multi-GPU x telemetry);
+* :mod:`repro.conformance.harness` -- the differential harness: every
+  registered configuration against the Brandes oracle (and therefore
+  against each other), with a delta-debugging shrink that minimises the
+  first diverging counterexample;
+* :mod:`repro.conformance.oracles` -- metamorphic oracles that need no
+  ground truth (relabeling invariance, disjoint-union additivity, pendant
+  identities, duplicate-edge/self-loop invariance, sigma doubling);
+* :mod:`repro.conformance.golden` -- pinned small graphs with exact
+  expected BC vectors under ``tests/golden/``, regenerated only via
+  ``python -m repro conformance --bless``.
+
+CLI: ``python -m repro conformance --seed 0 --budget 200 [--config PAT]
+[--report out.jsonl]``.
+"""
+
+from repro.conformance.configs import (
+    ExecutionConfig,
+    default_configs,
+    filter_configs,
+)
+from repro.conformance.fuzzer import FuzzCase, GraphFuzzer, diamond_chain
+from repro.conformance.golden import (
+    GOLDEN_BUILDERS,
+    bless_golden,
+    check_golden,
+    golden_dir,
+    load_golden_case,
+)
+from repro.conformance.harness import (
+    ConformanceReport,
+    Divergence,
+    run_conformance,
+    shrink_counterexample,
+)
+from repro.conformance.oracles import METAMORPHIC_ORACLES
+
+__all__ = [
+    "ExecutionConfig",
+    "default_configs",
+    "filter_configs",
+    "FuzzCase",
+    "GraphFuzzer",
+    "diamond_chain",
+    "GOLDEN_BUILDERS",
+    "bless_golden",
+    "check_golden",
+    "golden_dir",
+    "load_golden_case",
+    "ConformanceReport",
+    "Divergence",
+    "run_conformance",
+    "shrink_counterexample",
+    "METAMORPHIC_ORACLES",
+]

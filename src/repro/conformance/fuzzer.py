@@ -1,0 +1,295 @@
+"""Seedable adversarial graph fuzzer for the conformance harness.
+
+Instances are drawn from two pools:
+
+* *structured* families with known failure affinity -- paths, stars,
+  cliques, grids, trees, bipartite graphs (mask and frontier edge cases),
+  diamond chains (sigma doubling, the int32 overflow re-run path);
+* *random* families from the generator library -- G(n, p) both directions,
+  configuration-model regular graphs, power-law social graphs, R-MAT and
+  preferential-attachment digraphs (directed asymmetry).
+
+Every case then passes through a mutation stage that injects exactly the
+inputs canonicalisation must absorb: self-loops, duplicate edges, isolated
+vertices, deleted edges (disconnected components) and random edge
+orientations.  Determinism is per-case, not per-stream: case ``i`` under
+master seed ``s`` is always built from ``default_rng([s, i])``, so a
+counterexample's ``(seed, index)`` pair reproduces it exactly regardless of
+budget or filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    preferential_attachment_digraph,
+    random_regular_graph,
+    rmat_edges,
+)
+from repro.graphs.graph import Graph
+
+#: Cases with at most this many vertices run every source; larger cases run
+#: a deterministic sample (keeps a fuzz budget of hundreds of cases cheap).
+_ALL_SOURCES_MAX_N = 16
+_SAMPLED_SOURCES = 8
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fuzz instance: a graph plus the sources every config must run."""
+
+    index: int
+    recipe: str
+    graph: Graph
+    #: ``None`` means all sources; otherwise a sorted vertex sample.
+    sources: tuple[int, ...] | None
+
+    @property
+    def source_list(self) -> list[int]:
+        if self.sources is None:
+            return list(range(self.graph.n))
+        return list(self.sources)
+
+
+def diamond_chain(k: int, *, directed: bool = False) -> Graph:
+    """``k`` chained diamonds: sigma at the sink is exactly ``2**k``.
+
+    The sigma-stress family: each diamond doubles the number of shortest
+    paths, so ``k >= 32`` overflows int32 shortest-path counts and forces
+    the float64 re-run path of the driver.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    edges = []
+    v = 0
+    nxt = 1
+    for _ in range(k):
+        a, b, w = nxt, nxt + 1, nxt + 2
+        edges += [(v, a), (v, b), (a, w), (b, w)]
+        v, nxt = w, w + 1
+    return Graph.from_edges(np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+                            nxt, directed=directed, name=f"diamond-chain-{k}")
+
+
+# -- structured base recipes -------------------------------------------------
+
+
+def _path(rng):
+    n = int(rng.integers(2, 24))
+    e = [(i, i + 1) for i in range(n - 1)]
+    return Graph.from_edges(e, n, directed=bool(rng.integers(2))), f"path-{n}"
+
+
+def _cycle(rng):
+    n = int(rng.integers(3, 24))
+    e = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(e, n, directed=bool(rng.integers(2))), f"cycle-{n}"
+
+
+def _star(rng):
+    n = int(rng.integers(3, 24))
+    e = [(0, i) for i in range(1, n)]
+    return Graph.from_edges(e, n, directed=False), f"star-{n}"
+
+
+def _clique(rng):
+    n = int(rng.integers(3, 10))
+    e = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Graph.from_edges(e, n, directed=False), f"clique-{n}"
+
+
+def _bipartite(rng):
+    a, b = int(rng.integers(2, 7)), int(rng.integers(2, 7))
+    e = [(i, a + j) for i in range(a) for j in range(b)]
+    return Graph.from_edges(e, a + b, directed=False), f"bipartite-{a}x{b}"
+
+
+def _binary_tree(rng):
+    depth = int(rng.integers(2, 5))
+    n = 2 ** (depth + 1) - 1
+    e = [(p, c) for p in range(n // 2) for c in (2 * p + 1, 2 * p + 2)]
+    return Graph.from_edges(e, n, directed=False), f"btree-{depth}"
+
+
+def _grid(rng):
+    r, c = int(rng.integers(2, 6)), int(rng.integers(2, 6))
+    e = []
+    for i in range(r):
+        for j in range(c):
+            v = i * c + j
+            if j + 1 < c:
+                e.append((v, v + 1))
+            if i + 1 < r:
+                e.append((v, v + c))
+    return Graph.from_edges(e, r * c, directed=False), f"grid-{r}x{c}"
+
+
+def _diamond_chain(rng):
+    # Occasionally push sigma past int32 to exercise the overflow re-run
+    # path; usually stay small and cheap.
+    k = 33 if rng.random() < 0.2 else int(rng.integers(2, 12))
+    return diamond_chain(k, directed=bool(rng.integers(2))), f"diamond-chain-{k}"
+
+
+# -- random base recipes -----------------------------------------------------
+
+
+def _gnp_undirected(rng):
+    n = int(rng.integers(4, 30))
+    p = float(rng.uniform(0.03, 0.3))
+    return (erdos_renyi_graph(n, p, directed=False, seed=rng),
+            f"gnp-u-{n}-p{p:.2f}")
+
+
+def _gnp_directed(rng):
+    n = int(rng.integers(4, 30))
+    p = float(rng.uniform(0.03, 0.3))
+    return (erdos_renyi_graph(n, p, directed=True, seed=rng),
+            f"gnp-d-{n}-p{p:.2f}")
+
+
+def _gnp_sparse(rng):
+    n = int(rng.integers(8, 32))
+    p = float(rng.uniform(0.01, 0.06))  # very likely disconnected
+    return (erdos_renyi_graph(n, p, directed=bool(rng.integers(2)), seed=rng),
+            f"gnp-sparse-{n}-p{p:.2f}")
+
+
+def _regular(rng):
+    n = int(rng.integers(4, 16)) * 2
+    d = int(rng.integers(2, min(6, n - 1)))
+    if (n * d) % 2:
+        d += 1
+    return random_regular_graph(n, d, seed=rng), f"regular-{n}-d{d}"
+
+
+def _powerlaw(rng):
+    n = int(rng.integers(16, 32))
+    g = powerlaw_cluster_graph(n, mean_degree=4.0, seed=rng)
+    return g, f"powerlaw-{n}"
+
+
+def _webgraph(rng):
+    n = int(rng.integers(32, 40))  # generator requires n >= 32
+    g = preferential_attachment_digraph(n, mean_degree=2.0, seed=rng)
+    return g, f"webgraph-{n}"
+
+
+def _rmat(rng):
+    src, dst = rmat_edges(4, 48, seed=rng)
+    return (Graph(src, dst, 16, directed=True, name="rmat-16"), "rmat-16")
+
+
+def _random_orientation(rng):
+    """Directed asymmetry: orient each undirected edge one random way."""
+    n = int(rng.integers(6, 24))
+    g = erdos_renyi_graph(n, 0.2, directed=False, seed=rng)
+    keep = g.src < g.dst
+    src, dst = g.src[keep].copy(), g.dst[keep].copy()
+    flip = rng.random(src.size) < 0.5
+    src[flip], dst[flip] = g.dst[keep][flip], g.src[keep][flip]
+    return Graph(src, dst, n, directed=True), f"oriented-gnp-{n}"
+
+
+_BASE_RECIPES = (
+    _path,
+    _gnp_undirected,
+    _star,
+    _gnp_directed,
+    _cycle,
+    _powerlaw,
+    _clique,
+    _gnp_sparse,
+    _binary_tree,
+    _webgraph,
+    _grid,
+    _random_orientation,
+    _bipartite,
+    _regular,
+    _diamond_chain,
+    _rmat,
+)
+
+
+# -- mutation stage ----------------------------------------------------------
+
+
+def _mutate(graph: Graph, rng, label: str) -> tuple[Graph, str]:
+    """Re-feed the graph through the constructor with adversarial raw edges.
+
+    The mutations target canonicalisation and frontier bookkeeping:
+    self-loops (must be dropped), duplicate edges (must be deduplicated),
+    isolated vertices (n grows past the largest endpoint), deleted edges
+    (disconnected components / unreachable vertices).
+    """
+    src = graph.src.astype(np.int64, copy=True)
+    dst = graph.dst.astype(np.int64, copy=True)
+    n = graph.n
+    tags = []
+
+    if rng.random() < 0.35 and src.size:
+        loops = rng.integers(0, n, size=int(rng.integers(1, 4)))
+        src = np.concatenate([src, loops])
+        dst = np.concatenate([dst, loops])
+        tags.append("selfloops")
+    if rng.random() < 0.35 and src.size:
+        pick = rng.integers(0, src.size, size=int(rng.integers(1, 6)))
+        src = np.concatenate([src, src[pick]])
+        dst = np.concatenate([dst, dst[pick]])
+        tags.append("dupedges")
+    if rng.random() < 0.3:
+        n += int(rng.integers(1, 4))
+        tags.append("isolated")
+    if rng.random() < 0.3 and src.size > 4:
+        drop = rng.random(src.size) < 0.25
+        src, dst = src[~drop], dst[~drop]
+        tags.append("dropedges")
+
+    if not tags:
+        return graph, label
+    # Undirected graphs are stored symmetrized; the constructor mirrors its
+    # input, so feeding the stored arrays back yields the same graph modulo
+    # the mutations (mirrored pairs dedup away).
+    g = Graph(src, dst, n, directed=graph.directed, name=graph.name)
+    return g, f"{label}+{'+'.join(tags)}"
+
+
+def _pick_sources(graph: Graph, rng) -> tuple[int, ...] | None:
+    if graph.n <= _ALL_SOURCES_MAX_N:
+        return None
+    k = min(_SAMPLED_SOURCES, graph.n)
+    return tuple(sorted(int(s) for s in rng.choice(graph.n, size=k, replace=False)))
+
+
+class GraphFuzzer:
+    """Deterministic adversarial graph stream.
+
+    ``GraphFuzzer(seed).cases(budget)`` yields ``budget`` fuzz cases; case
+    ``i`` depends only on ``(seed, i)``.  Recipes rotate round-robin so any
+    budget covers every family.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def case(self, index: int) -> FuzzCase:
+        rng = np.random.default_rng([self.seed, index])
+        base = _BASE_RECIPES[index % len(_BASE_RECIPES)]
+        graph, label = base(rng)
+        graph, label = _mutate(graph, rng, label)
+        return FuzzCase(
+            index=index,
+            recipe=label,
+            graph=graph,
+            sources=_pick_sources(graph, rng),
+        )
+
+    def cases(self, budget: int) -> Iterator[FuzzCase]:
+        for i in range(budget):
+            yield self.case(i)

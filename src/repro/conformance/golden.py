@@ -1,0 +1,235 @@
+"""The golden regression corpus: pinned graphs with exact expected BC.
+
+Each corpus entry is a small structured graph whose expected betweenness
+vector is stored as JSON under ``tests/golden/``.  The vectors are computed
+once by the Brandes oracle and *pinned*: a conformance run loads them from
+disk, so a regression in the oracle itself (or a numerics change that moves
+everyone in lockstep) is caught -- the one failure mode a purely
+differential harness is blind to.
+
+Regeneration is deliberately manual::
+
+    python -m repro conformance --bless
+
+rewrites every file; the diff then goes through code review like any other
+behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.baselines.brandes import brandes_bc
+from repro.conformance.fuzzer import diamond_chain
+from repro.graphs.graph import Graph
+
+SCHEMA = "repro/conformance/golden/v1"
+
+#: Per-config comparison tolerance (device accumulates in float32).
+RTOL, ATOL = 1e-6, 1e-9
+
+
+def golden_dir() -> pathlib.Path:
+    """Default corpus location: ``tests/golden/`` at the repository root."""
+    return pathlib.Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+# -- pinned graph builders ---------------------------------------------------
+
+
+def _path5() -> Graph:
+    return Graph.from_edges([(i, i + 1) for i in range(4)], 5, directed=False)
+
+
+def _cycle7() -> Graph:
+    return Graph.from_edges([(i, (i + 1) % 7) for i in range(7)], 7, directed=False)
+
+
+def _star6() -> Graph:
+    return Graph.from_edges([(0, i) for i in range(1, 6)], 6, directed=False)
+
+
+def _clique5() -> Graph:
+    e = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+    return Graph.from_edges(e, 5, directed=False)
+
+
+def _diamond_dag() -> Graph:
+    return Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)], 4, directed=True)
+
+
+def _bipartite_2x3() -> Graph:
+    return Graph.from_edges([(i, 2 + j) for i in range(2) for j in range(3)],
+                            5, directed=False)
+
+
+def _btree15() -> Graph:
+    e = [(p, c) for p in range(7) for c in (2 * p + 1, 2 * p + 2)]
+    return Graph.from_edges(e, 15, directed=False)
+
+
+def _grid_3x3() -> Graph:
+    e = []
+    for i in range(3):
+        for j in range(3):
+            v = 3 * i + j
+            if j < 2:
+                e.append((v, v + 1))
+            if i < 2:
+                e.append((v, v + 3))
+    return Graph.from_edges(e, 9, directed=False)
+
+
+def _two_triangles() -> Graph:
+    e = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+    return Graph.from_edges(e, 6, directed=False)
+
+
+def _lollipop() -> Graph:
+    # K4 with a 3-vertex tail hanging off vertex 3.
+    e = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+    e += [(3, 4), (4, 5), (5, 6)]
+    return Graph.from_edges(e, 7, directed=False)
+
+
+def _directed_cycle5() -> Graph:
+    return Graph.from_edges([(i, (i + 1) % 5) for i in range(5)], 5, directed=True)
+
+
+def _diamond_chain3() -> Graph:
+    return diamond_chain(3)
+
+
+def _petersen() -> Graph:
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return Graph.from_edges(outer + spokes + inner, 10, directed=False)
+
+
+def _asym_digraph() -> Graph:
+    # Two one-way bridges into a sink component plus a source-only vertex:
+    # several vertices are mutually unreachable, exercising the directed
+    # backward stage with partial reachability.
+    e = [(0, 1), (1, 2), (2, 0),      # strongly connected triangle
+         (2, 3), (1, 3),              # one-way bridges
+         (3, 4), (4, 5),              # tail chain
+         (6, 0)]                      # source-only vertex
+    return Graph.from_edges(e, 7, directed=True)
+
+
+GOLDEN_BUILDERS = {
+    "path-5": _path5,
+    "cycle-7": _cycle7,
+    "star-6": _star6,
+    "clique-5": _clique5,
+    "diamond-dag": _diamond_dag,
+    "bipartite-2x3": _bipartite_2x3,
+    "btree-15": _btree15,
+    "grid-3x3": _grid_3x3,
+    "two-triangles": _two_triangles,
+    "lollipop-4-3": _lollipop,
+    "directed-cycle-5": _directed_cycle5,
+    "diamond-chain-3": _diamond_chain3,
+    "petersen": _petersen,
+    "asym-digraph": _asym_digraph,
+}
+
+
+# -- bless / load / check ----------------------------------------------------
+
+
+def _case_dict(name: str, graph: Graph, bc: np.ndarray) -> dict:
+    if graph.directed:
+        pairs = np.stack([graph.src, graph.dst], axis=1)
+    else:
+        keep = graph.src <= graph.dst
+        pairs = np.stack([graph.src[keep], graph.dst[keep]], axis=1)
+    return {
+        "schema": SCHEMA,
+        "name": name,
+        "n": graph.n,
+        "directed": graph.directed,
+        "edges": pairs.tolist(),
+        "bc": bc.tolist(),
+        "oracle": "brandes",
+    }
+
+
+def bless_golden(directory: pathlib.Path | str | None = None) -> list[pathlib.Path]:
+    """(Re)write every corpus file from the Brandes oracle; returns paths."""
+    directory = pathlib.Path(directory) if directory else golden_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, builder in GOLDEN_BUILDERS.items():
+        graph = builder()
+        bc = brandes_bc(graph)
+        path = directory / f"{name}.json"
+        with open(path, "w") as fh:
+            json.dump(_case_dict(name, graph, bc), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(path)
+    return written
+
+
+def load_golden_case(path: pathlib.Path | str) -> tuple[Graph, np.ndarray, dict]:
+    """Load one corpus file: ``(graph, expected_bc, raw_record)``."""
+    with open(path) as fh:
+        rec = json.load(fh)
+    if rec.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unexpected golden schema {rec.get('schema')!r}")
+    edges = np.asarray(rec["edges"], dtype=np.int64).reshape(-1, 2)
+    graph = Graph.from_edges(edges, rec["n"], directed=rec["directed"],
+                             name=rec["name"])
+    return graph, np.asarray(rec["bc"], dtype=np.float64), rec
+
+
+def iter_golden(directory: pathlib.Path | str | None = None):
+    """Yield ``(name, graph, expected_bc)`` for every corpus file."""
+    directory = pathlib.Path(directory) if directory else golden_dir()
+    for path in sorted(directory.glob("*.json")):
+        graph, bc, rec = load_golden_case(path)
+        yield rec["name"], graph, bc
+
+
+def check_golden(configs, directory: pathlib.Path | str | None = None) -> list:
+    """Run every config on every pinned graph against the stored vectors.
+
+    Returns a list of :class:`~repro.conformance.harness.Divergence` (empty
+    = the whole grid reproduces the corpus).
+    """
+    from repro.conformance.harness import Divergence, _counterexample_dict
+
+    divergences = []
+    corpus = list(iter_golden(directory))
+    if not corpus:
+        divergences.append(Divergence(
+            case="golden", config="-", kind="golden-missing",
+            detail=f"no golden corpus found under {directory or golden_dir()} "
+                   "(run `python -m repro conformance --bless`)",
+        ))
+        return divergences
+    for name, graph, expected in corpus:
+        for config in configs:
+            try:
+                got = config.run(graph, None)
+            except Exception as exc:
+                divergences.append(Divergence(
+                    case=f"golden:{name}", config=config.name, kind="exception",
+                    detail=repr(exc),
+                    counterexample=_counterexample_dict(graph, None),
+                ))
+                continue
+            if not np.allclose(got, expected, rtol=RTOL, atol=ATOL):
+                divergences.append(Divergence(
+                    case=f"golden:{name}", config=config.name,
+                    kind="golden-mismatch",
+                    detail=f"max |diff| {np.abs(got - expected).max():.3e} "
+                           f"vs pinned vector",
+                    max_abs_err=float(np.abs(got - expected).max()),
+                    counterexample=_counterexample_dict(graph, None),
+                ))
+    return divergences

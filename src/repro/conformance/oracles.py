@@ -1,0 +1,142 @@
+"""Metamorphic oracles: correctness checks that need no ground truth.
+
+Each oracle takes an implementation (``run(graph, sources=None) -> bc``),
+a base graph and a per-case RNG, derives a transformed instance whose BC
+relates to the original in a provable way, and returns ``None`` on success
+or a human-readable error message on violation:
+
+* **vertex-relabeling invariance** -- BC is a graph invariant, so
+  ``bc(relabel(G, pi))[pi[v]] == bc(G)[v]``;
+* **isolated-vertex invariance** -- adding isolated vertices changes no
+  shortest path: original entries unchanged, new entries zero;
+* **pendant-vertex identity** -- a degree-1 vertex is never interior to a
+  shortest path, so its BC is exactly zero;
+* **duplicate-edge / self-loop invariance** -- canonicalisation must absorb
+  both, bit-identically;
+* **disjoint-union additivity** -- components do not interact:
+  ``bc(G1 (+) G2) == concat(bc(G1), bc(G2))``;
+* **sigma doubling** (forward stage) -- appending one diamond to a chained
+  diamond graph exactly doubles the shortest-path count at the sink.
+
+These catch accumulation-order and masking bugs even on graphs where every
+registered implementation shares the same mistake -- the class of failure a
+differential harness alone cannot see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conformance.fuzzer import diamond_chain
+from repro.core.bfs import turbo_bfs
+from repro.graphs.graph import Graph
+
+#: Comparison tolerance for value-preserving transforms (the backward stage
+#: accumulates in float32 on the device).
+RTOL, ATOL = 1e-6, 1e-9
+
+
+def _mismatch(name: str, a: np.ndarray, b: np.ndarray) -> str | None:
+    if a.shape != b.shape:
+        return f"{name}: shape {a.shape} != {b.shape}"
+    if not np.allclose(a, b, rtol=RTOL, atol=ATOL):
+        v = int(np.argmax(np.abs(a - b)))
+        return f"{name}: max |diff| {np.abs(a - b).max():.3e} at vertex {v}"
+    return None
+
+
+def check_relabel_invariance(run, graph: Graph, rng) -> str | None:
+    if graph.n == 0:
+        return None
+    perm = rng.permutation(graph.n)
+    bc = run(graph)
+    bc_perm = run(graph.relabel(perm))
+    return _mismatch("relabel invariance", bc_perm[perm], bc)
+
+
+def check_isolated_vertex_invariance(run, graph: Graph, rng) -> str | None:
+    extra = int(rng.integers(1, 4))
+    grown = Graph(graph.src, graph.dst, graph.n + extra,
+                  directed=graph.directed)
+    bc = run(graph)
+    bc_grown = run(grown)
+    if np.abs(bc_grown[graph.n:]).max(initial=0.0) > ATOL:
+        return "isolated vertices received non-zero BC"
+    return _mismatch("isolated-vertex invariance", bc_grown[:graph.n], bc)
+
+
+def check_pendant_identity(run, graph: Graph, rng) -> str | None:
+    if graph.n == 0:
+        return None
+    anchor = int(rng.integers(0, graph.n))
+    pendant = graph.n
+    src = np.concatenate([graph.src, [anchor]])
+    dst = np.concatenate([graph.dst, [pendant]])
+    grown = Graph(src, dst, graph.n + 1, directed=graph.directed)
+    bc = run(grown)
+    if abs(float(bc[pendant])) > ATOL:
+        return (f"pendant vertex {pendant} (attached to {anchor}) has "
+                f"BC {bc[pendant]!r}, expected 0")
+    return None
+
+
+def check_duplicate_edge_self_loop_invariance(run, graph: Graph, rng) -> str | None:
+    src = graph.src.astype(np.int64, copy=True)
+    dst = graph.dst.astype(np.int64, copy=True)
+    if src.size:
+        pick = rng.integers(0, src.size, size=3)
+        src = np.concatenate([src, src[pick]])
+        dst = np.concatenate([dst, dst[pick]])
+    if graph.n:
+        loops = rng.integers(0, graph.n, size=2)
+        src = np.concatenate([src, loops])
+        dst = np.concatenate([dst, loops])
+    noisy = Graph(src, dst, graph.n, directed=graph.directed)
+    bc, bc_noisy = run(graph), run(noisy)
+    # The canonical graphs are identical, so the runs must be bit-identical.
+    if not np.array_equal(bc, bc_noisy):
+        return _mismatch("duplicate-edge/self-loop invariance", bc_noisy, bc) \
+            or "duplicate-edge/self-loop invariance: not bit-identical"
+    return None
+
+
+def check_disjoint_union_additivity(run, graph: Graph, rng) -> str | None:
+    k = int(rng.integers(2, 6))
+    other = Graph.from_edges(
+        [(i, i + 1) for i in range(k - 1)] + [(0, k - 1)],
+        k, directed=graph.directed,
+    )
+    src = np.concatenate([graph.src, other.src + graph.n])
+    dst = np.concatenate([graph.dst, other.dst + graph.n])
+    union = Graph(src, dst, graph.n + k, directed=graph.directed)
+    bc_union = run(union)
+    err = _mismatch("disjoint-union additivity (first component)",
+                    bc_union[:graph.n], run(graph))
+    if err:
+        return err
+    return _mismatch("disjoint-union additivity (second component)",
+                     bc_union[graph.n:], run(other))
+
+
+#: name -> oracle; the harness rotates through these across fuzz cases.
+METAMORPHIC_ORACLES = {
+    "relabel": check_relabel_invariance,
+    "isolated": check_isolated_vertex_invariance,
+    "pendant": check_pendant_identity,
+    "dup-edges": check_duplicate_edge_self_loop_invariance,
+    "disjoint-union": check_disjoint_union_additivity,
+}
+
+
+def check_sigma_doubling(kernel: str, k: int = 6) -> str | None:
+    """Forward-stage oracle: one more diamond exactly doubles sink sigma."""
+    g1, g2 = diamond_chain(k), diamond_chain(k + 1)
+    s1 = turbo_bfs(g1, 0, algorithm=kernel).sigma
+    s2 = turbo_bfs(g2, 0, algorithm=kernel).sigma
+    sink1, sink2 = int(s1[g1.n - 1]), int(s2[g2.n - 1])
+    if sink1 != 2 ** k:
+        return f"sigma doubling ({kernel}): sigma[sink] = {sink1}, expected {2 ** k}"
+    if sink2 != 2 * sink1:
+        return (f"sigma doubling ({kernel}): appending a diamond gave "
+                f"{sink2}, expected {2 * sink1}")
+    return None

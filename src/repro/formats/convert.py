@@ -102,3 +102,39 @@ def csc_to_csr(mat: CSCMatrix) -> CSRMatrix:
 def csr_to_csc(mat: CSRMatrix) -> CSCMatrix:
     """Re-sort a CSR matrix's entries column-major."""
     return edges_to_csc(mat.row_of_nnz(), mat.col, mat.n_rows, drop_self_loops=False)
+
+
+def format_coherence_report(graph) -> list[str]:
+    """Cross-check a graph's cached sparse views against each other.
+
+    The paper's single-format discipline relies on the COOC ``row`` array
+    being *by construction* equal to the CSC ``row`` array, and on the CSR
+    view being the same matrix re-sorted row-major.  A violated invariant
+    here means a kernel could read a different matrix depending on the
+    format the selected algorithm stores -- exactly the class of divergence
+    the conformance harness hunts.  Returns a list of violation messages
+    (empty = coherent); O(m log m).
+    """
+    errors: list[str] = []
+    csc, cooc, csr = graph.to_csc(), graph.to_cooc(), graph.to_csr()
+    if not np.array_equal(csc.row, cooc.row):
+        errors.append("CSC row array != COOC row array")
+    if not np.array_equal(csc.column_of_nnz(), cooc.col):
+        errors.append("CSC column-of-nnz != COOC col array")
+    if csc.nnz != csr.nnz:
+        errors.append(f"CSC nnz {csc.nnz} != CSR nnz {csr.nnz}")
+    else:
+        # Same entry set under the two sort orders.
+        csc_keys = csc.column_of_nnz() * graph.n + csc.row
+        csr_keys = csr.col * graph.n + csr.row_of_nnz()
+        if not np.array_equal(np.sort(csc_keys), np.sort(csr_keys)):
+            errors.append("CSC and CSR encode different entry sets")
+    if np.any(csc.row == csc.column_of_nnz()):
+        errors.append("stored self-loop survived canonicalisation")
+    if not graph.directed and csc.nnz:
+        # Symmetric storage: (u, v) stored iff (v, u) stored.
+        fwd = csc.row * graph.n + csc.column_of_nnz()
+        rev = csc.column_of_nnz() * graph.n + csc.row
+        if not np.array_equal(np.sort(fwd), np.sort(rev)):
+            errors.append("undirected graph's stored matrix is not symmetric")
+    return errors

@@ -164,6 +164,24 @@ class Graph:
         g._out_degree = g._in_degree = None
         return g
 
+    def relabel(self, perm) -> "Graph":
+        """Graph with vertex ``v`` renamed ``perm[v]`` (a permutation).
+
+        Betweenness is a graph invariant, so ``bc(g.relabel(p))[p[v]]``
+        must equal ``bc(g)[v]`` -- the conformance suite's relabeling
+        oracle.
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (self.n,):
+            raise ValueError(f"perm must have shape ({self.n},), got {perm.shape}")
+        if np.unique(perm).size != self.n or (self.n and (perm.min() < 0 or perm.max() >= self.n)):
+            raise ValueError("perm must be a permutation of 0..n-1")
+        return Graph(
+            perm[self._src], perm[self._dst], self.n,
+            directed=self.directed,
+            name=f"{self.name}~pi" if self.name else "",
+        )
+
     def subgraph(self, vertices) -> tuple["Graph", np.ndarray]:
         """Induced subgraph on ``vertices``, relabelled to ``0..k-1``.
 

@@ -30,6 +30,7 @@ from repro.obs.export import (
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_jsonl_records,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.telemetry import (
@@ -60,4 +61,5 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "write_jsonl_records",
 ]

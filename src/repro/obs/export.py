@@ -115,9 +115,15 @@ def _flatten(span: Span, depth: int, out: list[dict]) -> None:
         _flatten(child, depth + 1, out)
 
 
-def write_jsonl(path, telemetry: RunTelemetry) -> None:
-    """Write one JSON object per line (``.jsonl`` flavour of ``--trace-out``)."""
+def write_jsonl_records(path, records) -> None:
+    """Write an iterable of dicts as JSONL (one self-contained object per
+    line).  Shared by the telemetry exporter and the conformance report."""
     with open(path, "w") as fh:
-        for rec in jsonl_records(telemetry):
+        for rec in records:
             fh.write(json.dumps(rec))
             fh.write("\n")
+
+
+def write_jsonl(path, telemetry: RunTelemetry) -> None:
+    """Write one JSON object per line (``.jsonl`` flavour of ``--trace-out``)."""
+    write_jsonl_records(path, jsonl_records(telemetry))

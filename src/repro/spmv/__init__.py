@@ -54,7 +54,12 @@ from repro.spmv.veccsc import (
     veccsc_spmv,
     veccsc_spmv_scatter,
 )
-from repro.spmv.reference import reference_spmv, reference_spmv_scatter
+from repro.spmv.reference import (
+    reference_spmm,
+    reference_spmm_scatter,
+    reference_spmv,
+    reference_spmv_scatter,
+)
 
 KERNEL_NAMES = ("sccooc", "sccsc", "veccsc")
 
@@ -72,6 +77,8 @@ __all__ = [
     "veccsc_spmm_scatter",
     "veccsc_spmv",
     "veccsc_spmv_scatter",
+    "reference_spmm",
+    "reference_spmm_scatter",
     "reference_spmv",
     "reference_spmv_scatter",
 ]

@@ -9,9 +9,13 @@ even take that liberty):
 
 * the SpMV kernels accumulate with ``np.bincount``, which always sums its
   weights sequentially in storage order **in float64** and casts afterwards;
-* ``np.add.reduceat`` over axis 0 of a float64 ``(nnz, B)`` value matrix
-  accumulates each segment sequentially in the same order, so per column the
-  two are bit-identical (verified by ``tests/test_batched.py``);
+* the batched segment sums therefore also go through per-lane ``bincount``
+  calls -- NOT ``np.add.reduceat``, whose float64 inner loop switches to
+  pairwise summation for segments of more than a few entries and so rounds
+  differently than the sequential SpMV on columns of degree >= ~7 (the
+  conformance harness caught exactly this drift on real-valued backward
+  frontiers; integer-valued forward frontiers are exact in any order and
+  never exposed it);
 * interleaving exact zeros (masked-out lanes, drained frontier columns) into
   a float64 accumulation is a bit-exact no-op, so the batched kernels may sum
   whole columns and mask afterwards.
@@ -53,21 +57,18 @@ def segment_sums(
     ``seg_ptr`` is a CSC-style pointer (length ``n_segments + 1``).  Returns
     an ``(n_segments, B)`` float64 array; empty segments sum to zero.  The
     accumulation per segment is sequential in entry order -- the bincount
-    contract.
+    contract -- so each lane goes through ``np.bincount`` itself
+    (``np.add.reduceat`` rounds differently: its float64 reduction is
+    pairwise for segments longer than a few entries).
     """
     counts = np.diff(seg_ptr)
     sums = np.zeros((n_segments, vals.shape[1]), dtype=np.float64)
     if vals.shape[0] == 0 or n_segments == 0:
         return sums
-    # reduceat yields vals[start] (not 0) for empty segments, and an empty
-    # segment starting at len(vals) is outright invalid -- worse, clamping
-    # such a start would move the *end* boundary of the preceding non-empty
-    # segment.  Reducing over the non-empty segments only sidesteps both:
-    # empty segments hold no entries, so consecutive non-empty starts are
-    # exactly the segment boundaries.
-    nonempty = counts > 0
-    if nonempty.any():
-        sums[nonempty] = np.add.reduceat(vals, seg_ptr[:-1][nonempty], axis=0)
+    seg_of_entry = np.repeat(np.arange(n_segments), counts)
+    for j in range(vals.shape[1]):
+        sums[:, j] = np.bincount(seg_of_entry, weights=vals[:, j],
+                                 minlength=n_segments)
     return sums
 
 

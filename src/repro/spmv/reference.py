@@ -37,3 +37,27 @@ def reference_spmv_scatter(csc: CSCMatrix, x: np.ndarray) -> np.ndarray:
     y = np.zeros(csc.n_rows, dtype=np.result_type(x.dtype, np.float64))
     np.add.at(y, csc.row, vals)
     return y.astype(x.dtype, copy=False) if np.issubdtype(x.dtype, np.integer) else y
+
+
+def reference_spmm(csc: CSCMatrix, X: np.ndarray) -> np.ndarray:
+    """``Y = A^T X`` column by column: B independent :func:`reference_spmv`.
+
+    The conformance harness's fixed point for the batched kernels -- lane
+    ``j`` of every ``*_spmm`` kernel must match ``reference_spmv(A, X[:, j])``.
+    """
+    X = np.asarray(X)
+    if X.ndim != 2 or X.shape[0] != csc.n_rows:
+        raise ValueError(f"X must have shape ({csc.n_rows}, B), got {X.shape}")
+    return np.stack(
+        [reference_spmv(csc, X[:, j]) for j in range(X.shape[1])], axis=1
+    )
+
+
+def reference_spmm_scatter(csc: CSCMatrix, X: np.ndarray) -> np.ndarray:
+    """``Y = A X`` column by column: B independent scatter SpMVs."""
+    X = np.asarray(X)
+    if X.ndim != 2 or X.shape[0] != csc.n_cols:
+        raise ValueError(f"X must have shape ({csc.n_cols}, B), got {X.shape}")
+    return np.stack(
+        [reference_spmv_scatter(csc, X[:, j]) for j in range(X.shape[1])], axis=1
+    )

@@ -81,6 +81,69 @@ class TestBatchedParity:
         np.testing.assert_array_equal(bat.forward.levels, seq.forward.levels)
 
 
+class TestBatchedBitIdentity:
+    """The SpMM path is *bit-identical* (np.array_equal, not allclose) to B
+    independent single-source runs accumulated in source order.  Both sides
+    run the backward stage in float64 so accumulation order is the only
+    possible source of drift -- and the masked SpMM lanes perform exactly
+    the per-source arithmetic, so there is none."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_fifty_seeded_random_graphs(self, seed):
+        algorithm = ("sccooc", "sccsc", "veccsc")[seed % 3]
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(12, 28))
+        g = random_graph(n, 0.12, directed=bool(seed % 2), seed=seed + 1000)
+        k = int(rng.integers(2, 7))
+        srcs = sorted(rng.choice(n, size=k, replace=False).tolist())
+        batch = len(srcs) if seed % 5 else "auto"
+        bat = turbo_bc(g, sources=srcs, algorithm=algorithm, batch_size=batch,
+                       backward_dtype=np.float64)
+        lanes = np.zeros(g.n)
+        for s in srcs:
+            lanes += turbo_bc(g, sources=[s], algorithm=algorithm,
+                              backward_dtype=np.float64).bc
+        np.testing.assert_array_equal(bat.bc, lanes)
+
+    def test_lane_identity_survives_partial_batches(self):
+        # 7 sources through B=3: chunks of 3, 3, 1.
+        g = random_graph(24, 0.1, directed=True, seed=77)
+        srcs = [0, 3, 5, 9, 14, 18, 23]
+        bat = turbo_bc(g, sources=srcs, batch_size=3,
+                       backward_dtype=np.float64)
+        lanes = np.zeros(g.n)
+        for s in srcs:
+            lanes += turbo_bc(g, sources=[s], backward_dtype=np.float64).bc
+        np.testing.assert_array_equal(bat.bc, lanes)
+
+    def test_segment_sums_follow_bincount_order(self):
+        """Regression: the batched segment sum must round exactly like the
+        sequential ``np.bincount`` accumulation.  ``np.add.reduceat`` does
+        not (its float64 loop goes pairwise past a few entries), which once
+        made SpMM lanes drift ULPs from SpMV on columns of degree >= ~7."""
+        from repro.spmv._spmm import segment_sums
+
+        rng = np.random.default_rng(3)
+        seg_ptr = np.array([0, 1, 1, 9, 40, 40, 73])
+        vals = rng.uniform(0.1, 3.0, size=(seg_ptr[-1], 4))
+        sums = segment_sums(vals, seg_ptr, seg_ptr.size - 1)
+        seg_of_entry = np.repeat(np.arange(seg_ptr.size - 1), np.diff(seg_ptr))
+        for j in range(vals.shape[1]):
+            want = np.bincount(seg_of_entry, weights=vals[:, j],
+                               minlength=seg_ptr.size - 1)
+            np.testing.assert_array_equal(sums[:, j], want)
+
+    def test_batched_float32_matches_sequential_float32(self):
+        """At the default float32 backward dtype the batched driver is still
+        bit-identical to the sequential driver (same device accumulation
+        order), even though both differ from a float64 host sum."""
+        for seed in (0, 1, 2):
+            g = random_graph(30, 0.1, directed=bool(seed % 2), seed=seed)
+            seq = turbo_bc(g, algorithm="sccsc")
+            bat = turbo_bc(g, algorithm="sccsc", batch_size=8)
+            np.testing.assert_array_equal(bat.bc, seq.bc)
+
+
 def overflow_graph() -> Graph:
     """40 chained diamonds: sigma from vertex 0 is 2^40, overflowing int32."""
     edges = []

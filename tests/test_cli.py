@@ -20,9 +20,11 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "Table 3" in out and "paper:" in out and "repro:" in out
 
-    def test_unknown_graph(self):
-        with pytest.raises(KeyError):
-            main(["info", "nope"])
+    def test_unknown_graph_exits_2(self, capsys):
+        assert main(["info", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "nope" in err
+        assert "repro suite" in err  # points at the discovery command
 
 
 class TestBC:
@@ -53,6 +55,68 @@ class TestBC:
     def test_rejects_bad_algorithm(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["bc", "whatever.mtx", "--algorithm", "csr5"])
+
+
+class TestErrorPaths:
+    """Bad inputs exit non-zero with a one-line message on stderr -- never a
+    traceback.  argparse-level validation exits 2 via SystemExit; CLIError
+    paths return 2; conformance divergences return 1."""
+
+    def test_nonexistent_graph_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "no-such-graph.mtx"
+        assert main(["bc", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "graph file not found" in err and str(missing) in err
+
+    def test_unknown_suite_name_exits_2(self, capsys):
+        assert main(["bc", "not-a-suite-graph"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown graph" in err
+        assert ".mtx" in err  # explains what would have been accepted
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "huge"])
+    def test_bad_batch_size_exits_2(self, tmp_path, bad):
+        g = random_graph(10, 0.2, directed=False, seed=1)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        with pytest.raises(SystemExit) as exc:
+            main(["bc", str(path), "--batch-size", bad])
+        assert exc.value.code == 2
+
+    def test_batch_size_auto_accepted(self, tmp_path):
+        g = random_graph(10, 0.2, directed=False, seed=1)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        assert main(["bc", str(path), "--batch-size", "auto"]) == 0
+
+    def test_conflicting_export_targets_exit_2(self, tmp_path, capsys):
+        g = random_graph(10, 0.2, directed=False, seed=1)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        shared = tmp_path / "out.json"
+        assert main(["bc", str(path), "--trace-out", str(shared),
+                     "--metrics-json", str(shared)]) == 2
+        err = capsys.readouterr().err
+        assert "--trace-out" in err and "--metrics-json" in err
+        assert "must be distinct files" in err
+
+    def test_conflict_detected_through_path_aliases(self, tmp_path, capsys):
+        g = random_graph(10, 0.2, directed=False, seed=1)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        a = tmp_path / "out.json"
+        b = tmp_path / "sub" / ".." / "out.json"  # same file, different spelling
+        assert main(["bc", str(path), "--output", str(a),
+                     "--stats-json", str(b)]) == 2
+        assert "must be distinct files" in capsys.readouterr().err
+
+    def test_distinct_targets_accepted(self, tmp_path):
+        g = random_graph(10, 0.2, directed=False, seed=1)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        assert main(["bc", str(path), "--source", "0",
+                     "--trace-out", str(tmp_path / "trace.json"),
+                     "--metrics-json", str(tmp_path / "metrics.json")]) == 0
 
 
 class TestSuiteCommand:

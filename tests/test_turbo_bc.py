@@ -99,6 +99,79 @@ class TestAgainstOracles:
         assert_bc_close(bc2[perm], bc1, rtol=1e-9, atol=1e-9)
 
 
+def asym_digraph() -> Graph:
+    """A strongly connected triangle feeding a one-way tail, plus a
+    source-only vertex: many ordered pairs are mutually unreachable, so the
+    backward stage must accumulate over partial reachability only."""
+    e = [(0, 1), (1, 2), (2, 0),      # strongly connected core
+         (2, 3), (1, 3),              # one-way bridges out of the core
+         (3, 4), (4, 5),              # sink tail: cannot reach anything back
+         (6, 0)]                      # source-only vertex (in-degree 0)
+    return Graph.from_edges(e, 7, directed=True)
+
+
+class TestDirectedBackward:
+    """The backward (dependency) stage on asymmetric digraphs where
+    reachability is one-way: unreachable vertices must contribute nothing,
+    and every kernel must agree with Brandes exactly."""
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_asym_digraph_all_sources(self, algorithm):
+        g = asym_digraph()
+        res = turbo_bc(g, algorithm=algorithm, forward_dtype=np.int64,
+                       backward_dtype=np.float64)
+        assert_bc_close(res.bc, brandes_bc(g), rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    @pytest.mark.parametrize("source", [0, 4, 5, 6])
+    def test_asym_digraph_single_sources(self, algorithm, source):
+        # sources 4 and 5 sit in the sink tail (tiny reachable sets); 6 sees
+        # the whole graph; 5's BFS terminates after a single level.
+        g = asym_digraph()
+        res = turbo_bc(g, sources=source, algorithm=algorithm,
+                       forward_dtype=np.int64, backward_dtype=np.float64)
+        assert_bc_close(res.bc, brandes_bc(g, sources=source),
+                        rtol=1e-9, atol=1e-9)
+
+    def test_sink_source_contributes_nothing(self):
+        g = asym_digraph()
+        res = turbo_bc(g, sources=5, forward_dtype=np.int64,
+                       backward_dtype=np.float64)
+        assert not res.bc.any()
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    @pytest.mark.parametrize("seed", [31, 32, 33])
+    def test_random_orientation_vs_brandes(self, algorithm, seed):
+        """Random one-way orientations of G(n, p): heavy asymmetry, many
+        unreachable (source, target) pairs, frontier dies at odd depths."""
+        rng = np.random.default_rng(seed)
+        base = random_graph(28, 0.12, directed=False, seed=seed)
+        keep = base.src < base.dst
+        src, dst = base.src[keep].copy(), base.dst[keep].copy()
+        flip = rng.random(src.size) < 0.5
+        src[flip], dst[flip] = base.dst[keep][flip], base.src[keep][flip]
+        g = Graph(src, dst, base.n, directed=True)
+        res = turbo_bc(g, algorithm=algorithm, forward_dtype=np.int64,
+                       backward_dtype=np.float64)
+        assert_bc_close(res.bc, brandes_bc(g), rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_subset_sources_with_unreachable_vertices(self, algorithm):
+        g = asym_digraph()
+        srcs = [4, 6, 2]
+        res = turbo_bc(g, sources=srcs, algorithm=algorithm,
+                       forward_dtype=np.int64, backward_dtype=np.float64)
+        assert_bc_close(res.bc, brandes_bc(g, sources=srcs),
+                        rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_batched_matches_on_asym_digraph(self, algorithm):
+        g = asym_digraph()
+        seq = turbo_bc(g, algorithm=algorithm)
+        bat = turbo_bc(g, algorithm=algorithm, batch_size=4)
+        np.testing.assert_array_equal(bat.bc, seq.bc)
+
+
 class TestDtypePolicy:
     def overflow_graph(self):
         edges = []
