@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-slow lint conformance-smoke bless
+.PHONY: test test-fast test-slow lint conformance-smoke bench-adaptive-smoke bless
 
 test:  ## tier-1: the full suite (the ROADMAP verify command)
 	$(PYTEST) -x -q
@@ -20,6 +20,13 @@ lint:
 conformance-smoke:  ## fixed-seed differential fuzz pass, wall-clock capped
 	PYTHONPATH=src python -m repro conformance --seed 0 --budget 150 \
 		--max-seconds 60 --report conformance-report.jsonl
+	PYTHONPATH=src python -m repro conformance --seed 1 --budget 60 \
+		--max-seconds 30 --config 'adaptive*' \
+		--report conformance-adaptive.jsonl
+
+bench-adaptive-smoke:  ## adaptive-dispatch bench on a tiny graph (CI artifact)
+	BENCH_ADAPTIVE_SMOKE=1 $(PYTEST) -q benchmarks/bench_adaptive.py \
+		--benchmark-disable
 
 bless:  ## regenerate tests/golden/ from the Brandes oracle (review the diff)
 	PYTHONPATH=src python -m repro conformance --bless

@@ -296,8 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bc.add_argument("graph", help="suite name, .mtx file, or edge-list file")
     p_bc.add_argument("--source", type=int, default=None,
                       help="single BFS source (default: exact BC, all sources)")
-    p_bc.add_argument("--algorithm", choices=("sccooc", "sccsc", "veccsc"),
-                      default=None, help="pin the kernel (default: auto by scf)")
+    p_bc.add_argument("--algorithm",
+                      choices=("sccooc", "sccsc", "veccsc", "adaptive"),
+                      default=None,
+                      help="pin the kernel, or 'adaptive' for per-level "
+                           "dispatch (default: static auto by scf)")
     p_bc.add_argument("--batch-size", type=_batch_size_arg, default=1,
                       metavar="B|auto",
                       help="sources per SpMM batch: a positive int, or 'auto' "

@@ -2,7 +2,8 @@
 
 An :class:`ExecutionConfig` is anything that maps ``(graph, sources)`` to a
 BC vector.  The default registry spans every execution axis the repository
-has grown: the three SpMV kernels, the batched SpMM lanes
+has grown: the three SpMV kernels plus the per-level adaptive dispatcher,
+the batched SpMM lanes
 (``batch_size in {1, B, "auto"}``), single- vs multi-GPU source
 partitioning, telemetry on/off, and the sequential CSC implementation as an
 independent fourth system.  The harness compares every registered
@@ -106,7 +107,7 @@ def default_configs() -> list[ExecutionConfig]:
     ``sequential`` is the CPU Algorithm 1 as an independent implementation.
     """
     configs: list[ExecutionConfig] = []
-    for kernel in KERNEL_NAMES:
+    for kernel in (*KERNEL_NAMES, "adaptive"):
         for batch in BATCH_AXIS:
             configs.append(ExecutionConfig(
                 name=f"{kernel}/b{batch}",

@@ -38,13 +38,26 @@ def approximate_bc(
     :func:`~repro.core.bc.turbo_bc` -- pivot sampling composes naturally
     with SpMM batching.
 
+    With ``n_pivots == n`` the sample is exhaustive, so the estimator
+    degenerates to the exact computation: all sources run (in index order,
+    like the exact driver) and no rescale is applied, making the result
+    bit-identical to :func:`~repro.core.bc.turbo_bc` -- multiplying by the
+    nominal ``n / k == 1.0`` would be exact too, but skipping the multiply
+    keeps even the float operation count identical.
+
     Raises ``ValueError`` if ``n_pivots`` is not in ``[1, n]``.
     """
     n = graph.n
     if not 1 <= n_pivots <= n:
         raise ValueError(f"n_pivots must be in [1, {n}], got {n_pivots}")
-    rng = np.random.default_rng(seed)
-    sources = np.sort(rng.choice(n, size=n_pivots, replace=False))
+    if n_pivots == n:
+        # Exhaustive sample: skip the sampling and the rescale entirely.
+        sources = None
+        scale = 1.0
+    else:
+        rng = np.random.default_rng(seed)
+        sources = np.sort(rng.choice(n, size=n_pivots, replace=False))
+        scale = n / n_pivots
     result = turbo_bc(
         graph,
         sources=sources,
@@ -53,5 +66,10 @@ def approximate_bc(
         forward_dtype=forward_dtype,
         batch_size=batch_size,
     )
-    scale = n / n_pivots
-    return BCResult(bc=result.bc * scale, stats=result.stats, forward=result.forward)
+    bc = result.bc if scale == 1.0 else result.bc * scale
+    return BCResult(
+        bc=bc,
+        stats=result.stats,
+        forward=result.forward,
+        telemetry=result.telemetry,
+    )

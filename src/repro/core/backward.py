@@ -30,11 +30,13 @@ def accumulate_dependencies(ctx: TurboBCContext, fwd: BFSResult) -> np.ndarray:
         depth = fwd.depth
         while depth > 1:
             tag = f"d={depth}"
-            with obs.span("level", depth=depth):
+            with obs.span("level", depth=depth) as sp:
                 delta_u, _ = FK.delta_u_kernel(ctx.device, S, sigma, delta, depth, tag=tag)
                 delta_ut, _ = ctx.spmv_backward(
                     delta_u.astype(ctx.backward_dtype, copy=False), tag=tag
                 )
+                if ctx.dispatcher is not None:
+                    sp.set(**ctx.dispatcher.last.span_attrs())
                 FK.delta_update_kernel(ctx.device, S, sigma, delta, delta_ut, depth, tag=tag)
             depth -= 1
     return delta
@@ -57,13 +59,15 @@ def accumulate_dependencies_batch(ctx: TurboBCContext, fwd: BatchedBFSResult) ->
         depth = fwd.depth
         while depth > 1:
             tag = f"d={depth}"
-            with obs.span("level", depth=depth):
+            with obs.span("level", depth=depth) as sp:
                 Delta_u, _ = FK.delta_u_batch_kernel(
                     ctx.device, S, Sigma, Delta, depth, tag=tag
                 )
                 Delta_ut, _ = ctx.spmm_backward(
                     Delta_u.astype(ctx.backward_dtype, copy=False), tag=tag
                 )
+                if ctx.dispatcher is not None:
+                    sp.set(**ctx.dispatcher.last.span_attrs())
                 FK.delta_update_batch_kernel(
                     ctx.device, S, Sigma, Delta, Delta_ut, depth, tag=tag
                 )

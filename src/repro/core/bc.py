@@ -36,7 +36,13 @@ class TurboBCAlgorithm:
 
     @property
     def label(self) -> str:
-        return f"TurboBC-{ {'sccooc': 'scCOOC', 'sccsc': 'scCSC', 'veccsc': 'veCSC'}[self.name] }"
+        pretty = {
+            "sccooc": "scCOOC",
+            "sccsc": "scCSC",
+            "veccsc": "veCSC",
+            "adaptive": "Adaptive",
+        }
+        return f"TurboBC-{pretty[self.name]}"
 
 
 #: Degree-outlier ratio beyond which scCOOC beats scCSC on regular graphs
@@ -44,7 +50,9 @@ class TurboBCAlgorithm:
 _OUTLIER_RATIO = 64.0
 
 
-def select_algorithm(graph: Graph, *, scf: float | None = None) -> TurboBCAlgorithm:
+def select_algorithm(
+    graph: Graph, *, scf: float | None = None, mode: str = "static"
+) -> TurboBCAlgorithm:
     """Pick the TurboBC kernel for a graph, following the paper's findings.
 
     * irregular graphs (``scf`` above the threshold) -> ``veccsc``;
@@ -53,7 +61,16 @@ def select_algorithm(graph: Graph, *, scf: float | None = None) -> TurboBCAlgori
     * other regular graphs -> ``sccsc``.
 
     ``scf`` may be passed in when already computed (it is O(m) to measure).
+
+    ``mode="adaptive"`` skips the static whole-graph choice and returns the
+    per-level dispatching algorithm (DESIGN.md §10): the kernel is re-picked
+    every BFS/backward level from frontier statistics, which dominates any
+    static choice on graphs whose frontier shape varies across levels.
     """
+    if mode not in ("static", "adaptive"):
+        raise ValueError(f"mode must be 'static' or 'adaptive', got {mode!r}")
+    if mode == "adaptive":
+        return TurboBCAlgorithm("adaptive")
     if scf is None:
         scf = scale_free_metric(graph)
     if scf > SCF_IRREGULAR_THRESHOLD:
@@ -118,7 +135,10 @@ def _auto_batch_size(graph: Graph, device: Device, n_sources: int, fmt: str,
     """Size ``batch_size="auto"`` from the device memory model.
 
     The largest B whose batched footprint fits the device's free memory,
-    clamped to ``[1, min(n_sources, 64)]``.
+    clamped to ``[1, min(n_sources, 64)]``.  Callers pass the *worst-case*
+    vector dtypes (float64 for ``forward_dtype="auto"``): the overflow
+    re-run promotes vectors to float64, and a batch admitted on the
+    int32/float32 footprint could strand the re-run without memory.
     """
     if n_sources <= 1:
         return 1
@@ -154,7 +174,8 @@ def turbo_bc(
         ``None`` for the exact BC over all sources, an int for the paper's
         BC/vertex experiments, or an iterable of source vertices.
     algorithm:
-        ``"sccooc"``, ``"sccsc"``, ``"veccsc"`` or ``None`` for the
+        ``"sccooc"``, ``"sccsc"``, ``"veccsc"``, ``"adaptive"`` (per-level
+        kernel dispatch over the stored CSC format) or ``None`` for the
         scf-based auto-selection of :func:`select_algorithm`.
     device:
         A :class:`~repro.gpusim.Device`; a fresh TITAN Xp is created when
@@ -198,13 +219,19 @@ def turbo_bc(
     fmt = ALGORITHMS[algorithm.name][0]
     dtype_is_auto = isinstance(forward_dtype, str) and forward_dtype == "auto"
     admission_fdt = np.int32 if dtype_is_auto else forward_dtype
+    # With dtype "auto" the int32 overflow re-run promotes both vector dtypes
+    # to float64, so batch admission must size against the *promoted*
+    # footprint -- admitting B on the int32/float32 shape can leave the
+    # re-run with no room to allocate.
+    worst_fdt = np.float64 if dtype_is_auto else admission_fdt
+    worst_bdt = np.float64 if dtype_is_auto else backward_dtype
     if isinstance(batch_size, str):
         if batch_size != "auto":
             raise ValueError(
                 f"batch_size must be a positive int or 'auto', got {batch_size!r}"
             )
         batch = _auto_batch_size(
-            graph, device, len(src_list), fmt, admission_fdt, backward_dtype
+            graph, device, len(src_list), fmt, worst_fdt, worst_bdt
         )
     else:
         batch = int(batch_size)
@@ -212,8 +239,10 @@ def turbo_bc(
             raise ValueError(f"batch_size must be >= 1, got {batch}")
         batch = min(batch, max(len(src_list), 1))
     if batch > 1:
-        need = _batched_footprint_bytes(
-            graph, batch, fmt, admission_fdt, backward_dtype
+        need = max(
+            _batched_footprint_bytes(graph, batch, fmt, admission_fdt, backward_dtype),
+            # the sequential float64 re-run of overflowed lanes
+            _batched_footprint_bytes(graph, 1, fmt, worst_fdt, worst_bdt),
         )
         if not device.memory.fits(need):
             raise DeviceOutOfMemoryError(

@@ -48,8 +48,5 @@ def turbo_bfs(
             frontier_sizes=list(fwd.frontier_sizes),
         )
     finally:
-        ctx.release_source()
-        device.memory.free(ctx.bc_arr)
-        for arr in ctx._mat_arrays:
-            device.memory.free(arr)
+        ctx.abort()
     return result

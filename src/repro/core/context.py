@@ -13,11 +13,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.dispatch import AdaptiveDispatcher
 from repro.formats.coo import COOCMatrix
 from repro.formats.csc import CSCMatrix
 from repro.gpusim.device import Device
 from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.memory import DeviceArena
+from repro.obs import telemetry as obs
 from repro.spmv import (
+    edgecsc_spmm,
+    edgecsc_spmm_scatter,
+    edgecsc_spmv,
+    edgecsc_spmv_scatter,
     sccooc_spmm,
     sccooc_spmm_scatter,
     sccooc_spmv,
@@ -33,10 +40,36 @@ from repro.spmv import (
 )
 
 #: Kernel name -> (storage format attribute, mask fused into the SpMV?)
+#: ``adaptive`` stores CSC (the paper's ``7n + m`` discipline) and re-picks
+#: the kernel strategy every level; its thread-per-edge strategy runs over
+#: CSC via :mod:`repro.spmv.edgecsc`, so the mask stays fused.
 ALGORITHMS = {
     "sccooc": ("cooc", False),
     "sccsc": ("csc", True),
     "veccsc": ("csc", True),
+    "adaptive": ("csc", True),
+}
+
+#: Adaptive strategy name -> kernel function, per product shape.
+_ADAPTIVE_SPMV = {
+    "sccooc": edgecsc_spmv,
+    "sccsc": sccsc_spmv,
+    "veccsc": veccsc_spmv,
+}
+_ADAPTIVE_SPMV_SCATTER = {
+    "sccooc": edgecsc_spmv_scatter,
+    "sccsc": sccsc_spmv_scatter,
+    "veccsc": veccsc_spmv_scatter,
+}
+_ADAPTIVE_SPMM = {
+    "sccooc": edgecsc_spmm,
+    "sccsc": sccsc_spmm,
+    "veccsc": veccsc_spmm,
+}
+_ADAPTIVE_SPMM_SCATTER = {
+    "sccooc": edgecsc_spmm_scatter,
+    "sccsc": sccsc_spmm_scatter,
+    "veccsc": veccsc_spmm_scatter,
 }
 
 
@@ -78,11 +111,38 @@ class TurboBCContext:
                 mem.h2d("row_A", self.matrix.row),
             ]
         self.bc_arr = mem.alloc("bc", graph.n, self.backward_dtype)
-        # per-source arrays, swapped between stages
+        # per-source arrays, carved from the run's arena slab
         self._forward_arrs: list = []
         self._backward_arrs: list = []
+        self._arena: DeviceArena | None = None
+        #: Per-level kernel chooser; only set for ``algorithm="adaptive"``.
+        self.dispatcher: AdaptiveDispatcher | None = (
+            AdaptiveDispatcher(self.matrix, device.spec)
+            if algorithm == "adaptive"
+            else None
+        )
 
     # -- per-source array lifecycle -------------------------------------------
+    #
+    # All per-source arrays are carved from a per-run DeviceArena slab
+    # (DESIGN.md §10): one device allocation sized to the per-source peak
+    # serves every source/batch of the run, so the allocator sees zero
+    # alloc/free traffic after the first source.  The slab is
+    # max(forward chunk, backward chunk) bytes -- exactly the old per-phase
+    # maximum, so the run peak (and the paper's 7n + 1 + m accounting) is
+    # byte-identical to per-source allocation.
+
+    def _ensure_arena(self, batch: int) -> DeviceArena:
+        if self._arena is None:
+            n = self.graph.n
+            fwd = self.forward_dtype.itemsize
+            bwd = self.backward_dtype.itemsize
+            forward_chunk = batch * n * (3 * fwd + 4)        # f, ft, sigma + S
+            backward_chunk = batch * n * (fwd + 4 + 3 * bwd)  # sigma, S + deltas
+            self._arena = DeviceArena(
+                self.device.memory, max(forward_chunk, backward_chunk)
+            )
+        return self._arena
 
     def alloc_forward(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Allocate ``f``/``ft`` (int), ``sigma`` (int), ``S`` (int32).
@@ -93,12 +153,12 @@ class TurboBCContext:
         too.)
         """
         n = self.graph.n
-        mem = self.device.memory
+        arena = self._ensure_arena(1)
         self._forward_arrs = [
-            mem.alloc("f", n, self.forward_dtype),
-            mem.alloc("ft", n, self.forward_dtype),
-            mem.alloc("sigma", n, self.forward_dtype),
-            mem.alloc("S", n, np.int32),
+            arena.carve("f", n, self.forward_dtype),
+            arena.carve("ft", n, self.forward_dtype),
+            arena.carve("sigma", n, self.forward_dtype),
+            arena.carve("S", n, np.int32),
         ]
         f, _ft, sigma, S = self._forward_arrs
         return sigma.data, S.data, f.data
@@ -113,12 +173,12 @@ class TurboBCContext:
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         n = self.graph.n
-        mem = self.device.memory
+        arena = self._ensure_arena(batch)
         self._forward_arrs = [
-            mem.alloc("F", (n, batch), self.forward_dtype),
-            mem.alloc("Ft", (n, batch), self.forward_dtype),
-            mem.alloc("Sigma", (n, batch), self.forward_dtype),
-            mem.alloc("S", (n, batch), np.int32),
+            arena.carve("F", (n, batch), self.forward_dtype),
+            arena.carve("Ft", (n, batch), self.forward_dtype),
+            arena.carve("Sigma", (n, batch), self.forward_dtype),
+            arena.carve("S", (n, batch), np.int32),
         ]
         f, _ft, sigma, S = self._forward_arrs
         return sigma.data, S.data, f.data
@@ -128,16 +188,16 @@ class TurboBCContext:
         ``(n, B)`` matrices.  The batched peak -- matrix + ``bc`` + ``Sigma``
         + ``S`` + three delta matrices -- is the ``5nB + 2n + 1 + m`` words
         of the batched footprint model."""
-        mem = self.device.memory
+        arena = self._arena
         f, ft, sigma, S = self._forward_arrs
-        mem.free(f)
-        mem.free(ft)
+        arena.release(f)
+        arena.release(ft)
         self._forward_arrs = [sigma, S]
         shape = sigma.shape
         self._backward_arrs = [
-            mem.alloc("Delta", shape, self.backward_dtype),
-            mem.alloc("Delta_u", shape, self.backward_dtype),
-            mem.alloc("Delta_ut", shape, self.backward_dtype),
+            arena.carve("Delta", shape, self.backward_dtype),
+            arena.carve("Delta_u", shape, self.backward_dtype),
+            arena.carve("Delta_ut", shape, self.backward_dtype),
         ]
         return tuple(a.data for a in self._backward_arrs)
 
@@ -149,31 +209,40 @@ class TurboBCContext:
         Returns (delta, delta_u, delta_ut) backing arrays.  ``sigma`` and
         ``S`` survive the swap (the backward stage reads them).
         """
-        mem = self.device.memory
+        arena = self._arena
         f, ft, sigma, S = self._forward_arrs
-        mem.free(f)
-        mem.free(ft)
+        arena.release(f)
+        arena.release(ft)
         self._forward_arrs = [sigma, S]
         n = self.graph.n
         self._backward_arrs = [
-            mem.alloc("delta", n, self.backward_dtype),
-            mem.alloc("delta_u", n, self.backward_dtype),
-            mem.alloc("delta_ut", n, self.backward_dtype),
+            arena.carve("delta", n, self.backward_dtype),
+            arena.carve("delta_u", n, self.backward_dtype),
+            arena.carve("delta_ut", n, self.backward_dtype),
         ]
         return tuple(a.data for a in self._backward_arrs)
 
     def release_source(self) -> None:
-        """Free every per-source array, keeping matrix + ``bc``."""
-        mem = self.device.memory
+        """Release every per-source array back to the arena, keeping
+        matrix + ``bc`` (and the arena slab, for the next source)."""
         for arr in self._forward_arrs + self._backward_arrs:
             if not arr.is_freed:
-                mem.free(arr)
+                self._arena.release(arr)
         self._forward_arrs = []
         self._backward_arrs = []
+
+    def _record_arena_metrics(self) -> None:
+        tel = obs.get_telemetry()
+        if tel is not None and tel.metrics is not None and self._arena is not None:
+            tel.metrics.counter("arena_carves").inc(self._arena.carves)
+            tel.metrics.counter("arena_reuses").inc(self._arena.reuses)
 
     def abort(self) -> None:
         """Free everything device-side without transferring results."""
         self.release_source()
+        self._record_arena_metrics()
+        if self._arena is not None:
+            self._arena.destroy()
         mem = self.device.memory
         for arr in [self.bc_arr, *self._mat_arrays]:
             if not arr.is_freed:
@@ -183,6 +252,9 @@ class TurboBCContext:
         """Transfer ``bc`` back and free everything device-side."""
         bc = self.device.memory.d2h(self.bc_arr)
         self.release_source()
+        self._record_arena_metrics()
+        if self._arena is not None:
+            self._arena.destroy()
         self.device.memory.free(self.bc_arr)
         for arr in self._mat_arrays:
             self.device.memory.free(arr)
@@ -200,6 +272,12 @@ class TurboBCContext:
         """
         if self.algorithm == "sccooc":
             return sccooc_spmv(self.device, self.matrix, x, tag=tag)
+        if self.algorithm == "adaptive":
+            allowed = sigma == 0
+            kernel = self.dispatcher.choose_forward(x, allowed)
+            return _ADAPTIVE_SPMV[kernel](
+                self.device, self.matrix, x, allowed=allowed, tag=tag
+            )
         if self.algorithm == "sccsc":
             return sccsc_spmv(self.device, self.matrix, x, allowed=sigma == 0, tag=tag)
         return veccsc_spmv(self.device, self.matrix, x, allowed=sigma == 0, tag=tag)
@@ -213,6 +291,10 @@ class TurboBCContext:
         paper's single-format discipline is preserved -- see DESIGN.md on
         this pseudocode correction).
         """
+        if self.algorithm == "adaptive":
+            kernel = self.dispatcher.choose_backward(x)
+            table = _ADAPTIVE_SPMV_SCATTER if self.graph.directed else _ADAPTIVE_SPMV
+            return table[kernel](self.device, self.matrix, x, tag=tag)
         if self.graph.directed:
             if self.algorithm == "sccooc":
                 return sccooc_spmv_scatter(self.device, self.matrix, x, tag=tag)
@@ -239,6 +321,11 @@ class TurboBCContext:
         if self.algorithm == "sccooc":
             return sccooc_spmm(self.device, self.matrix, X, tag=tag)
         allowed = (Sigma == 0) & active[None, :]
+        if self.algorithm == "adaptive":
+            kernel = self.dispatcher.choose_forward_batch(X, allowed)
+            return _ADAPTIVE_SPMM[kernel](
+                self.device, self.matrix, X, allowed=allowed, tag=tag
+            )
         if self.algorithm == "sccsc":
             return sccsc_spmm(self.device, self.matrix, X, allowed=allowed, tag=tag)
         return veccsc_spmm(self.device, self.matrix, X, allowed=allowed, tag=tag)
@@ -246,6 +333,10 @@ class TurboBCContext:
     def spmm_backward(self, X: np.ndarray, *, tag: str = "") -> tuple[np.ndarray, KernelLaunch]:
         """Batched line-37 product; same gather/scatter split as
         :meth:`spmv_backward`."""
+        if self.algorithm == "adaptive":
+            kernel = self.dispatcher.choose_backward_batch(X)
+            table = _ADAPTIVE_SPMM_SCATTER if self.graph.directed else _ADAPTIVE_SPMM
+            return table[kernel](self.device, self.matrix, X, tag=tag)
         if self.graph.directed:
             if self.algorithm == "sccooc":
                 return sccooc_spmm_scatter(self.device, self.matrix, X, tag=tag)

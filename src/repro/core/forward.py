@@ -59,6 +59,8 @@ def bfs_forward(ctx: TurboBCContext, source: int) -> BFSResult:
             tag = f"d={depth}"
             with obs.span("level", depth=depth) as sp:
                 ft, _ = ctx.spmv_forward(f, sigma, tag=tag)
+                if ctx.dispatcher is not None:
+                    sp.set(**ctx.dispatcher.last.span_attrs())
                 new_f, any_new, _ = FK.frontier_update_kernel(
                     ctx.device, ft, sigma, S, depth, masked_spmv=ctx.mask_fused, tag=tag
                 )
@@ -135,6 +137,8 @@ def bfs_forward_batch(ctx: TurboBCContext, sources) -> BatchedBFSResult:
             tag = f"d={depth}"
             with obs.span("level", depth=depth) as sp:
                 Ft, _ = ctx.spmm_forward(F, Sigma, active, tag=tag)
+                if ctx.dispatcher is not None:
+                    sp.set(**ctx.dispatcher.last.span_attrs())
                 newF, new_per_lane, _ = FK.frontier_update_batch_kernel(
                     ctx.device, Ft, Sigma, S, depth, masked_spmv=ctx.mask_fused, tag=tag
                 )

@@ -26,13 +26,15 @@ a behavioural simulation of that device with three faithful pieces:
 from repro.gpusim.device import Device, DeviceSpec, TITAN_XP
 from repro.gpusim.errors import DeviceOutOfMemoryError, GpuSimError, InvalidKernelError
 from repro.gpusim.kernel import KernelLaunch, KernelStats
-from repro.gpusim.memory import DeviceArray, DeviceMemory
+from repro.gpusim.memory import ArenaBlock, DeviceArena, DeviceArray, DeviceMemory
 from repro.gpusim.profiler import Profiler
 
 __all__ = [
     "Device",
     "DeviceSpec",
     "TITAN_XP",
+    "ArenaBlock",
+    "DeviceArena",
     "DeviceArray",
     "DeviceMemory",
     "DeviceOutOfMemoryError",

@@ -192,3 +192,175 @@ class DeviceMemory:
             lines.append(f"  {arr.name:24s} {arr.nbytes / 2**20:10.2f} MiB  "
                          f"{arr.dtype} {arr.shape}")
         return "\n".join(lines)
+
+
+class ArenaBlock:
+    """A sub-allocation carved from a :class:`DeviceArena` slab.
+
+    API-compatible with :class:`DeviceArray` where the run drivers need it
+    (``data`` / ``shape`` / ``dtype`` / ``is_freed``), but backed by a view
+    into the arena's slab: carving and releasing blocks moves no device
+    memory and fires no allocator events.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "nbytes", "offset", "_view", "_freed")
+
+    def __init__(self, name: str, shape, dtype, offset: int, view: np.ndarray | None):
+        self.name = name
+        self.shape = tuple(int(s) for s in (shape if hasattr(shape, "__len__") else (shape,)))
+        self.dtype = np.dtype(dtype)
+        self.nbytes = int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+        self.offset = int(offset)
+        self._view = view
+        self._freed = False
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._freed:
+            raise DeviceArrayFreedError(f"arena block {self.name!r} was released")
+        if self._view is None:
+            raise GpuSimError(
+                f"arena block {self.name!r} is a planned allocation and has no data"
+            )
+        return self._view
+
+    @property
+    def is_backed(self) -> bool:
+        return self._view is not None
+
+    @property
+    def is_freed(self) -> bool:
+        return self._freed
+
+    def __repr__(self) -> str:
+        state = "freed" if self._freed else ("backed" if self.is_backed else "planned")
+        return (
+            f"ArenaBlock({self.name!r}, shape={self.shape}, dtype={self.dtype}, "
+            f"offset={self.offset}, {state})"
+        )
+
+
+class DeviceArena:
+    """Per-run slab allocator: one reservation, many carved working arrays.
+
+    The TurboBC drivers allocate and free the same per-source vectors
+    thousands of times per run (``f``/``ft``/``sigma``/``S`` forward, three
+    ``delta`` vectors backward).  On real hardware that is thousands of
+    ``cudaMalloc``/``cudaFree`` round trips -- each one a driver sync.  The
+    arena replaces them with **one** slab allocation sized to the run's
+    per-source peak; per-source arrays are carved from the slab through a
+    byte-granularity first-fit free list and released back to it, so after
+    the first source the allocator sees zero traffic.
+
+    Slab sizing preserves the paper's Section 3.4 accounting exactly: the
+    slab is ``max(forward chunk, backward chunk)`` bytes, which equals the
+    old per-phase maximum, so ``run_peak_bytes`` -- and the ``7n + 1 + m``
+    word model of :mod:`repro.perf.memory_model` -- are unchanged (see
+    DESIGN.md §10).
+
+    A carve that does not fit the slab (an oversized one-off) falls back to
+    a direct :meth:`DeviceMemory.alloc`; the returned handle then behaves
+    like any other :class:`DeviceArray` and :meth:`release` routes it back
+    to the allocator.
+    """
+
+    def __init__(self, memory: DeviceMemory, capacity_bytes: int, *, name: str = "arena"):
+        if capacity_bytes < 0:
+            raise ValueError(f"arena capacity must be non-negative, got {capacity_bytes}")
+        self.memory = memory
+        self.name = name
+        self.capacity_bytes = int(capacity_bytes)
+        self._slab: DeviceArray | None = None
+        self._free_list: list[tuple[int, int]] = []   # sorted (offset, nbytes)
+        self.carves = 0          # blocks served from the slab
+        self.reuses = 0          # slab carves after bytes started recycling
+        self.fallback_allocs = 0  # oversized carves routed to DeviceMemory
+        self._recycled = False   # has any block been released back yet?
+
+    # -- slab lifecycle ------------------------------------------------------
+
+    @property
+    def slab(self) -> DeviceArray | None:
+        return self._slab
+
+    def _ensure_slab(self) -> None:
+        if self._slab is None or self._slab.is_freed:
+            self._slab = self.memory.alloc(self.name, self.capacity_bytes, np.uint8)
+            self._free_list = [(0, self.capacity_bytes)]
+            self.carves = 0
+            self.reuses = 0
+            self._recycled = False
+
+    def destroy(self) -> None:
+        """Free the slab (tolerates a prior ``free_all``/device reset)."""
+        if self._slab is not None and not self._slab.is_freed:
+            self.memory.free(self._slab)
+        self._slab = None
+        self._free_list = []
+
+    # -- carve / release -----------------------------------------------------
+
+    def carve(self, name: str, shape, dtype) -> ArenaBlock | DeviceArray:
+        """Carve a zero-initialised array from the slab (first fit).
+
+        Returns an :class:`ArenaBlock` view into the slab, or a plain
+        :class:`DeviceArray` if the request cannot be served from the slab.
+        """
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape if hasattr(shape, "__len__") else (shape,), dtype=np.int64))
+        nbytes *= dtype.itemsize
+        if nbytes < 0:
+            raise ValueError(f"negative carve size for {name!r}")
+        self._ensure_slab()
+        for i, (off, size) in enumerate(self._free_list):
+            if size >= nbytes:
+                if size == nbytes:
+                    del self._free_list[i]
+                else:
+                    self._free_list[i] = (off + nbytes, size - nbytes)
+                view = None
+                if self._slab.is_backed:
+                    view = self._slab.data[off : off + nbytes].view(dtype).reshape(shape)
+                    view[...] = 0
+                block = ArenaBlock(name, shape, dtype, off, view)
+                self.carves += 1
+                if self._recycled:
+                    self.reuses += 1
+                return block
+        self.fallback_allocs += 1
+        return self.memory.alloc(name, shape, dtype)
+
+    def release(self, block: ArenaBlock) -> None:
+        """Return a carved block's bytes to the free list (coalescing)."""
+        if isinstance(block, DeviceArray):      # fallback allocation
+            self.memory.free(block)
+            return
+        if block._freed:
+            raise GpuSimError(f"release of already-released arena block {block.name!r}")
+        block._freed = True
+        block._view = None
+        self._recycled = True
+        off, size = block.offset, block.nbytes
+        lo = 0
+        while lo < len(self._free_list) and self._free_list[lo][0] < off:
+            lo += 1
+        self._free_list.insert(lo, (off, size))
+        # coalesce with the right then left neighbour
+        if lo + 1 < len(self._free_list):
+            noff, nsize = self._free_list[lo + 1]
+            if off + size == noff:
+                self._free_list[lo] = (off, size + nsize)
+                del self._free_list[lo + 1]
+        if lo > 0:
+            poff, psize = self._free_list[lo - 1]
+            off, size = self._free_list[lo]
+            if poff + psize == off:
+                self._free_list[lo - 1] = (poff, psize + size)
+                del self._free_list[lo]
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        """Unreserved bytes currently in the slab's free list."""
+        return sum(size for _, size in self._free_list)

@@ -95,12 +95,8 @@ def bfs_levels(graph: Graph, source: int) -> np.ndarray:
     """
     if not 0 <= source < graph.n:
         raise ValueError(f"source {source} out of range for n = {graph.n}")
-    csc = graph.to_csc()
-    # BFS over *out*-edges: vertex u's out-neighbours are the columns whose
-    # CSC column contains u; scanning columns is O(n) per level, so instead
-    # walk the CSR-like structure derived from reversing roles: out-neighbours
-    # of u are dst[k] for the nnz positions k where src[k] == u.  Build a
-    # one-off grouping of nnz by src.
+    # BFS over *out*-edges: vertex u's out-neighbours are dst[k] for the nnz
+    # positions k where src[k] == u.  Build a one-off grouping of nnz by src.
     order = np.argsort(graph.src, kind="stable")
     dst_by_src = graph.dst[order]
     counts = np.bincount(graph.src, minlength=graph.n)
@@ -113,14 +109,19 @@ def bfs_levels(graph: Graph, source: int) -> np.ndarray:
     depth = 0
     while frontier.size:
         depth += 1
-        # gather all out-neighbours of the frontier
-        segs = [dst_by_src[starts[u] : starts[u + 1]] for u in frontier.tolist()]
-        if segs:
-            nbrs = np.concatenate(segs) if len(segs) > 1 else segs[0]
+        # Gather all out-neighbours of the frontier in one fancy-indexing
+        # pass: positions starts[u] + 0..len(u) for every frontier vertex u,
+        # built with np.repeat (no per-vertex Python loop -- a hub vertex
+        # used to cost one interpreter iteration per frontier member).
+        lens = starts[frontier + 1] - starts[frontier]
+        total = int(lens.sum())
+        if total:
+            seg_begin = np.cumsum(lens) - lens
+            pos = np.arange(total, dtype=np.int64) - np.repeat(seg_begin, lens)
+            nbrs = np.unique(dst_by_src[np.repeat(starts[frontier], lens) + pos])
+            fresh = nbrs[level[nbrs] < 0]
         else:
-            nbrs = np.empty(0, dtype=np.int64)
-        nbrs = np.unique(nbrs)
-        fresh = nbrs[level[nbrs] < 0]
+            fresh = np.empty(0, dtype=np.int64)
         level[fresh] = depth
         frontier = fresh
     return level

@@ -55,6 +55,28 @@ def turbobc_batched_footprint_words(n: int, m: int, batch: int, fmt: str = "csc"
     raise ValueError(f"unknown format {fmt!r}; expected 'csc' or 'cooc'")
 
 
+def turbobc_arena_slab_bytes(
+    n: int, batch: int = 1, forward_itemsize: int = 4, backward_itemsize: int = 4
+) -> int:
+    """Bytes of the per-run :class:`~repro.gpusim.memory.DeviceArena` slab.
+
+    The run drivers carve every per-source array from one slab sized to the
+    per-source peak: ``max(forward chunk, backward chunk)`` where the forward
+    chunk holds ``f``/``ft``/``sigma`` (+ int32 ``S``) and the backward chunk
+    holds ``sigma``/``S`` plus three deltas.  Because the slab equals the old
+    per-phase maximum, the device peak -- fixed set + slab -- is byte-identical
+    to :func:`turbobc_batched_footprint_words` (times the word size); the
+    arena changes *allocator traffic*, not the paper's accounting.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    forward_chunk = batch * n * (3 * forward_itemsize + 4)
+    backward_chunk = batch * n * (forward_itemsize + 4 + 3 * backward_itemsize)
+    return max(forward_chunk, backward_chunk)
+
+
 #: gunrock's enactor allocates per-vertex runtime workspace beyond the
 #: Figure 4 array set (scan space, partition tables, load-balancing
 #: buffers).  The paper calls 9n + 2m a *lower* bound and plots measured

@@ -36,6 +36,12 @@ results are bit-identical to B per-source SpMV calls (see
 :mod:`repro.spmv._spmm`).
 """
 
+from repro.spmv.edgecsc import (
+    edgecsc_spmm,
+    edgecsc_spmm_scatter,
+    edgecsc_spmv,
+    edgecsc_spmv_scatter,
+)
 from repro.spmv.sccooc import (
     sccooc_spmm,
     sccooc_spmm_scatter,
@@ -65,6 +71,10 @@ KERNEL_NAMES = ("sccooc", "sccsc", "veccsc")
 
 __all__ = [
     "KERNEL_NAMES",
+    "edgecsc_spmm",
+    "edgecsc_spmm_scatter",
+    "edgecsc_spmv",
+    "edgecsc_spmv_scatter",
     "sccooc_spmm",
     "sccooc_spmm_scatter",
     "sccooc_spmv",

@@ -92,8 +92,8 @@ class TestConfigRegistry:
     def test_covers_every_execution_axis(self):
         configs = default_configs()
         names = {c.name for c in configs}
-        assert len(names) == len(configs) == 14
-        for kernel in KERNEL_NAMES:
+        assert len(names) == len(configs) == 17
+        for kernel in (*KERNEL_NAMES, "adaptive"):
             for batch in (1, 4, "auto"):
                 assert f"{kernel}/b{batch}" in names
         by_axes = [c.axes for c in configs]
@@ -115,7 +115,9 @@ class TestConfigRegistry:
         assert [c.name for c in filter_configs(configs, ["veccsc"])] == [
             "veccsc/b1", "veccsc/b4", "veccsc/bauto", "veccsc/b4/gpus3"]
         assert [c.name for c in filter_configs(configs, ["*/b1"])] == [
-            "sccooc/b1", "sccsc/b1", "veccsc/b1"]
+            "sccooc/b1", "sccsc/b1", "veccsc/b1", "adaptive/b1"]
+        assert [c.name for c in filter_configs(configs, ["adaptive*"])] == [
+            "adaptive/b1", "adaptive/b4", "adaptive/bauto"]
         assert filter_configs(configs, None) == list(configs)
         assert filter_configs(configs, ["nosuchconfig"]) == []
 

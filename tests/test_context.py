@@ -40,15 +40,21 @@ class TestAllocationChoreography:
         ctx.abort()
 
     def test_forward_arrays_freed_before_backward(self, graph):
+        """The Section 3.4 choreography now runs inside the arena slab: the
+        int frontier blocks are released before the float delta blocks are
+        carved, so they never coexist."""
         device = Device()
         ctx = TurboBCContext(device, graph, "sccsc")
         ctx.alloc_forward()
-        names = {a.name for a in device.memory.live_arrays}
-        assert {"f", "ft", "sigma", "S"} <= names
+        fwd_blocks = {a.name: a for a in ctx._forward_arrs}
+        assert set(fwd_blocks) == {"f", "ft", "sigma", "S"}
+        f, ft = fwd_blocks["f"], fwd_blocks["ft"]
         ctx.swap_to_backward()
-        names = {a.name for a in device.memory.live_arrays}
-        assert "f" not in names and "ft" not in names
-        assert {"delta", "delta_u", "delta_ut", "sigma", "S"} <= names
+        assert f.is_freed and ft.is_freed
+        live = {a.name for a in ctx._forward_arrs + ctx._backward_arrs}
+        assert live == {"sigma", "S", "delta", "delta_u", "delta_ut"}
+        # the released frontier bytes were recycled into the delta blocks
+        assert ctx._arena.reuses >= 2
         ctx.abort()
 
     def test_peak_is_7n_plus_m(self, graph):
@@ -62,12 +68,15 @@ class TestAllocationChoreography:
         ctx.abort()
 
     def test_release_source_keeps_matrix(self, graph):
+        """Matrix, ``bc`` and the arena slab survive a source release; the
+        per-source blocks return to the slab without touching the allocator."""
         device = Device()
         ctx = TurboBCContext(device, graph, "sccsc")
         ctx.alloc_forward()
         ctx.release_source()
         names = {a.name for a in device.memory.live_arrays}
-        assert names == {"CP_A", "row_A", "bc"}
+        assert names == {"CP_A", "row_A", "bc", "arena"}
+        assert ctx._arena.free_bytes == ctx._arena.capacity_bytes
         ctx.abort()
 
     def test_close_frees_everything_and_returns_bc(self, graph):
