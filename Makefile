@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-slow lint conformance-smoke bench-adaptive-smoke bless
+.PHONY: test test-fast test-slow lint conformance-smoke bench-adaptive-smoke bless perf-gate
 
 test:  ## tier-1: the full suite (the ROADMAP verify command)
 	$(PYTEST) -x -q
@@ -27,6 +27,15 @@ conformance-smoke:  ## fixed-seed differential fuzz pass, wall-clock capped
 bench-adaptive-smoke:  ## adaptive-dispatch bench on a tiny graph (CI artifact)
 	BENCH_ADAPTIVE_SMOKE=1 $(PYTEST) -q benchmarks/bench_adaptive.py \
 		--benchmark-disable
+
+perf-gate:  ## run the adaptive smoke bench twice and fail on significant regressions
+	BENCH_ADAPTIVE_SMOKE=1 $(PYTEST) -q benchmarks/bench_adaptive.py \
+		--benchmark-disable
+	cp BENCH_adaptive.json perf-gate-base.json
+	BENCH_ADAPTIVE_SMOKE=1 $(PYTEST) -q benchmarks/bench_adaptive.py \
+		--benchmark-disable
+	PYTHONPATH=src python -m repro perf-diff perf-gate-base.json \
+		BENCH_adaptive.json --report perf-gate-report.md
 
 bless:  ## regenerate tests/golden/ from the Brandes oracle (review the diff)
 	PYTHONPATH=src python -m repro conformance --bless

@@ -2,6 +2,28 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Every ``BENCH_*.json`` artifact carries this schema marker so `repro
+#: perf-diff` (and future tooling) can recognise the family.
+BENCH_SCHEMA = "repro.bench/result/v1"
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` at the repo root (the one bench format).
+
+    Schema-versioned, sorted keys, trailing newline -- the stable shape
+    ``repro perf-diff`` pairs across runs.  ``payload`` must be plain
+    JSON-able types; the ``schema`` key is stamped here, not by callers.
+    """
+    doc = {"schema": BENCH_SCHEMA, **payload}
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
 
 def within_factor(measured: float, paper: float, factor: float) -> bool:
     """Is ``measured`` within a multiplicative band of the paper value?"""

@@ -21,19 +21,17 @@ Writes ``results/adaptive.txt`` and the machine-readable
 
 from __future__ import annotations
 
-import json
 import os
-import pathlib
 from collections import Counter
 
 import numpy as np
 
+from _helpers import write_bench_json
 from repro.core.bc import turbo_bc
 from repro.graphs import suite
 from repro.obs import telemetry as obs
 from repro.spmv import KERNEL_NAMES
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: ``BENCH_ADAPTIVE_SMOKE=1`` (the CI artifact job) swaps the suite graphs
 #: for one tiny instance and drops the speedup threshold: bit-identity and
 #: flat allocator traffic are still asserted, but a graph this small has no
@@ -154,9 +152,7 @@ def test_adaptive_dispatch(report, benchmark):
         "achieved": max(best.values()),
         "graph": max(best, key=best.get),
     }
-    (REPO_ROOT / "BENCH_adaptive.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_bench_json("adaptive", payload)
 
     lines.append(f"best speedup: {payload['criterion']['achieved']:.2f}x "
                  f"on {payload['criterion']['graph']} "

@@ -15,16 +15,13 @@ at the repo root.
 
 from __future__ import annotations
 
-import json
-import pathlib
 import time
 
 import numpy as np
 
+from _helpers import write_bench_json
 from repro.core.bc import turbo_bc
 from repro.graphs import suite
-
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BATCHES = (1, 4, 16, 64)
 #: (suite graph, number of sources): one small-n graph where batching shines,
 #: one mid-size directed graph, one large-n graph where it roughly breaks even.
@@ -104,7 +101,7 @@ def test_batched_speedup(report, benchmark):
         "achieved": max(best.values()),
         "graph": max(best, key=best.get),
     }
-    (REPO_ROOT / "BENCH_batched.json").write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_json("batched", payload)
 
     lines.append(f"best speedup: {payload['criterion']['achieved']:.2f}x "
                  f"on {payload['criterion']['graph']} (criterion: >= 3x)")

@@ -14,13 +14,11 @@ Writes ``results/conformance.txt`` and ``BENCH_conformance.json``.
 
 from __future__ import annotations
 
-import json
-import pathlib
 import time
 
+from _helpers import write_bench_json
 from repro.conformance import default_configs, filter_configs, run_conformance
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BUDGET = 32
 #: Config subsets of growing width: one kernel, the single-GPU b1 row, all.
 SUBSETS = (
@@ -77,8 +75,7 @@ def test_conformance_throughput(report, benchmark):
         "achieved": full["cases_per_s"],
         "ci_slot_cases": full["cases_per_s"] * 60,
     }
-    (REPO_ROOT / "BENCH_conformance.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    write_bench_json("conformance", payload)
 
     lines.append("")
     lines.append(f"full grid: {full['cases_per_s']:.1f} cases/s -> "

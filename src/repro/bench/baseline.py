@@ -1,0 +1,101 @@
+"""Versioned baseline snapshots of bench results, and metric flattening.
+
+The repo's ``BENCH_*.json`` artifacts each grew their own ad-hoc shape, so
+until now a perf regression between two bench runs had nothing to diff.
+This module defines the one *baseline* schema the regression gate consumes
+(:func:`make_baseline` / :func:`write_baseline`) and -- because history
+exists -- a tolerant flattener (:func:`flatten_metrics`) that turns *any*
+JSON bench document into ``{metric_path: [samples]}``, so ``repro
+perf-diff`` also reads the legacy ``BENCH_*.json`` files directly.
+
+Flattening rules:
+
+* dict keys extend the path with ``.``; list items use the element's
+  identity field when one exists (``graph``/``name``/``kernel``/
+  ``algorithm``/``subset``/``config``), else the index -- so a re-ordered
+  rows list still pairs up across runs;
+* numeric leaves become single-sample lists; lists of numbers become
+  sample lists (repeated runs of the same metric);
+* booleans and strings are skipped: the gate compares quantities, not
+  configuration (config drift shows up as *missing* metrics instead,
+  which the comparator reports).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+BASELINE_SCHEMA = "repro.bench/baseline/v1"
+
+#: Fields that identify a dict inside a list (checked in order).
+_IDENTITY_FIELDS = ("graph", "name", "kernel", "algorithm", "subset", "config")
+
+
+def make_baseline(name: str, rows, *, meta: dict | None = None) -> dict:
+    """A versioned baseline document from bench rows.
+
+    ``rows`` is an iterable of :class:`~repro.bench.runner.ExperimentRow`
+    or plain dicts; ``meta`` carries free-form run context (graph set,
+    git rev, smoke flag) that the comparator ignores.
+    """
+    out_rows = []
+    for row in rows:
+        d = row.to_dict() if hasattr(row, "to_dict") else dict(row)
+        out_rows.append(d)
+    return {
+        "schema": BASELINE_SCHEMA,
+        "name": name,
+        "meta": dict(meta or {}),
+        "rows": out_rows,
+    }
+
+
+def write_baseline(path, doc: dict) -> None:
+    """Write a baseline/bench document with stable formatting."""
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_bench_json(path) -> dict:
+    """Load any bench/baseline JSON document (schema not enforced)."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return doc
+
+
+def _identity(item: dict, index: int) -> str:
+    for f in _IDENTITY_FIELDS:
+        v = item.get(f)
+        if isinstance(v, str) and v:
+            return v
+    return str(index)
+
+
+def flatten_metrics(doc, prefix: str = "") -> dict[str, list[float]]:
+    """Flatten a bench JSON document into ``{metric_path: [samples]}``."""
+    out: dict[str, list[float]] = {}
+    _flatten(doc, prefix, out)
+    return out
+
+
+def _flatten(node, path: str, out: dict) -> None:
+    # bool is an int subclass; exclude it explicitly
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        out.setdefault(path, []).append(float(node))
+        return
+    if isinstance(node, dict):
+        for k, v in node.items():
+            if k in ("schema", "meta"):
+                continue
+            _flatten(v, f"{path}.{k}" if path else str(k), out)
+        return
+    if isinstance(node, list):
+        if node and all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in node):
+            out.setdefault(path, []).extend(float(v) for v in node)
+            return
+        for i, v in enumerate(node):
+            key = _identity(v, i) if isinstance(v, dict) else str(i)
+            _flatten(v, f"{path}[{key}]" if path else f"[{key}]", out)

@@ -46,6 +46,12 @@ class ExperimentRow:
     #: populated when the experiment runs with ``collect_telemetry=True``.
     telemetry: dict | None = None
 
+    def to_dict(self) -> dict:
+        """Plain-JSON form for baseline snapshots (see bench/baseline.py)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
 
 def scaled_device_spec(entry: BenchmarkGraph, base: DeviceSpec = TITAN_XP) -> DeviceSpec:
     """A device whose L2 is scaled with the repro instance.

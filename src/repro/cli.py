@@ -249,6 +249,95 @@ def cmd_conformance(args) -> int:
     return 0
 
 
+def cmd_perf_diff(args) -> int:
+    from repro.bench.baseline import flatten_metrics, load_bench_json
+    from repro.obs.regress import compare_metrics, format_report
+
+    _check_distinct_outputs(args, {
+        "--report": args.report,
+        "--json": args.json_out,
+    })
+    for path in (args.old, args.new):
+        if not os.path.exists(path):
+            raise CLIError(f"bench file not found: {path}")
+    try:
+        old = flatten_metrics(load_bench_json(args.old))
+        new = flatten_metrics(load_bench_json(args.new))
+    except (ValueError, json.JSONDecodeError) as exc:
+        raise CLIError(f"could not parse bench JSON: {exc}") from None
+    if not set(old) & set(new):
+        raise CLIError(
+            f"{args.old} and {args.new} share no numeric metrics; "
+            "are these the same kind of bench file?"
+        )
+    report = compare_metrics(
+        old, new,
+        noise_floor=args.noise_floor,
+        confidence=args.confidence,
+        n_boot=args.bootstrap,
+        seed=args.seed,
+    )
+    text = format_report(report, old_name=args.old, new_name=args.new)
+    print(text)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(text)
+        logger.info("perf-diff report written to %s", args.report)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        logger.info("perf-diff verdict written to %s", args.json_out)
+    return 0 if report.passed else 1
+
+
+def cmd_perf_report(args) -> int:
+    from repro import Device, obs, turbo_bc
+
+    _check_distinct_outputs(args, {
+        "--out": args.out,
+        "--json": args.json_out,
+    })
+    graph = _load_graph(args.graph)
+    sources = list(range(args.sources)) if args.sources is not None else None
+    device = Device()
+    with obs.session(trace=True, audit_dispatch=not args.no_audit) as tel:
+        turbo_bc(
+            graph,
+            sources=sources,
+            algorithm=args.algorithm,
+            device=device,
+            forward_dtype="auto",
+            batch_size=args.batch_size,
+        )
+    title = f"perf-report: {args.graph} ({args.algorithm or 'auto'})"
+    text = obs.perf_report_for_run(device, tel, title=title)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        logger.info("perf report written to %s", args.out)
+    if args.json_out:
+        from repro.obs.audit import audit_dispatch, launch_drift
+        from repro.obs.roofline import roofline_report
+
+        doc = {
+            "schema": "repro.obs/perf-report/v1",
+            "roofline": roofline_report(
+                device.profiler.launches, device.spec
+            ).to_dict(),
+            "dispatch_audit": audit_dispatch(tel.dispatch_decisions).to_dict(),
+            "drift": [
+                {"name": d.name, "tag": d.tag, "time_s": d.time_s,
+                 "roofline_s": d.roofline_s, "drift": d.drift}
+                for d in launch_drift(device.profiler.launches)[:20]
+            ],
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        logger.info("perf report JSON written to %s", args.json_out)
+    return 0
+
+
 def cmd_suite(args) -> int:
     from repro.graphs import suite
 
@@ -326,6 +415,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="list the benchmark-graph registry")
     p_suite.set_defaults(func=cmd_suite)
+
+    p_diff = sub.add_parser(
+        "perf-diff",
+        help="statistical perf comparison of two bench JSON files",
+    )
+    p_diff.add_argument("old", help="baseline bench/BENCH_*.json file")
+    p_diff.add_argument("new", help="candidate bench/BENCH_*.json file")
+    p_diff.add_argument("--noise-floor", type=float, default=0.05,
+                        metavar="FRAC",
+                        help="ratio band treated as noise (default: 0.05 "
+                             "= 5%%)")
+    p_diff.add_argument("--confidence", type=float, default=0.95,
+                        help="bootstrap CI level (default: 0.95)")
+    p_diff.add_argument("--bootstrap", type=int, default=1000,
+                        help="bootstrap resamples (default: 1000)")
+    p_diff.add_argument("--seed", type=int, default=0,
+                        help="bootstrap RNG seed (default: 0)")
+    p_diff.add_argument("--report", metavar="FILE",
+                        help="also write the markdown report to FILE")
+    p_diff.add_argument("--json", dest="json_out", metavar="FILE",
+                        help="write the machine-readable verdict as JSON")
+    p_diff.set_defaults(func=cmd_perf_diff)
+
+    p_perf = sub.add_parser(
+        "perf-report",
+        help="run TurboBC and render roofline/dispatch/drift attribution",
+    )
+    p_perf.add_argument("graph", help="suite name, .mtx file, or edge-list file")
+    p_perf.add_argument("--sources", type=int, default=None, metavar="N",
+                        help="run the first N vertices as sources "
+                             "(default: exact BC, all sources)")
+    p_perf.add_argument("--algorithm",
+                        choices=("sccooc", "sccsc", "veccsc", "adaptive"),
+                        default="adaptive",
+                        help="kernel mode (default: adaptive, which enables "
+                             "the dispatch-regret section)")
+    p_perf.add_argument("--batch-size", type=_batch_size_arg, default=1,
+                        metavar="B|auto")
+    p_perf.add_argument("--no-audit", action="store_true",
+                        help="skip the shadow replays of unchosen strategies "
+                             "(regret degrades to estimate-only)")
+    p_perf.add_argument("--out", metavar="FILE",
+                        help="also write the markdown report to FILE")
+    p_perf.add_argument("--json", dest="json_out", metavar="FILE",
+                        help="write roofline/audit/drift as JSON")
+    p_perf.set_defaults(func=cmd_perf_report)
 
     p_conf = sub.add_parser(
         "conformance",

@@ -342,6 +342,8 @@ def turbo_bc(
         except BaseException:
             ctx.abort()
             raise
+        if tel is not None and ctx.dispatcher is not None:
+            tel.dispatch_decisions.extend(ctx.dispatcher.decisions)
 
     stats = BCRunStats(
         algorithm=algorithm.label,
@@ -456,6 +458,8 @@ def _turbo_bc_batched(
         except BaseException:
             ctx.abort()
             raise
+        if tel is not None and ctx.dispatcher is not None:
+            tel.dispatch_decisions.extend(ctx.dispatcher.decisions)
 
         if rerun_sources:
             logger.warning(
@@ -500,6 +504,8 @@ def _turbo_bc_batched(
                 except BaseException:
                     rctx.abort()
                     raise
+                if tel is not None and rctx.dispatcher is not None:
+                    tel.dispatch_decisions.extend(rctx.dispatcher.decisions)
 
     stats = BCRunStats(
         algorithm=algorithm.label,

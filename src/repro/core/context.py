@@ -121,6 +121,8 @@ class TurboBCContext:
             if algorithm == "adaptive"
             else None
         )
+        #: Lazily-created shadow device for dispatch-audit replays.
+        self._shadow: Device | None = None
 
     # -- per-source array lifecycle -------------------------------------------
     #
@@ -260,6 +262,43 @@ class TurboBCContext:
             self.device.memory.free(arr)
         return bc
 
+    # -- adaptive launch + dispatch audit -------------------------------------
+
+    def _adaptive_launch(self, table: dict, kernel: str, x, *, allowed=None, tag=""):
+        """Launch the chosen adaptive strategy and record its measured time.
+
+        Under ``RunTelemetry(audit_dispatch=True)`` the *unchosen* strategies
+        are then replayed on a private shadow device, so every decision ends
+        up with all three measured times and obs/audit.py can report regret
+        (how often the argmin of the estimates was not the measured-fastest
+        kernel).  The shadow device has its own profiler and telemetry is
+        suppressed around the replays, so the main run's launch counts,
+        modeled times and metrics are untouched -- parity with the
+        un-audited run is preserved.
+        """
+        kwargs = {"tag": tag} if allowed is None else {"tag": tag, "allowed": allowed}
+        result, launch = table[kernel](self.device, self.matrix, x, **kwargs)
+        self.dispatcher.record_measured(kernel, launch)
+        tel = obs.get_telemetry()
+        if tel is not None and tel.audit_dispatch:
+            self._audit_replay(table, kernel, x, kwargs)
+        return result, launch
+
+    def _audit_replay(self, table: dict, chosen: str, x, kwargs: dict) -> None:
+        if self._shadow is None:
+            self._shadow = Device(self.device.spec)
+        prev = obs.get_telemetry()
+        obs.deactivate()
+        try:
+            for kernel, fn in table.items():
+                if kernel == chosen:
+                    continue
+                _, launch = fn(self._shadow, self.matrix, x, **kwargs)
+                self.dispatcher.record_measured(kernel, launch)
+        finally:
+            if prev is not None:
+                obs.activate(prev)
+
     # -- SpMV dispatch ---------------------------------------------------------
 
     def spmv_forward(
@@ -275,8 +314,8 @@ class TurboBCContext:
         if self.algorithm == "adaptive":
             allowed = sigma == 0
             kernel = self.dispatcher.choose_forward(x, allowed)
-            return _ADAPTIVE_SPMV[kernel](
-                self.device, self.matrix, x, allowed=allowed, tag=tag
+            return self._adaptive_launch(
+                _ADAPTIVE_SPMV, kernel, x, allowed=allowed, tag=tag
             )
         if self.algorithm == "sccsc":
             return sccsc_spmv(self.device, self.matrix, x, allowed=sigma == 0, tag=tag)
@@ -294,7 +333,7 @@ class TurboBCContext:
         if self.algorithm == "adaptive":
             kernel = self.dispatcher.choose_backward(x)
             table = _ADAPTIVE_SPMV_SCATTER if self.graph.directed else _ADAPTIVE_SPMV
-            return table[kernel](self.device, self.matrix, x, tag=tag)
+            return self._adaptive_launch(table, kernel, x, tag=tag)
         if self.graph.directed:
             if self.algorithm == "sccooc":
                 return sccooc_spmv_scatter(self.device, self.matrix, x, tag=tag)
@@ -323,8 +362,8 @@ class TurboBCContext:
         allowed = (Sigma == 0) & active[None, :]
         if self.algorithm == "adaptive":
             kernel = self.dispatcher.choose_forward_batch(X, allowed)
-            return _ADAPTIVE_SPMM[kernel](
-                self.device, self.matrix, X, allowed=allowed, tag=tag
+            return self._adaptive_launch(
+                _ADAPTIVE_SPMM, kernel, X, allowed=allowed, tag=tag
             )
         if self.algorithm == "sccsc":
             return sccsc_spmm(self.device, self.matrix, X, allowed=allowed, tag=tag)
@@ -336,7 +375,7 @@ class TurboBCContext:
         if self.algorithm == "adaptive":
             kernel = self.dispatcher.choose_backward_batch(X)
             table = _ADAPTIVE_SPMM_SCATTER if self.graph.directed else _ADAPTIVE_SPMM
-            return table[kernel](self.device, self.matrix, X, tag=tag)
+            return self._adaptive_launch(table, kernel, X, tag=tag)
         if self.graph.directed:
             if self.algorithm == "sccooc":
                 return sccooc_spmm_scatter(self.device, self.matrix, X, tag=tag)

@@ -66,6 +66,12 @@ class DispatchDecision:
     max_deg_allowed: int
     batch: int = 1
     est_us: dict = field(default_factory=dict)   # strategy -> estimated µs
+    #: Measured modeled time per strategy, in µs.  The chosen kernel's entry
+    #: is filled on every adaptive launch; the others only under
+    #: ``RunTelemetry(audit_dispatch=True)``, which replays them on a shadow
+    #: device (obs/audit.py turns the gap into a regret report).  Mutable by
+    #: design -- the decision identity is the frozen statistics above.
+    measured_us: dict = field(default_factory=dict, compare=False)
 
     def span_attrs(self) -> dict:
         """Attributes recorded on the level span for this decision."""
@@ -277,6 +283,16 @@ class AdaptiveDispatcher:
             dtype=X.dtype,
             batch=X.shape[1],
         ).kernel
+
+    def record_measured(self, kernel: str, launch) -> None:
+        """Attach the measured modeled time of ``kernel`` to the last decision.
+
+        In-kernel time only (``exec_time_s``): the estimates being audited
+        exclude launch overhead too, and overhead is identical across
+        strategies so regret comparisons are unaffected.
+        """
+        if self.last is not None:
+            self.last.measured_us[kernel] = round(launch.exec_time_s * 1e6, 3)
 
     def _next_depth(self, stage: str) -> int:
         """Sequential launch index within the current stage run (for the

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.gpusim.kernel import KernelLaunch, KernelStats
@@ -52,6 +53,24 @@ class DeviceSpec:
 TITAN_XP = DeviceSpec()
 
 
+def _parse_slowdown(value: str) -> dict[str, float]:
+    """Parse ``REPRO_INJECT_SLOWDOWN`` into ``{kernel_name: factor}``.
+
+    A bare number (``"2.0"``) slows every kernel; ``"sccsc_spmv:2,bfs:3"``
+    slows only the named ones.  The hook scales *modeled time only* --
+    results are untouched -- and exists so the perf-regression gate can be
+    tested end-to-end against a genuine (injected) slowdown.
+    """
+    value = value.strip()
+    if not value:
+        return {}
+    factors: dict[str, float] = {}
+    for part in value.split(","):
+        name, _, factor = part.rpartition(":")
+        factors[name.strip() or "*"] = float(factor)
+    return factors
+
+
 class Device:
     """A simulated GPU: spec + memory + profiler + launch timing.
 
@@ -68,6 +87,7 @@ class Device:
         self.spec = spec
         self.memory = DeviceMemory(spec.global_memory_bytes, backed=backed)
         self.profiler = Profiler()
+        self._slowdown = _parse_slowdown(os.environ.get("REPRO_INJECT_SLOWDOWN", ""))
 
     def launch(self, stats: KernelStats, *, tag: str = "") -> KernelLaunch:
         """Time a kernel from its stats and record it with the profiler.
@@ -83,6 +103,9 @@ class Device:
             stats.serial_updates * self.spec.atomic_serialization_s,
             stats.critical_warp_cycles / (self.spec.clock_ghz * 1e9),
         )
+        if self._slowdown:
+            factor = self._slowdown.get(stats.name, self._slowdown.get("*", 1.0))
+            compute, memory, serial = compute * factor, memory * factor, serial * factor
         launch = KernelLaunch(
             stats=stats,
             compute_time_s=compute,
@@ -94,7 +117,7 @@ class Device:
         self.profiler.record(launch)
         tel = get_telemetry()
         if tel is not None:
-            tel.on_kernel_launch(launch, self.profiler.total_time_s())
+            tel.on_kernel_launch(launch, self.profiler.total_time_s(), spec=self.spec)
         return launch
 
     def sync_readback(self, *, words: int = 1, tag: str = "") -> KernelLaunch:
@@ -115,7 +138,7 @@ class Device:
         self.profiler.record(launch)
         tel = get_telemetry()
         if tel is not None:
-            tel.on_kernel_launch(launch, self.profiler.total_time_s())
+            tel.on_kernel_launch(launch, self.profiler.total_time_s(), spec=self.spec)
         return launch
 
     def reset(self) -> None:

@@ -9,6 +9,16 @@ Three pieces (see DESIGN.md §8):
   histograms with a JSON snapshot;
 * :mod:`repro.obs.export` -- Chrome-trace/Perfetto and JSONL exporters.
 
+Performance attribution (DESIGN.md §11) builds on those:
+
+* :mod:`repro.obs.counters` -- hardware-style counters per simulated launch;
+* :mod:`repro.obs.roofline` -- bound classification against the DeviceSpec
+  roofline;
+* :mod:`repro.obs.audit` -- dispatch regret and estimator calibration drift;
+* :mod:`repro.obs.regress` -- the bootstrap-CI perf-regression comparator
+  behind ``repro perf-diff`` / ``make perf-gate``;
+* :mod:`repro.obs.report` -- the ``repro perf-report`` markdown renderer.
+
 :mod:`repro.obs.telemetry` ties them together: a :class:`RunTelemetry` holds
 one run's tracer + registry, and :func:`session` installs it as the active
 sink the instrumented simulator and drivers feed.  With no active session
@@ -25,6 +35,12 @@ Usage::
     print(tel.snapshot()["per_kernel_glt_gbs"])
 """
 
+from repro.obs.audit import (
+    DispatchAudit,
+    audit_dispatch,
+    launch_drift,
+)
+from repro.obs.counters import LaunchCounters, counters_for_launch
 from repro.obs.export import (
     jsonl_records,
     to_chrome_trace,
@@ -33,6 +49,19 @@ from repro.obs.export import (
     write_jsonl_records,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.regress import (
+    RegressionReport,
+    bootstrap_ratio_ci,
+    compare_metrics,
+    format_report,
+)
+from repro.obs.report import perf_report_for_run, render_perf_report
+from repro.obs.roofline import (
+    RooflineReport,
+    classify_launch,
+    roofline_for_launch,
+    roofline_report,
+)
 from repro.obs.telemetry import (
     RunTelemetry,
     activate,
@@ -45,17 +74,32 @@ from repro.obs.trace import NOOP_SPAN, Span, Tracer
 
 __all__ = [
     "Counter",
+    "DispatchAudit",
     "Gauge",
     "Histogram",
+    "LaunchCounters",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "RegressionReport",
+    "RooflineReport",
     "RunTelemetry",
     "Span",
     "Tracer",
     "activate",
+    "audit_dispatch",
+    "bootstrap_ratio_ci",
+    "classify_launch",
+    "compare_metrics",
+    "counters_for_launch",
     "deactivate",
+    "format_report",
     "get_telemetry",
     "jsonl_records",
+    "launch_drift",
+    "perf_report_for_run",
+    "render_perf_report",
+    "roofline_for_launch",
+    "roofline_report",
     "session",
     "span",
     "to_chrome_trace",

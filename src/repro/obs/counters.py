@@ -1,0 +1,121 @@
+"""Simulated hardware counters per kernel launch.
+
+Real profiling works from hardware counters -- bytes moved, instructions
+issued, occupancy, atomic replays -- and roofline attribution is built on
+top of them.  The simulator already *computes* all of these inside its
+timing model (:class:`~repro.gpusim.kernel.KernelStats` carries the DRAM
+transactions, warp cycles, critical-path cycles and the same-address atomic
+chain); this module turns one :class:`~repro.gpusim.kernel.KernelLaunch`
+plus the :class:`~repro.gpusim.device.DeviceSpec` into the counter set an
+``nvprof``-style tool would report, so the roofline/audit layers consume
+exactly the terms the model charged -- no second bookkeeping that could
+drift from the timing.
+
+Derivations (all closed-form from the launch record):
+
+* ``occupancy`` -- launched threads over the device's resident-thread
+  capacity, capped at 1.0 (a 500-thread launch on a 61440-thread part
+  reports ~0.008, which is why small-frontier levels are overhead-bound);
+* ``warp_divergence`` -- the critical warp's issue cycles over the mean
+  warp's: how much longer the slowest warp ran than the average one.  1.0
+  is perfectly balanced; hub columns push thread-per-column kernels to
+  10^2..10^4;
+* ``atomic_conflicts`` -- the longest same-address atomic chain
+  (``serial_updates``), the latency floor of scatter kernels on hub rows;
+* attained rates -- DRAM GB/s, requested-load GB/s (the paper's GLT) and
+  GFLOP/s over the in-kernel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.warp import WARP_SIZE
+
+
+@dataclass(frozen=True)
+class LaunchCounters:
+    """Hardware-style counters of one simulated kernel launch."""
+
+    name: str
+    tag: str
+    time_s: float
+    exec_time_s: float
+    dram_read_bytes: int
+    dram_write_bytes: int
+    requested_load_bytes: int
+    flops: int
+    threads: int
+    warps: int
+    occupancy: float
+    warp_cycles: int
+    warp_divergence: float
+    atomic_conflicts: int
+    dram_gbs: float
+    glt_gbs: float
+    gflops: float
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tag": self.tag,
+            "time_s": self.time_s,
+            "exec_time_s": self.exec_time_s,
+            "dram_read_bytes": self.dram_read_bytes,
+            "dram_write_bytes": self.dram_write_bytes,
+            "requested_load_bytes": self.requested_load_bytes,
+            "flops": self.flops,
+            "threads": self.threads,
+            "warps": self.warps,
+            "occupancy": self.occupancy,
+            "warp_cycles": self.warp_cycles,
+            "warp_divergence": self.warp_divergence,
+            "atomic_conflicts": self.atomic_conflicts,
+            "dram_gbs": self.dram_gbs,
+            "glt_gbs": self.glt_gbs,
+            "gflops": self.gflops,
+        }
+
+
+def counters_for_launch(launch: KernelLaunch, spec=None) -> LaunchCounters:
+    """Derive the counter set of one launch from the timing model's terms.
+
+    ``spec`` (a :class:`~repro.gpusim.device.DeviceSpec`) supplies the
+    resident-thread capacity for the occupancy counter; without it
+    occupancy reports 0.0 (the other counters need only the launch).
+    """
+    stats = launch.stats
+    exec_s = launch.exec_time_s
+    warps = -(-stats.threads // WARP_SIZE) if stats.threads else 0
+    mean_warp_cycles = stats.warp_cycles / warps if warps else 0.0
+    if stats.critical_warp_cycles > 0 and mean_warp_cycles > 0:
+        divergence = max(1.0, stats.critical_warp_cycles / mean_warp_cycles)
+    else:
+        divergence = 1.0
+    occupancy = 0.0
+    if spec is not None and stats.threads:
+        occupancy = min(1.0, stats.threads / spec.max_resident_threads)
+    return LaunchCounters(
+        name=stats.name,
+        tag=launch.tag,
+        time_s=launch.time_s,
+        exec_time_s=exec_s,
+        dram_read_bytes=stats.dram_read_bytes,
+        dram_write_bytes=stats.dram_write_bytes,
+        requested_load_bytes=stats.requested_load_bytes,
+        flops=stats.flops,
+        threads=stats.threads,
+        warps=warps,
+        occupancy=occupancy,
+        warp_cycles=stats.warp_cycles,
+        warp_divergence=divergence,
+        atomic_conflicts=stats.serial_updates,
+        dram_gbs=(stats.dram_bytes / exec_s / 1e9) if exec_s > 0 else 0.0,
+        glt_gbs=launch.glt_bytes_per_s / 1e9,
+        gflops=(stats.flops / exec_s / 1e9) if exec_s > 0 else 0.0,
+    )

@@ -37,6 +37,7 @@ def chrome_trace_events(telemetry: RunTelemetry, *, pid: int = 1) -> list[dict]:
             for ev in span.events:
                 if ev.get("name") == "kernel":
                     events.append(_kernel_event(ev, pid))
+                    events.extend(_counter_events(ev, pid))
     for wall_s, used in telemetry.memory_timeline:
         events.append({
             "ph": "C", "pid": pid, "tid": _HOST_TID, "name": "device_mem_used",
@@ -70,6 +71,25 @@ def _kernel_event(ev: dict, pid: int) -> dict:
         "dur": ev.get("gpu_dur_s", 0.0) * _US,
         "args": {"tag": ev.get("tag", "")},
     }
+
+
+def _counter_events(ev: dict, pid: int) -> list[dict]:
+    """Perfetto counter tracks sampled at each launch's start on the GPU
+    timeline: occupancy and attained DRAM bandwidth next to the kernel
+    spans (the hardware-counter fields the telemetry hook attaches)."""
+    ts = ev.get("gpu_ts_s", 0.0) * _US
+    out = []
+    if "occupancy" in ev:
+        out.append({
+            "ph": "C", "pid": pid, "tid": _GPU_TID, "name": "occupancy",
+            "ts": ts, "args": {"fraction": ev["occupancy"]},
+        })
+    if "dram_gbs" in ev:
+        out.append({
+            "ph": "C", "pid": pid, "tid": _GPU_TID, "name": "dram_gbs",
+            "ts": ts, "args": {"gbs": ev["dram_gbs"]},
+        })
+    return out
 
 
 def to_chrome_trace(telemetry: RunTelemetry) -> dict:

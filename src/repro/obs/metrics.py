@@ -17,11 +17,26 @@ Label sets render as ``name{key=value}`` keys in the snapshot.
 
 from __future__ import annotations
 
+import math
+
+
+def _escape_label(value) -> str:
+    """Backslash-escape the characters that delimit snapshot keys.
+
+    Label values come from kernel tags and graph names; a ``,``/``=``/``{``
+    in one would make ``name{k=v,...}`` keys unparseable downstream (the
+    perf-regression comparator splits on exactly these).
+    """
+    s = str(value)
+    for ch in ("\\", ",", "=", "{", "}"):
+        s = s.replace(ch, "\\" + ch)
+    return s
+
 
 def _key(name: str, labels: dict) -> str:
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    inner = ",".join(f"{k}={_escape_label(labels[k])}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
 
@@ -58,14 +73,20 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution in power-of-two buckets.
+    """A distribution in power-of-two buckets, with exact quantiles.
 
     Bucket ``b`` counts samples with ``2**(b-1) < value <= 2**b`` (bucket 0
     counts values <= 1, negatives included).  Power-of-two buckets need no
     a-priori range, which fits frontier sizes spanning 1 .. n.
+
+    Every sample is also retained so snapshots report exact observed
+    min/max and p50/p95/p99 -- the perf-regression comparator needs real
+    quantiles, not bucket edges.  Runs here record at most one sample per
+    BFS level per source, so retention is bounded by the run's launch
+    count, which telemetry already keeps per-launch anyway.
     """
 
-    __slots__ = ("count", "total", "min", "max", "buckets")
+    __slots__ = ("count", "total", "min", "max", "buckets", "samples")
 
     def __init__(self):
         self.count = 0
@@ -73,10 +94,12 @@ class Histogram:
         self.min: int | float | None = None
         self.max: int | float | None = None
         self.buckets: dict[int, int] = {}
+        self.samples: list[int | float] = []
 
     def record(self, value: int | float) -> None:
         self.count += 1
         self.total += value
+        self.samples.append(value)
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
@@ -88,6 +111,16 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> int | float | None:
+        """Nearest-rank quantile of the observed samples (None when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            return None
+        s = sorted(self.samples)
+        k = max(0, min(len(s) - 1, math.ceil(q * len(s)) - 1))
+        return s[k]
+
     def to_dict(self) -> dict:
         return {
             "count": self.count,
@@ -95,6 +128,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             # "le_2^b" -> count, ascending buckets
             "buckets": {f"le_2^{b}": c for b, c in sorted(self.buckets.items())},
         }

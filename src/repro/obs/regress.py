@@ -1,0 +1,267 @@
+"""Statistical perf-regression comparison between two bench snapshots.
+
+``repro perf-diff old.json new.json`` (and the ``make perf-gate`` CI job)
+compare every shared numeric metric of two bench documents and flag the
+ones that moved *significantly* -- significance meaning the bootstrap
+confidence interval of the new/old ratio clears a configurable noise
+floor, not a bare threshold on the point estimate.  On the simulator the
+modeled times are deterministic, so two clean runs produce ratio exactly
+1.0 and the gate stays green; the CI machinery is what keeps the gate
+sound once wall-clock metrics (or seed-jittered graphs) enter the files.
+
+Direction matters: ``runtime_ms`` regressing means going *up*, ``mteps``
+regressing means going *down*.  Metric names are classified by suffix
+heuristics (:func:`metric_direction`); names matching neither pattern are
+compared but only reported informationally, never failed on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Substrings marking a metric where higher is better (checked before the
+#: lower-is-better patterns: "cases_per_s" must hit "per_s", not "_s").
+_HIGHER_PATTERNS = (
+    "mteps", "speedup", "per_s", "gbs", "gflops", "throughput", "occupancy",
+)
+#: Substrings marking a metric where lower is better.
+_LOWER_PATTERNS = (
+    "time", "_ms", "_s", "_us", "runtime", "bytes", "seconds", "launches",
+    "regret", "drift",
+)
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"`` / ``"higher"`` is better, or ``"none"`` (informational)."""
+    low = name.lower()
+    if any(p in low for p in _HIGHER_PATTERNS):
+        return "higher"
+    if any(p in low for p in _LOWER_PATTERNS):
+        return "lower"
+    return "none"
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's old-vs-new verdict."""
+
+    name: str
+    direction: str  # "lower" | "higher" | "none"
+    old_mean: float
+    new_mean: float
+    ratio: float  # new / old
+    ci_low: float
+    ci_high: float
+    verdict: str  # "ok" | "regression" | "improvement" | "info"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "direction": self.direction,
+            "old_mean": self.old_mean,
+            "new_mean": self.new_mean,
+            "ratio": self.ratio,
+            "ci": [self.ci_low, self.ci_high],
+            "verdict": self.verdict,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """All compared metrics, plus the one-bit gate answer."""
+
+    comparisons: list
+    only_old: list
+    only_new: list
+    noise_floor: float
+    confidence: float
+
+    @property
+    def regressions(self) -> list:
+        return [c for c in self.comparisons if c.verdict == "regression"]
+
+    @property
+    def improvements(self) -> list:
+        return [c for c in self.comparisons if c.verdict == "improvement"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.obs/perf-diff/v1",
+            "passed": self.passed,
+            "noise_floor": self.noise_floor,
+            "confidence": self.confidence,
+            "regressions": [c.to_dict() for c in self.regressions],
+            "improvements": [c.to_dict() for c in self.improvements],
+            "compared": len(self.comparisons),
+            "only_old": self.only_old,
+            "only_new": self.only_new,
+        }
+
+
+def bootstrap_ratio_ci(
+    old: np.ndarray,
+    new: np.ndarray,
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI of ``mean(new) / mean(old)``.
+
+    Equal-length inputs are resampled *paired* (same indices in both runs
+    -- bench rows measured on the same graphs correlate strongly, and
+    pairing subtracts that shared variance); unequal lengths fall back to
+    independent resampling.  Degenerate single-sample inputs return the
+    point ratio as a zero-width interval.
+    """
+    old = np.asarray(old, dtype=np.float64)
+    new = np.asarray(new, dtype=np.float64)
+    point = _safe_ratio(new.mean(), old.mean())
+    if old.size <= 1 and new.size <= 1:
+        return point, point
+    rng = np.random.default_rng(seed)
+    alpha = (1.0 - confidence) / 2.0
+    if old.size == new.size:
+        idx = rng.integers(0, old.size, size=(n_boot, old.size))
+        ratios = _safe_ratio(new[idx].mean(axis=1), old[idx].mean(axis=1))
+    else:
+        io = rng.integers(0, old.size, size=(n_boot, old.size))
+        im = rng.integers(0, new.size, size=(n_boot, new.size))
+        ratios = _safe_ratio(new[im].mean(axis=1), old[io].mean(axis=1))
+    lo, hi = np.quantile(ratios, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def _safe_ratio(num, den):
+    """new/old with 0/0 -> 1 (no change) and x/0 -> inf."""
+    num = np.asarray(num, dtype=np.float64)
+    den = np.asarray(den, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r = np.where(
+            den == 0.0, np.where(num == 0.0, 1.0, np.inf), num / np.where(den == 0.0, 1.0, den)
+        )
+    if r.ndim == 0:
+        return float(r)
+    return r
+
+
+def compare_metrics(
+    old: dict,
+    new: dict,
+    *,
+    noise_floor: float = 0.05,
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> RegressionReport:
+    """Compare two flattened metric maps (``{path: [samples]}``).
+
+    A directional metric is a *regression* when its whole CI sits on the
+    bad side of the noise floor (``ci_low > 1 + floor`` for lower-better,
+    ``ci_high < 1 - floor`` for higher-better), an *improvement* when the
+    CI clears the floor the other way, else ``ok``.  Directionless metrics
+    always land in ``info``.
+    """
+    comparisons = []
+    shared = sorted(set(old) & set(new))
+    for name in shared:
+        o = np.asarray(old[name], dtype=np.float64)
+        m = np.asarray(new[name], dtype=np.float64)
+        ci_low, ci_high = bootstrap_ratio_ci(
+            o, m, confidence=confidence, n_boot=n_boot, seed=seed
+        )
+        direction = metric_direction(name)
+        verdict = "info"
+        if direction == "lower":
+            if ci_low > 1.0 + noise_floor:
+                verdict = "regression"
+            elif ci_high < 1.0 - noise_floor:
+                verdict = "improvement"
+            else:
+                verdict = "ok"
+        elif direction == "higher":
+            if ci_high < 1.0 - noise_floor:
+                verdict = "regression"
+            elif ci_low > 1.0 + noise_floor:
+                verdict = "improvement"
+            else:
+                verdict = "ok"
+        comparisons.append(
+            MetricComparison(
+                name=name,
+                direction=direction,
+                old_mean=float(o.mean()),
+                new_mean=float(m.mean()),
+                ratio=_safe_ratio(m.mean(), o.mean()),
+                ci_low=ci_low,
+                ci_high=ci_high,
+                verdict=verdict,
+            )
+        )
+    return RegressionReport(
+        comparisons=comparisons,
+        only_old=sorted(set(old) - set(new)),
+        only_new=sorted(set(new) - set(old)),
+        noise_floor=noise_floor,
+        confidence=confidence,
+    )
+
+
+def format_report(report: RegressionReport, *, old_name: str = "old",
+                  new_name: str = "new", max_rows: int = 20) -> str:
+    """Render the comparison as markdown (terminal- and CI-artifact-friendly)."""
+    lines = [
+        "# perf-diff",
+        "",
+        f"`{old_name}` -> `{new_name}`: "
+        f"{len(report.comparisons)} shared metrics, "
+        f"noise floor {report.noise_floor:.0%}, "
+        f"{report.confidence:.0%} bootstrap CI",
+        "",
+        f"**{'PASS' if report.passed else 'FAIL'}** -- "
+        f"{len(report.regressions)} regression(s), "
+        f"{len(report.improvements)} improvement(s)",
+    ]
+
+    def table(rows, title):
+        if not rows:
+            return
+        lines.append("")
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| metric | old | new | ratio | CI | dir |")
+        lines.append("|---|---:|---:|---:|---|---|")
+        shown = sorted(rows, key=lambda c: abs(c.ratio - 1.0), reverse=True)
+        for c in shown[:max_rows]:
+            lines.append(
+                f"| `{c.name}` | {c.old_mean:.6g} | {c.new_mean:.6g} "
+                f"| {c.ratio:.3f}x | [{c.ci_low:.3f}, {c.ci_high:.3f}] "
+                f"| {c.direction} |"
+            )
+        if len(shown) > max_rows:
+            lines.append(f"| ... {len(shown) - max_rows} more | | | | | |")
+
+    table(report.regressions, "Regressions")
+    table(report.improvements, "Improvements")
+    if report.only_old:
+        lines.append("")
+        lines.append(
+            f"metrics only in `{old_name}`: "
+            + ", ".join(f"`{n}`" for n in report.only_old[:10])
+            + (" ..." if len(report.only_old) > 10 else "")
+        )
+    if report.only_new:
+        lines.append("")
+        lines.append(
+            f"metrics only in `{new_name}`: "
+            + ", ".join(f"`{n}`" for n in report.only_new[:10])
+            + (" ..." if len(report.only_new) > 10 else "")
+        )
+    lines.append("")
+    return "\n".join(lines)

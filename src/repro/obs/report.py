@@ -1,0 +1,151 @@
+"""The ``repro perf-report`` renderer: roofline, dispatch regret, drift.
+
+Takes the three analysis products of this package -- the
+:class:`~repro.obs.roofline.RooflineReport`, the
+:class:`~repro.obs.audit.DispatchAudit` and the per-launch drift list --
+and renders one markdown document readable both in a terminal and as a CI
+artifact.  All numbers come from the run's own launch records; nothing is
+re-measured here.
+"""
+
+from __future__ import annotations
+
+from repro.obs.audit import DispatchAudit, audit_dispatch, launch_drift
+from repro.obs.roofline import BOUND_CLASSES, RooflineReport, roofline_report
+
+
+def perf_report_for_run(device, telemetry=None, *, title: str = "perf-report") -> str:
+    """Render the full report from a finished run's device (+ telemetry).
+
+    ``device.profiler.launches`` supplies the launch records; the telemetry
+    session (when given) supplies the recorded dispatch decisions for the
+    regret section.
+    """
+    roofline = roofline_report(device.profiler.launches, device.spec)
+    decisions = telemetry.dispatch_decisions if telemetry is not None else []
+    audit = audit_dispatch(decisions)
+    drifts = launch_drift(device.profiler.launches)
+    return render_perf_report(roofline, audit, drifts, title=title)
+
+
+def render_perf_report(
+    roofline: RooflineReport,
+    audit: DispatchAudit,
+    drifts: list,
+    *,
+    title: str = "perf-report",
+    max_drift_rows: int = 8,
+) -> str:
+    lines = [f"# {title}", ""]
+    lines += _roofline_section(roofline)
+    lines += _dispatch_section(audit)
+    lines += _drift_section(drifts, max_drift_rows)
+    return "\n".join(lines)
+
+
+def _roofline_section(r: RooflineReport) -> list:
+    lines = [
+        "## Roofline attribution",
+        "",
+        f"device: {r.spec_name} -- peak {r.peak_gflops:.0f} GFLOP/s, "
+        f"{r.peak_bw_gbs:.1f} GB/s DRAM",
+        "",
+        f"total modeled GPU time: {r.total_time_s * 1e3:.3f} ms over "
+        f"{len(r.launches)} launches; "
+        f"{r.classified_frac:.1%} attributed to a bound class",
+        "",
+    ]
+    shares = ", ".join(
+        f"{b} {r.bound_share(b):.1%}" for b in BOUND_CLASSES if r.bound_time_s[b] > 0
+    )
+    lines += [f"time by bound class: {shares or 'none'}", ""]
+    lines += [
+        "| kernel | launches | time (ms) | AI (flop/B) | DRAM GB/s | GLT GB/s "
+        "| occ | div | bound |",
+        "|---|---:|---:|---:|---:|---:|---:|---:|---|",
+    ]
+    ordered = sorted(r.kernels.values(), key=lambda k: k.time_s, reverse=True)
+    for k in ordered:
+        lines.append(
+            f"| `{k.name}` | {k.launches} | {k.time_s * 1e3:.3f} "
+            f"| {k.arithmetic_intensity:.3f} | {k.dram_gbs:.1f} | {k.glt_gbs:.1f} "
+            f"| {k.max_occupancy:.2f} | {k.max_divergence:.1f} "
+            f"| {k.dominant_bound} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _dispatch_section(a: DispatchAudit) -> list:
+    lines = ["## Adaptive dispatch audit", ""]
+    if not a.decisions:
+        lines += ["no dispatch decisions recorded (not an adaptive run).", ""]
+        return lines
+    basis = (
+        "measured (all strategies replayed)"
+        if a.measured_complete
+        else "estimates only -- run with audit_dispatch for measured regret"
+    )
+    lines += [
+        f"{len(a.decisions)} per-level decisions; regret basis: {basis}",
+        "",
+    ]
+    for stage in ("forward", "backward"):
+        mix = a.level_mix.get(stage)
+        if mix:
+            parts = ", ".join(f"{k}: {v}" for k, v in sorted(mix.items()))
+            lines.append(f"* level mix ({stage}): {parts}")
+    lines.append("")
+    if a.calibration:
+        lines += [
+            "| strategy | decisions | est total (us) | measured (us) | drift |",
+            "|---|---:|---:|---:|---:|",
+        ]
+        for k in sorted(a.calibration):
+            c = a.calibration[k]
+            lines.append(
+                f"| `{k}` | {c.decisions} | {c.est_total_us:.1f} "
+                f"| {c.measured_total_us:.1f} | {c.drift:.2f}x |"
+            )
+        lines.append("")
+    lines += [
+        f"regret: {len(a.regrets)}/{len(a.decisions)} decisions "
+        f"({a.regret_frac:.1%}) not measured-fastest, "
+        f"costing {a.total_regret_us:.1f} us "
+        f"of {a.total_chosen_us:.1f} us chosen-kernel time",
+        "",
+    ]
+    if a.regrets:
+        lines += [
+            "| stage | depth | chosen | fastest | regret (us) | nnz(frontier) |",
+            "|---|---:|---|---|---:|---:|",
+        ]
+        for r in a.regrets[:10]:
+            lines.append(
+                f"| {r.stage} | {r.depth} | `{r.chosen}` | `{r.fastest}` "
+                f"| {r.regret_us:.1f} | {r.nnz_frontier} |"
+            )
+        lines.append("")
+    return lines
+
+
+def _drift_section(drifts: list, max_rows: int) -> list:
+    lines = ["## Calibration drift (roofline vs full model)", ""]
+    if not drifts:
+        lines += ["no timed launches.", ""]
+        return lines
+    over = [d for d in drifts if d.drift > 1.001]
+    lines += [
+        f"{len(over)}/{len(drifts)} launches ran above the naive roofline "
+        "(serial-floor-bound); worst offenders:",
+        "",
+        "| kernel | tag | time (us) | roofline (us) | drift |",
+        "|---|---|---:|---:|---:|",
+    ]
+    for d in drifts[:max_rows]:
+        lines.append(
+            f"| `{d.name}` | {d.tag or '-'} | {d.time_s * 1e6:.1f} "
+            f"| {d.roofline_s * 1e6:.1f} | {d.drift:.2f}x |"
+        )
+    lines.append("")
+    return lines

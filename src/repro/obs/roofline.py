@@ -1,0 +1,237 @@
+"""Roofline attribution of simulated kernel launches.
+
+The timing model *is* a roofline -- ``time = max(compute, memory, serial)
++ overhead`` -- so every launch can be attributed exactly: the arm of the
+max that won is the resource the kernel was bound by.  This module makes
+that attribution explicit, per launch and aggregated per kernel, against
+the :class:`~repro.gpusim.device.DeviceSpec` ceilings:
+
+* ``bandwidth`` -- DRAM time won: the kernel moved bytes at peak bandwidth
+  and that was the wall (the regime the paper's SpMV kernels live in);
+* ``compute``   -- warp-issue time won: arithmetic/issue throughput was
+  the wall (rare for BC; dense-frontier SpMM with high reuse gets here);
+* ``latency``   -- a serial floor won: the same-address atomic chain or the
+  critical warp's own runtime, costs no amount of parallelism hides;
+* ``overhead``  -- launch/sync overhead exceeded in-kernel time: the
+  small-frontier deep-BFS regime where the 5 us launch + 28 us readback
+  dominate (the paper's luxembourg rows).
+
+Arithmetic intensity is flops over DRAM bytes, and the attainable ceiling
+at that intensity is ``min(peak_flops, AI * peak_bandwidth)`` -- the
+classic two-segment roofline.  Attained GFLOP/s never exceeds the ceiling
+here by construction, because the model charges time as the max of the
+compute and memory terms; the interesting number is the attained *fraction*,
+which says how far a kernel sits below its roof (divergence and serial
+floors are exactly what pushes it down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.kernel import KernelLaunch
+from repro.obs.counters import LaunchCounters, counters_for_launch
+
+#: Attribution classes, in display order.
+BOUND_CLASSES = ("bandwidth", "compute", "latency", "overhead")
+
+
+def peak_gflops(spec) -> float:
+    """Issue-limited arithmetic ceiling: one op per core per cycle."""
+    return spec.num_sms * spec.cores_per_sm * spec.clock_ghz
+
+
+def classify_launch(launch: KernelLaunch) -> str:
+    """Name the resource this launch was bound by (the arm of the max).
+
+    Overhead wins only when it exceeds all in-kernel time (empty-work and
+    sync pseudo-launches); memory wins ties with compute, matching
+    ``KernelLaunch.is_memory_bound``.
+    """
+    exec_s = launch.exec_time_s
+    if launch.overhead_s > exec_s or exec_s == 0.0:
+        return "overhead"
+    if launch.serial_time_s > launch.compute_time_s and launch.serial_time_s > launch.memory_time_s:
+        return "latency"
+    if launch.memory_time_s >= launch.compute_time_s:
+        return "bandwidth"
+    return "compute"
+
+
+@dataclass(frozen=True)
+class LaunchRoofline:
+    """One launch placed on the device roofline."""
+
+    counters: LaunchCounters
+    bound: str
+    arithmetic_intensity: float  # flops / DRAM byte
+    ceiling_gflops: float  # min(peak_flops, AI * peak_bw) at this AI
+    attained_gflops: float
+    attained_frac: float  # attained / ceiling (0 when no flops)
+    bw_frac: float  # attained DRAM GB/s / peak bandwidth
+
+    def to_dict(self) -> dict:
+        d = self.counters.to_dict()
+        d.update(
+            bound=self.bound,
+            arithmetic_intensity=self.arithmetic_intensity,
+            ceiling_gflops=self.ceiling_gflops,
+            attained_gflops=self.attained_gflops,
+            attained_frac=self.attained_frac,
+            bw_frac=self.bw_frac,
+        )
+        return d
+
+
+def roofline_for_launch(launch: KernelLaunch, spec) -> LaunchRoofline:
+    """Place one launch on the ``spec`` roofline."""
+    c = counters_for_launch(launch, spec)
+    peak = peak_gflops(spec)
+    ai = c.flops / c.dram_bytes if c.dram_bytes else 0.0
+    ceiling = min(peak, ai * spec.dram_bandwidth_gbs) if ai > 0 else peak
+    frac = c.gflops / ceiling if ceiling > 0 and c.flops else 0.0
+    return LaunchRoofline(
+        counters=c,
+        bound=classify_launch(launch),
+        arithmetic_intensity=ai,
+        ceiling_gflops=ceiling,
+        attained_gflops=c.gflops,
+        attained_frac=frac,
+        bw_frac=c.dram_gbs / spec.dram_bandwidth_gbs,
+    )
+
+
+@dataclass
+class KernelRoofline:
+    """Aggregate roofline placement of all launches of one kernel."""
+
+    name: str
+    launches: int = 0
+    time_s: float = 0.0
+    exec_time_s: float = 0.0
+    dram_bytes: int = 0
+    requested_load_bytes: int = 0
+    flops: int = 0
+    atomic_conflicts: int = 0
+    max_divergence: float = 1.0
+    max_occupancy: float = 0.0
+    bound_time_s: dict | None = None  # class -> seconds
+
+    def __post_init__(self):
+        if self.bound_time_s is None:
+            self.bound_time_s = {b: 0.0 for b in BOUND_CLASSES}
+
+    def add(self, lr: LaunchRoofline) -> None:
+        c = lr.counters
+        self.launches += 1
+        self.time_s += c.time_s
+        self.exec_time_s += c.exec_time_s
+        self.dram_bytes += c.dram_bytes
+        self.requested_load_bytes += c.requested_load_bytes
+        self.flops += c.flops
+        self.atomic_conflicts += c.atomic_conflicts
+        self.max_divergence = max(self.max_divergence, c.warp_divergence)
+        self.max_occupancy = max(self.max_occupancy, c.occupancy)
+        self.bound_time_s[lr.bound] += c.time_s
+
+    @property
+    def dominant_bound(self) -> str:
+        """The class that got the most of this kernel's time."""
+        return max(BOUND_CLASSES, key=lambda b: self.bound_time_s[b])
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / self.dram_bytes if self.dram_bytes else 0.0
+
+    @property
+    def dram_gbs(self) -> float:
+        return self.dram_bytes / self.exec_time_s / 1e9 if self.exec_time_s > 0 else 0.0
+
+    @property
+    def glt_gbs(self) -> float:
+        return self.requested_load_bytes / self.exec_time_s / 1e9 if self.exec_time_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "launches": self.launches,
+            "time_s": self.time_s,
+            "exec_time_s": self.exec_time_s,
+            "dram_bytes": self.dram_bytes,
+            "requested_load_bytes": self.requested_load_bytes,
+            "flops": self.flops,
+            "atomic_conflicts": self.atomic_conflicts,
+            "max_divergence": self.max_divergence,
+            "max_occupancy": self.max_occupancy,
+            "arithmetic_intensity": self.arithmetic_intensity,
+            "dram_gbs": self.dram_gbs,
+            "glt_gbs": self.glt_gbs,
+            "dominant_bound": self.dominant_bound,
+            "bound_time_s": dict(self.bound_time_s),
+        }
+
+
+@dataclass
+class RooflineReport:
+    """Whole-run roofline attribution: per-launch, per-kernel, totals."""
+
+    spec_name: str
+    peak_gflops: float
+    peak_bw_gbs: float
+    launches: list  # list[LaunchRoofline]
+    kernels: dict  # name -> KernelRoofline
+    total_time_s: float
+    bound_time_s: dict  # class -> seconds
+
+    @property
+    def classified_frac(self) -> float:
+        """Fraction of total GPU time attributed to a bound class.
+
+        Every launch classifies into exactly one class, so this is 1.0
+        whenever any time was spent at all -- the attribution has no
+        'unknown' bucket by construction.
+        """
+        if self.total_time_s <= 0.0:
+            return 1.0
+        return sum(self.bound_time_s.values()) / self.total_time_s
+
+    def bound_share(self, bound: str) -> float:
+        return self.bound_time_s[bound] / self.total_time_s if self.total_time_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec_name,
+            "peak_gflops": self.peak_gflops,
+            "peak_bw_gbs": self.peak_bw_gbs,
+            "total_time_s": self.total_time_s,
+            "classified_frac": self.classified_frac,
+            "bound_time_s": dict(self.bound_time_s),
+            "kernels": {k: v.to_dict() for k, v in sorted(self.kernels.items())},
+        }
+
+
+def roofline_report(launches, spec) -> RooflineReport:
+    """Attribute a sequence of :class:`KernelLaunch` records on ``spec``.
+
+    Typically fed ``device.profiler.launches`` after a run.
+    """
+    placed = [roofline_for_launch(launch, spec) for launch in launches]
+    kernels: dict[str, KernelRoofline] = {}
+    bound_time = {b: 0.0 for b in BOUND_CLASSES}
+    total = 0.0
+    for lr in placed:
+        agg = kernels.get(lr.counters.name)
+        if agg is None:
+            agg = kernels[lr.counters.name] = KernelRoofline(name=lr.counters.name)
+        agg.add(lr)
+        bound_time[lr.bound] += lr.counters.time_s
+        total += lr.counters.time_s
+    return RooflineReport(
+        spec_name=spec.name,
+        peak_gflops=peak_gflops(spec),
+        peak_bw_gbs=spec.dram_bandwidth_gbs,
+        launches=placed,
+        kernels=kernels,
+        total_time_s=total,
+        bound_time_s=bound_time,
+    )

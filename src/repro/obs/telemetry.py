@@ -35,9 +35,19 @@ class RunTelemetry:
     """
 
     def __init__(self, *, trace: bool = True, metrics: bool = True,
-                 clock=time.perf_counter):
+                 audit_dispatch: bool = False, clock=time.perf_counter):
         self.tracer: Tracer | None = Tracer(clock=clock) if trace else None
         self.metrics: MetricsRegistry | None = MetricsRegistry() if metrics else None
+        #: When set, adaptive contexts replay the *unchosen* strategies on a
+        #: private shadow device so the regret report can compare measured
+        #: times (see obs/audit.py).  Off by default: shadow replays cost
+        #: real work, though they never touch the main device's profiler.
+        self.audit_dispatch = audit_dispatch
+        #: DispatchDecision lists pushed by finished adaptive runs.
+        self.dispatch_decisions: list = []
+        #: The spec of the last device whose launches were observed; lets
+        #: report code roofline the run without re-plumbing the device.
+        self.device_spec = None
         #: (wall_s, used_bytes) samples, one per device alloc/free.
         self.memory_timeline: list[tuple[float, int]] = []
         self._clock = clock
@@ -56,16 +66,31 @@ class RunTelemetry:
 
     # -- simulator hooks ------------------------------------------------------
 
-    def on_kernel_launch(self, launch, gpu_total_s: float) -> None:
+    def on_kernel_launch(self, launch, gpu_total_s: float, spec=None) -> None:
         """Record one kernel launch (called by ``Device.launch``).
 
         ``gpu_total_s`` is the device's cumulative modeled time *after* the
         launch, so the launch occupies ``[gpu_total_s - time_s, gpu_total_s]``
-        on the modeled-GPU timeline.
+        on the modeled-GPU timeline.  ``spec`` (the launching device's
+        :class:`~repro.gpusim.device.DeviceSpec`) enables the hardware-style
+        counters -- occupancy needs the resident-thread capacity.
         """
+        from repro.obs.counters import counters_for_launch
+
         name = launch.name
+        counters = counters_for_launch(launch, spec)
+        if spec is not None:
+            self.device_spec = spec
         if self.metrics is not None:
             self.metrics.counter("kernel_launches", kernel=name).inc()
+            for field in ("dram_read_bytes", "dram_write_bytes", "flops",
+                          "atomic_conflicts"):
+                amount = getattr(counters, field)
+                if amount:
+                    self.metrics.counter(field, kernel=name).inc(amount)
+            if counters.threads:
+                self.metrics.histogram("occupancy_pct", kernel=name).record(
+                    round(counters.occupancy * 100))
             acc = self._glt.setdefault(name, [0, 0.0])
             acc[0] += launch.stats.requested_load_bytes
             acc[1] += launch.exec_time_s
@@ -76,6 +101,8 @@ class RunTelemetry:
                 tag=launch.tag,
                 gpu_ts_s=gpu_total_s - launch.time_s,
                 gpu_dur_s=launch.time_s,
+                occupancy=counters.occupancy,
+                dram_gbs=counters.dram_gbs,
             )
 
     def on_memory(self, used_bytes: int, delta_bytes: int, name: str) -> None:

@@ -142,6 +142,32 @@ class TestMetrics:
         with pytest.raises(ValueError):
             MetricsRegistry().counter("c").inc(-1)
 
+    def test_histogram_exact_quantiles(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.record(v)
+        d = h.to_dict()
+        assert d["p50"] == 50
+        assert d["p95"] == 95
+        assert d["p99"] == 99
+        assert h.quantile(0.0) == 1 and h.quantile(1.0) == 100
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_histogram_quantiles_empty(self):
+        h = MetricsRegistry().histogram("empty")
+        d = h.to_dict()
+        assert d["p50"] is None and d["p95"] is None and d["p99"] is None
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", tag="a,b=c{d}").inc()
+        (key,) = reg.to_dict()["counters"]
+        assert key == r"c{tag=a\,b\=c\{d\}}"
+        # distinct raw values never collide after escaping
+        reg.counter("c", tag="a\\,b=c{d}").inc(5)
+        assert len(reg.to_dict()["counters"]) == 2
+
 
 class TestRunTelemetrySchema:
     def test_bc_run_snapshot_contents(self, small_undirected):
@@ -218,6 +244,42 @@ class TestParity:
         res = turbo_bc(small_undirected, sources=0)
         assert res.telemetry is None
 
+    @pytest.mark.parametrize("algorithm", ["veccsc", "adaptive"])
+    def test_counter_emission_keeps_parity(self, algorithm):
+        """The hardware-counter hooks (PR 5) must not change modeled work."""
+        g = random_graph(40, 0.1, directed=True, seed=11)
+        base = turbo_bc(g, algorithm=algorithm, device=Device())
+        with obs.session():
+            traced = turbo_bc(g, algorithm=algorithm, device=Device())
+        assert np.array_equal(base.bc, traced.bc)
+        assert base.stats.kernel_launches == traced.stats.kernel_launches
+        assert base.stats.gpu_time_s == traced.stats.gpu_time_s
+        assert base.stats.peak_memory_bytes == traced.stats.peak_memory_bytes
+
+    def test_audit_dispatch_keeps_parity(self):
+        """Shadow replays must not leak into the main device or metrics."""
+        g = random_graph(50, 0.15, directed=False, seed=3)
+        base = turbo_bc(g, algorithm="adaptive", device=Device())
+        with obs.session() as plain_tel:
+            plain = turbo_bc(g, algorithm="adaptive", device=Device())
+        with obs.session(audit_dispatch=True) as audit_tel:
+            audited = turbo_bc(g, algorithm="adaptive", device=Device())
+        assert np.array_equal(base.bc, audited.bc)
+        assert base.stats.kernel_launches == audited.stats.kernel_launches
+        assert base.stats.gpu_time_s == audited.stats.gpu_time_s
+        assert plain.stats.kernel_launches == audited.stats.kernel_launches
+        # identical metric snapshots: the replays recorded nothing
+        assert plain_tel.snapshot()["metrics"] == audit_tel.snapshot()["metrics"]
+        # but the audited run measured every strategy on every decision
+        assert audit_tel.dispatch_decisions
+        assert all(
+            len(d.measured_us) == len(d.est_us)
+            for d in audit_tel.dispatch_decisions
+        )
+        assert all(
+            len(d.measured_us) == 1 for d in plain_tel.dispatch_decisions
+        )
+
 
 class TestExporters:
     def _run(self):
@@ -244,6 +306,24 @@ class TestExporters:
         tids = {e["tid"] for e in x}
         assert len(tids) == 2
         assert any(e["ph"] == "C" and e["name"] == "device_mem_used" for e in events)
+
+    def test_chrome_trace_counter_tracks(self, tmp_path):
+        tel = self._run()
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path, tel)
+        events = json.loads(path.read_text())["traceEvents"]
+        gpu_tid = next(
+            e["tid"] for e in events
+            if e["ph"] == "M" and e["args"]["name"] == "gpu (modeled)"
+        )
+        occ = [e for e in events if e["ph"] == "C" and e["name"] == "occupancy"]
+        bw = [e for e in events if e["ph"] == "C" and e["name"] == "dram_gbs"]
+        assert occ and bw
+        assert all(e["tid"] == gpu_tid for e in occ + bw)
+        assert all(0.0 <= e["args"]["fraction"] <= 1.0 for e in occ)
+        # one counter sample per kernel event that carries the fields
+        kernels = [e for e in events if e["ph"] == "X" and e["tid"] == gpu_tid]
+        assert len(occ) == len(kernels) == len(bw)
 
     def test_jsonl_round_trip(self, tmp_path):
         tel = self._run()
