@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-slow lint conformance-smoke bench-adaptive-smoke bless perf-gate
+.PHONY: test test-fast test-slow lint conformance-smoke bench-adaptive-smoke bench-kernels-smoke bless perf-gate
 
 test:  ## tier-1: the full suite (the ROADMAP verify command)
 	$(PYTEST) -x -q
@@ -26,6 +26,10 @@ conformance-smoke:  ## fixed-seed differential fuzz pass, wall-clock capped
 
 bench-adaptive-smoke:  ## adaptive-dispatch bench on a tiny graph (CI artifact)
 	BENCH_ADAPTIVE_SMOKE=1 $(PYTEST) -q benchmarks/bench_adaptive.py \
+		--benchmark-disable
+
+bench-kernels-smoke:  ## kernel-class sweep (direction + tensor-core) on a tiny graph
+	BENCH_KERNELS_SMOKE=1 $(PYTEST) -q benchmarks/bench_kernels.py \
 		--benchmark-disable
 
 perf-gate:  ## run the adaptive smoke bench twice and fail on significant regressions

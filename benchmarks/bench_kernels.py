@@ -1,0 +1,165 @@
+"""Extension bench: the full kernel-class sweep incl. direction-optimized
+and tensor-core kernels.
+
+PR 4's adaptive dispatcher chose among the paper's three push-mode kernels;
+PR 6 adds the pull-mode (bottom-up) ``pullcsc`` kernel and the blocked
+tensor-core ``tcspmm`` kernel to the candidate set (DESIGN.md §12).  This
+sweep runs every static kernel class plus two adaptive modes on each case
+graph:
+
+* ``adaptive/push`` -- dispatch restricted to the push kernels: exactly the
+  PR 4 candidate set, the baseline;
+* ``adaptive/auto`` -- the full candidate set with per-level direction
+  switching.
+
+and asserts the headline claims:
+
+* ``adaptive/auto`` beats ``adaptive/push`` by >= 1.15x modeled device time
+  on at least one full-suite graph (the direction switch, not a better
+  static kernel, is the win);
+* every kernel class and both adaptive modes are bit-identical.
+
+The batched driver is where the win lives: one readback serves B lanes, so
+the SpMM share of the modeled time is large enough for the per-level kernel
+choice to move the total.  Writes ``results/kernels.txt`` and the
+machine-readable ``BENCH_kernels.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+
+import numpy as np
+
+from _helpers import write_bench_json
+from repro.core.bc import turbo_bc
+from repro.graphs import suite
+from repro.obs import telemetry as obs
+from repro.spmv import EXTENDED_KERNEL_NAMES
+
+#: ``BENCH_KERNELS_SMOKE=1`` (the CI artifact job) swaps the suite graphs
+#: for one tiny instance and drops the speedup threshold: bit-identity and
+#: the level-mix payload are still exercised, but a graph this small is
+#: readback-bound and has no direction mix worth winning on.
+SMOKE = os.environ.get("BENCH_KERNELS_SMOKE") == "1"
+MIN_SPEEDUP = 0.0 if SMOKE else 1.15
+#: (suite graph, sources, batch): smallworld is the regular Table 2 graph
+#: whose mid-BFS frontiers saturate (the direction-switch sweet spot); the
+#: kron graph is the power-law counterpoint where hub tiles keep the
+#: tensor-core kernel competitive.
+CASES = (
+    (("mycielskian15", 4, 4),)
+    if SMOKE
+    else (("smallworld", 8, 8), ("kron_g500-logn18", 8, 8))
+)
+
+
+def _level_mix(tel) -> dict:
+    """Per-stage kernel and direction mixes from the run's level spans."""
+    kernels = {"forward": Counter(), "backward": Counter()}
+    directions = {"forward": Counter(), "backward": Counter()}
+    for root in tel.roots:
+        for sp in root.walk():
+            if sp.name != "level":
+                continue
+            for stage in ("forward", "backward"):
+                k = sp.attrs.get(f"{stage}_kernel")
+                if k is not None:
+                    kernels[stage][k] += 1
+                d = sp.attrs.get(f"{stage}_direction")
+                if d is not None:
+                    directions[stage][d] += 1
+    return {
+        "kernels": {s: dict(c) for s, c in kernels.items()},
+        "directions": {s: dict(c) for s, c in directions.items()},
+    }
+
+
+def _run(graph, sources, batch, algorithm, direction="auto"):
+    with obs.session() as tel:
+        res = turbo_bc(
+            graph,
+            sources=sources,
+            algorithm=algorithm,
+            batch_size=batch,
+            direction=direction,
+        )
+    row = {
+        "algorithm": algorithm if algorithm != "adaptive"
+        else f"adaptive/{direction}",
+        "gpu_time_s": res.stats.gpu_time_s,
+        "kernel_launches": res.stats.kernel_launches,
+        "bc": res.bc,
+    }
+    if algorithm == "adaptive":
+        row["level_mix"] = _level_mix(tel)
+    return row
+
+
+def test_kernel_class_sweep(report, benchmark):
+    payload = {"min_speedup": MIN_SPEEDUP, "smoke": SMOKE, "graphs": []}
+    lines = []
+    speedups = {}
+
+    def run():
+        payload["graphs"].clear()
+        lines.clear()
+        speedups.clear()
+        for name, n_sources, batch in CASES:
+            g = suite.get(name).build()
+            sources = list(range(n_sources))
+            rows = [
+                _run(g, sources, batch, kernel)
+                for kernel in EXTENDED_KERNEL_NAMES
+            ]
+            push = _run(g, sources, batch, "adaptive", "push")
+            auto = _run(g, sources, batch, "adaptive", "auto")
+            rows += [push, auto]
+            for r in rows[:-1]:
+                assert np.array_equal(r["bc"], auto["bc"]), (
+                    f"{name}: {r['algorithm']} diverges bitwise from "
+                    "adaptive/auto"
+                )
+            speedup = push["gpu_time_s"] / auto["gpu_time_s"]
+            speedups[name] = speedup
+
+            payload["graphs"].append({
+                "graph": name, "n": g.n, "m": g.m,
+                "n_sources": n_sources, "batch_size": batch,
+                "rows": [{k: v for k, v in r.items() if k != "bc"}
+                         for r in rows],
+                "speedup_auto_vs_push": speedup,
+            })
+            lines.append(f"{name} (n={g.n:,}, m={g.m:,}, "
+                         f"{n_sources} sources, batch={batch})")
+            lines.append(f"  {'algorithm':>14s} {'model(ms)':>10s} "
+                         f"{'launches':>9s}")
+            for r in rows:
+                lines.append(f"  {r['algorithm']:>14s} "
+                             f"{r['gpu_time_s'] * 1e3:10.3f} "
+                             f"{r['kernel_launches']:9d}")
+            mix = auto["level_mix"]
+            lines.append(f"  auto level mix: kernels={mix['kernels']} "
+                         f"directions={mix['directions']}")
+            lines.append(f"  adaptive/auto vs adaptive/push: {speedup:.2f}x")
+            lines.append("")
+        return speedups
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    payload["best_speedup"] = speedups
+    payload["criterion"] = {
+        "min_speedup": MIN_SPEEDUP,
+        "achieved": max(speedups.values()),
+        "graph": max(speedups, key=speedups.get),
+    }
+    write_bench_json("kernels", payload)
+
+    lines.append(f"best speedup: {payload['criterion']['achieved']:.2f}x "
+                 f"on {payload['criterion']['graph']} "
+                 f"(criterion: >= {MIN_SPEEDUP}x over the push-only "
+                 "adaptive baseline)")
+    report("kernels.txt", "\n".join(lines))
+
+    assert max(speedups.values()) >= MIN_SPEEDUP, speedups

@@ -134,6 +134,7 @@ def cmd_bc(args) -> int:
             device=device,
             forward_dtype="auto",
             batch_size=args.batch_size,
+            direction=args.direction,
         )
     finally:
         if tel is not None:
@@ -308,6 +309,7 @@ def cmd_perf_report(args) -> int:
             device=device,
             forward_dtype="auto",
             batch_size=args.batch_size,
+            direction=args.direction,
         )
     title = f"perf-report: {args.graph} ({args.algorithm or 'auto'})"
     text = obs.perf_report_for_run(device, tel, title=title)
@@ -386,10 +388,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bc.add_argument("--source", type=int, default=None,
                       help="single BFS source (default: exact BC, all sources)")
     p_bc.add_argument("--algorithm",
-                      choices=("sccooc", "sccsc", "veccsc", "adaptive"),
+                      choices=("sccooc", "sccsc", "veccsc", "pullcsc",
+                               "tcspmm", "adaptive"),
                       default=None,
                       help="pin the kernel, or 'adaptive' for per-level "
                            "dispatch (default: static auto by scf)")
+    p_bc.add_argument("--direction", choices=("auto", "push", "pull"),
+                      default="auto",
+                      help="constrain adaptive dispatch to top-down (push) "
+                           "or bottom-up (pull) kernels (default: auto)")
     p_bc.add_argument("--batch-size", type=_batch_size_arg, default=1,
                       metavar="B|auto",
                       help="sources per SpMM batch: a positive int, or 'auto' "
@@ -447,10 +454,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the first N vertices as sources "
                              "(default: exact BC, all sources)")
     p_perf.add_argument("--algorithm",
-                        choices=("sccooc", "sccsc", "veccsc", "adaptive"),
+                        choices=("sccooc", "sccsc", "veccsc", "pullcsc",
+                                 "tcspmm", "adaptive"),
                         default="adaptive",
                         help="kernel mode (default: adaptive, which enables "
                              "the dispatch-regret section)")
+    p_perf.add_argument("--direction", choices=("auto", "push", "pull"),
+                        default="auto",
+                        help="constrain adaptive dispatch to top-down (push) "
+                             "or bottom-up (pull) kernels (default: auto)")
     p_perf.add_argument("--batch-size", type=_batch_size_arg, default=1,
                         metavar="B|auto")
     p_perf.add_argument("--no-audit", action="store_true",

@@ -116,6 +116,19 @@ def default_configs() -> list[ExecutionConfig]:
                 axes={"kernel": kernel, "batch": batch, "gpus": 1,
                       "telemetry": False},
             ))
+    # The PR 6 direction-optimized additions: the pull-mode kernel and the
+    # blocked tensor-core kernel, each single-lane and batched.  They are
+    # outside KERNEL_NAMES (the paper's trio) but must be bit-identical to
+    # it -- these configs plus the kernel differential enforce that.
+    for kernel in ("pullcsc", "tcspmm"):
+        for batch in (1, 4):
+            configs.append(ExecutionConfig(
+                name=f"{kernel}/b{batch}",
+                runner=_turbo_runner(kernel, batch),
+                description=f"turbo_bc {kernel}, batch_size={batch!r}",
+                axes={"kernel": kernel, "batch": batch, "gpus": 1,
+                      "telemetry": False},
+            ))
     configs.append(ExecutionConfig(
         name="sccsc/b1/gpus2",
         runner=_multigpu_runner("sccsc", 2, 1),

@@ -42,7 +42,11 @@ from repro.formats.convert import format_coherence_report
 from repro.graphs.graph import Graph
 from repro.gpusim.device import Device
 from repro.spmv import (
-    KERNEL_NAMES,
+    EXTENDED_KERNEL_NAMES,
+    pullcsc_spmm,
+    pullcsc_spmm_scatter,
+    pullcsc_spmv,
+    pullcsc_spmv_scatter,
     reference_spmm,
     reference_spmm_scatter,
     reference_spmv,
@@ -55,6 +59,10 @@ from repro.spmv import (
     sccsc_spmm_scatter,
     sccsc_spmv,
     sccsc_spmv_scatter,
+    tcspmm_spmm,
+    tcspmm_spmm_scatter,
+    tcspmm_spmv,
+    tcspmm_spmv_scatter,
     veccsc_spmm,
     veccsc_spmm_scatter,
     veccsc_spmv,
@@ -264,12 +272,16 @@ def _config_divergence_predicate(config: ExecutionConfig, oracle) -> Callable[[G
 
 # -- kernel-level differential ----------------------------------------------
 
-_GATHER = {"sccooc": sccooc_spmv, "sccsc": sccsc_spmv, "veccsc": veccsc_spmv}
+_GATHER = {"sccooc": sccooc_spmv, "sccsc": sccsc_spmv, "veccsc": veccsc_spmv,
+           "pullcsc": pullcsc_spmv, "tcspmm": tcspmm_spmv}
 _SCATTER = {"sccooc": sccooc_spmv_scatter, "sccsc": sccsc_spmv_scatter,
-            "veccsc": veccsc_spmv_scatter}
-_GATHER_MM = {"sccooc": sccooc_spmm, "sccsc": sccsc_spmm, "veccsc": veccsc_spmm}
+            "veccsc": veccsc_spmv_scatter,
+            "pullcsc": pullcsc_spmv_scatter, "tcspmm": tcspmm_spmv_scatter}
+_GATHER_MM = {"sccooc": sccooc_spmm, "sccsc": sccsc_spmm, "veccsc": veccsc_spmm,
+              "pullcsc": pullcsc_spmm, "tcspmm": tcspmm_spmm}
 _SCATTER_MM = {"sccooc": sccooc_spmm_scatter, "sccsc": sccsc_spmm_scatter,
-               "veccsc": veccsc_spmm_scatter}
+               "veccsc": veccsc_spmm_scatter,
+               "pullcsc": pullcsc_spmm_scatter, "tcspmm": tcspmm_spmm_scatter}
 
 
 def kernel_differential_report(graph: Graph, rng, device: Device | None = None) -> list[str]:
@@ -295,7 +307,7 @@ def kernel_differential_report(graph: Graph, rng, device: Device | None = None) 
     csc, cooc = graph.to_csc(), graph.to_cooc()
     want_g, want_s = reference_spmv(csc, x), reference_spmv_scatter(csc, x)
     want_gmm, want_smm = reference_spmm(csc, X), reference_spmm_scatter(csc, X)
-    for name in KERNEL_NAMES:
+    for name in EXTENDED_KERNEL_NAMES:
         mat = cooc if name == "sccooc" else csc
         got, _ = _GATHER[name](device, mat, x)
         if not np.array_equal(got, want_g):
@@ -313,7 +325,7 @@ def kernel_differential_report(graph: Graph, rng, device: Device | None = None) 
     # Real-valued lane identity: SpMM must reproduce per-lane SpMV bit for
     # bit even when sums round (dependency-like values, not integers).
     R = rng.uniform(0.1, 2.0, size=(graph.n, 3))
-    for name in KERNEL_NAMES:
+    for name in EXTENDED_KERNEL_NAMES:
         mat = cooc if name == "sccooc" else csc
         got, _ = _GATHER_MM[name](device, mat, R)
         lanes = np.stack(
@@ -366,7 +378,7 @@ def run_conformance(
 
     # Forward-stage metamorphic oracle, once per kernel (graph-independent).
     if metamorphic:
-        for kernel in KERNEL_NAMES:
+        for kernel in EXTENDED_KERNEL_NAMES:
             report.checks_run += 1
             err = check_sigma_doubling(kernel)
             if err:

@@ -15,6 +15,10 @@ or a human-readable error message on violation:
   both, bit-identically;
 * **disjoint-union additivity** -- components do not interact:
   ``bc(G1 (+) G2) == concat(bc(G1), bc(G2))``;
+* **direction invariance** -- forcing the adaptive dispatcher top-down
+  (push), bottom-up (pull) or leaving it free must be bit-identical: the
+  direction-optimized kernels share the push kernels' accumulation
+  numerics exactly (DESIGN.md §12), so any divergence is a kernel bug;
 * **sigma doubling** (forward stage) -- appending one diamond to a chained
   diamond graph exactly doubles the shortest-path count at the sink.
 
@@ -118,6 +122,29 @@ def check_disjoint_union_additivity(run, graph: Graph, rng) -> str | None:
                      bc_union[graph.n:], run(other))
 
 
+def check_direction_invariance(run, graph: Graph, rng) -> str | None:
+    """Forced-push == forced-pull == free adaptive, bit for bit.
+
+    Ignores ``run`` deliberately: the property under test is the adaptive
+    dispatcher's, not the registered config's.  Every direction constraint
+    dispatches to kernels sharing the same per-lane ``bincount``
+    accumulation in storage order, so the three BC vectors must agree
+    bitwise -- ``allclose`` would mask an accumulation-order change.
+    """
+    from repro.core.bc import turbo_bc
+
+    results = {
+        d: turbo_bc(graph, algorithm="adaptive", direction=d).bc
+        for d in ("auto", "push", "pull")
+    }
+    for d in ("push", "pull"):
+        if not np.array_equal(results["auto"], results[d]):
+            err = _mismatch(f"direction invariance (auto vs {d})",
+                            results[d], results["auto"])
+            return err or f"direction invariance: {d} not bit-identical to auto"
+    return None
+
+
 #: name -> oracle; the harness rotates through these across fuzz cases.
 METAMORPHIC_ORACLES = {
     "relabel": check_relabel_invariance,
@@ -125,6 +152,7 @@ METAMORPHIC_ORACLES = {
     "pendant": check_pendant_identity,
     "dup-edges": check_duplicate_edge_self_loop_invariance,
     "disjoint-union": check_disjoint_union_additivity,
+    "direction": check_direction_invariance,
 }
 
 

@@ -40,6 +40,8 @@ class TurboBCAlgorithm:
             "sccooc": "scCOOC",
             "sccsc": "scCSC",
             "veccsc": "veCSC",
+            "pullcsc": "pullCSC",
+            "tcspmm": "tcSpMM",
             "adaptive": "Adaptive",
         }
         return f"TurboBC-{pretty[self.name]}"
@@ -163,6 +165,7 @@ def turbo_bc(
     backward_dtype=np.float32,
     batch_size: int | str = 1,
     keep_forward: bool = False,
+    direction: str = "auto",
 ) -> BCResult:
     """Compute betweenness centrality with TurboBC on the simulated device.
 
@@ -198,6 +201,12 @@ def turbo_bc(
     keep_forward:
         Attach the last source's :class:`BFSResult` (copied host-side) to
         the returned result.
+    direction:
+        Traversal-direction constraint for ``algorithm="adaptive"``:
+        ``"auto"`` (the default) lets the dispatcher switch push/pull per
+        level, ``"push"`` restricts it to the top-down kernels (PR 4
+        behaviour) and ``"pull"`` to the bottom-up ones.  Results are
+        bit-identical across all three -- only the modeled time moves.
 
     Returns
     -------
@@ -258,6 +267,7 @@ def turbo_bc(
             backward_dtype=backward_dtype,
             batch=batch,
             keep_forward=keep_forward,
+            direction=direction,
         )
 
     if dtype_is_auto:
@@ -271,6 +281,7 @@ def turbo_bc(
                 backward_dtype=backward_dtype,
                 batch_size=1,
                 keep_forward=keep_forward,
+                direction=direction,
             )
         except SigmaOverflowError:
             logger.warning(
@@ -290,6 +301,7 @@ def turbo_bc(
                 backward_dtype=np.float64,
                 batch_size=1,
                 keep_forward=keep_forward,
+                direction=direction,
             )
 
     t0 = time.perf_counter()
@@ -314,6 +326,7 @@ def turbo_bc(
             algorithm.name,
             forward_dtype=forward_dtype,
             backward_dtype=backward_dtype,
+            direction=direction,
         )
         bc_accum = ctx.bc_arr.data  # float32 device vector
         depths: list[int] = []
@@ -370,6 +383,7 @@ def _turbo_bc_batched(
     backward_dtype,
     batch: int,
     keep_forward: bool,
+    direction: str = "auto",
 ) -> BCResult:
     """The ``batch_size > 1`` driver: sources in chunks of B SpMM lanes.
 
@@ -406,6 +420,7 @@ def _turbo_bc_batched(
             algorithm.name,
             forward_dtype=fdt,
             backward_dtype=backward_dtype,
+            direction=direction,
         )
         bc_accum = ctx.bc_arr.data
         depth_map: dict[int, int] = {}
@@ -477,6 +492,7 @@ def _turbo_bc_batched(
                     algorithm.name,
                     forward_dtype=np.float64,
                     backward_dtype=np.float64,
+                    direction=direction,
                 )
                 rbc = rctx.bc_arr.data
                 try:

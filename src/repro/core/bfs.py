@@ -26,18 +26,23 @@ def turbo_bfs(
     algorithm: str | TurboBCAlgorithm | None = None,
     device: Device | None = None,
     forward_dtype=np.int32,
+    direction: str = "auto",
 ) -> BFSResult:
     """Linear-algebraic BFS from ``source`` on the simulated device.
 
     Returns a host-side :class:`~repro.core.result.BFSResult`; the device is
     left clean (all arrays freed), with the run recorded in its profiler.
+    ``direction`` constrains the adaptive dispatcher to push/pull kernels
+    (see :func:`repro.core.bc.turbo_bc`); it is only meaningful with
+    ``algorithm="adaptive"``.
     """
     if isinstance(algorithm, str):
         algorithm = TurboBCAlgorithm(algorithm)
     if algorithm is None:
         algorithm = select_algorithm(graph)
     device = device or Device()
-    ctx = TurboBCContext(device, graph, algorithm.name, forward_dtype=forward_dtype)
+    ctx = TurboBCContext(device, graph, algorithm.name, forward_dtype=forward_dtype,
+                         direction=direction)
     try:
         fwd = bfs_forward(ctx, source)
         result = BFSResult(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.dispatch import AdaptiveDispatcher
+from repro.core.dispatch import AdaptiveDispatcher, DIRECTIONS
 from repro.formats.coo import COOCMatrix
 from repro.formats.csc import CSCMatrix
 from repro.gpusim.device import Device
@@ -25,6 +25,10 @@ from repro.spmv import (
     edgecsc_spmm_scatter,
     edgecsc_spmv,
     edgecsc_spmv_scatter,
+    pullcsc_spmm,
+    pullcsc_spmm_scatter,
+    pullcsc_spmv,
+    pullcsc_spmv_scatter,
     sccooc_spmm,
     sccooc_spmm_scatter,
     sccooc_spmv,
@@ -33,6 +37,10 @@ from repro.spmv import (
     sccsc_spmm_scatter,
     sccsc_spmv,
     sccsc_spmv_scatter,
+    tcspmm_spmm,
+    tcspmm_spmm_scatter,
+    tcspmm_spmv,
+    tcspmm_spmv_scatter,
     veccsc_spmm,
     veccsc_spmm_scatter,
     veccsc_spmv,
@@ -42,11 +50,15 @@ from repro.spmv import (
 #: Kernel name -> (storage format attribute, mask fused into the SpMV?)
 #: ``adaptive`` stores CSC (the paper's ``7n + m`` discipline) and re-picks
 #: the kernel strategy every level; its thread-per-edge strategy runs over
-#: CSC via :mod:`repro.spmv.edgecsc`, so the mask stays fused.
+#: CSC via :mod:`repro.spmv.edgecsc`, so the mask stays fused.  ``pullcsc``
+#: (bottom-up) and ``tcspmm`` (blocked tensor-core) are first-class static
+#: algorithms too -- all over the same stored CSC.
 ALGORITHMS = {
     "sccooc": ("cooc", False),
     "sccsc": ("csc", True),
     "veccsc": ("csc", True),
+    "pullcsc": ("csc", True),
+    "tcspmm": ("csc", True),
     "adaptive": ("csc", True),
 }
 
@@ -55,21 +67,41 @@ _ADAPTIVE_SPMV = {
     "sccooc": edgecsc_spmv,
     "sccsc": sccsc_spmv,
     "veccsc": veccsc_spmv,
+    "pullcsc": pullcsc_spmv,
+    "tcspmm": tcspmm_spmv,
 }
 _ADAPTIVE_SPMV_SCATTER = {
     "sccooc": edgecsc_spmv_scatter,
     "sccsc": sccsc_spmv_scatter,
     "veccsc": veccsc_spmv_scatter,
+    "pullcsc": pullcsc_spmv_scatter,
+    "tcspmm": tcspmm_spmv_scatter,
 }
 _ADAPTIVE_SPMM = {
     "sccooc": edgecsc_spmm,
     "sccsc": sccsc_spmm,
     "veccsc": veccsc_spmm,
+    "pullcsc": pullcsc_spmm,
+    "tcspmm": tcspmm_spmm,
 }
 _ADAPTIVE_SPMM_SCATTER = {
     "sccooc": edgecsc_spmm_scatter,
     "sccsc": sccsc_spmm_scatter,
     "veccsc": veccsc_spmm_scatter,
+    "pullcsc": pullcsc_spmm_scatter,
+    "tcspmm": tcspmm_spmm_scatter,
+}
+
+#: Static CSC algorithm -> kernel function, per product shape (the
+#: ``sccooc`` algorithm runs over the COOC format and keeps its own
+#: branches below).
+_STATIC_SPMV = {k: _ADAPTIVE_SPMV[k] for k in ("sccsc", "veccsc", "pullcsc", "tcspmm")}
+_STATIC_SPMV_SCATTER = {
+    k: _ADAPTIVE_SPMV_SCATTER[k] for k in ("sccsc", "veccsc", "pullcsc", "tcspmm")
+}
+_STATIC_SPMM = {k: _ADAPTIVE_SPMM[k] for k in ("sccsc", "veccsc", "pullcsc", "tcspmm")}
+_STATIC_SPMM_SCATTER = {
+    k: _ADAPTIVE_SPMM_SCATTER[k] for k in ("sccsc", "veccsc", "pullcsc", "tcspmm")
 }
 
 
@@ -84,10 +116,20 @@ class TurboBCContext:
         *,
         forward_dtype=np.int32,
         backward_dtype=np.float32,
+        direction: str = "auto",
     ):
         if algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+            )
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"unknown direction {direction!r}; expected one of {DIRECTIONS}"
+            )
+        if direction != "auto" and algorithm != "adaptive":
+            raise ValueError(
+                "direction forcing requires algorithm='adaptive' "
+                f"(got algorithm={algorithm!r}, direction={direction!r})"
             )
         self.device = device
         self.graph = graph
@@ -117,7 +159,7 @@ class TurboBCContext:
         self._arena: DeviceArena | None = None
         #: Per-level kernel chooser; only set for ``algorithm="adaptive"``.
         self.dispatcher: AdaptiveDispatcher | None = (
-            AdaptiveDispatcher(self.matrix, device.spec)
+            AdaptiveDispatcher(self.matrix, device.spec, direction=direction)
             if algorithm == "adaptive"
             else None
         )
@@ -290,8 +332,12 @@ class TurboBCContext:
         prev = obs.get_telemetry()
         obs.deactivate()
         try:
+            # Replay only the strategies the decision actually estimated: a
+            # forced direction narrows the candidate set, and regret is only
+            # meaningful against candidates the dispatcher could have chosen.
+            candidates = set(self.dispatcher.last.est_us)
             for kernel, fn in table.items():
-                if kernel == chosen:
+                if kernel == chosen or kernel not in candidates:
                     continue
                 _, launch = fn(self._shadow, self.matrix, x, **kwargs)
                 self.dispatcher.record_measured(kernel, launch)
@@ -317,9 +363,9 @@ class TurboBCContext:
             return self._adaptive_launch(
                 _ADAPTIVE_SPMV, kernel, x, allowed=allowed, tag=tag
             )
-        if self.algorithm == "sccsc":
-            return sccsc_spmv(self.device, self.matrix, x, allowed=sigma == 0, tag=tag)
-        return veccsc_spmv(self.device, self.matrix, x, allowed=sigma == 0, tag=tag)
+        return _STATIC_SPMV[self.algorithm](
+            self.device, self.matrix, x, allowed=sigma == 0, tag=tag
+        )
 
     def spmv_backward(self, x: np.ndarray, *, tag: str = "") -> tuple[np.ndarray, KernelLaunch]:
         """The line-37 product with the selected kernel.
@@ -337,14 +383,12 @@ class TurboBCContext:
         if self.graph.directed:
             if self.algorithm == "sccooc":
                 return sccooc_spmv_scatter(self.device, self.matrix, x, tag=tag)
-            if self.algorithm == "sccsc":
-                return sccsc_spmv_scatter(self.device, self.matrix, x, tag=tag)
-            return veccsc_spmv_scatter(self.device, self.matrix, x, tag=tag)
+            return _STATIC_SPMV_SCATTER[self.algorithm](
+                self.device, self.matrix, x, tag=tag
+            )
         if self.algorithm == "sccooc":
             return sccooc_spmv(self.device, self.matrix, x, tag=tag)
-        if self.algorithm == "sccsc":
-            return sccsc_spmv(self.device, self.matrix, x, tag=tag)
-        return veccsc_spmv(self.device, self.matrix, x, tag=tag)
+        return _STATIC_SPMV[self.algorithm](self.device, self.matrix, x, tag=tag)
 
     # -- SpMM dispatch (batched) ----------------------------------------------
 
@@ -365,9 +409,9 @@ class TurboBCContext:
             return self._adaptive_launch(
                 _ADAPTIVE_SPMM, kernel, X, allowed=allowed, tag=tag
             )
-        if self.algorithm == "sccsc":
-            return sccsc_spmm(self.device, self.matrix, X, allowed=allowed, tag=tag)
-        return veccsc_spmm(self.device, self.matrix, X, allowed=allowed, tag=tag)
+        return _STATIC_SPMM[self.algorithm](
+            self.device, self.matrix, X, allowed=allowed, tag=tag
+        )
 
     def spmm_backward(self, X: np.ndarray, *, tag: str = "") -> tuple[np.ndarray, KernelLaunch]:
         """Batched line-37 product; same gather/scatter split as
@@ -379,11 +423,9 @@ class TurboBCContext:
         if self.graph.directed:
             if self.algorithm == "sccooc":
                 return sccooc_spmm_scatter(self.device, self.matrix, X, tag=tag)
-            if self.algorithm == "sccsc":
-                return sccsc_spmm_scatter(self.device, self.matrix, X, tag=tag)
-            return veccsc_spmm_scatter(self.device, self.matrix, X, tag=tag)
+            return _STATIC_SPMM_SCATTER[self.algorithm](
+                self.device, self.matrix, X, tag=tag
+            )
         if self.algorithm == "sccooc":
             return sccooc_spmm(self.device, self.matrix, X, tag=tag)
-        if self.algorithm == "sccsc":
-            return sccsc_spmm(self.device, self.matrix, X, tag=tag)
-        return veccsc_spmm(self.device, self.matrix, X, tag=tag)
+        return _STATIC_SPMM[self.algorithm](self.device, self.matrix, X, tag=tag)

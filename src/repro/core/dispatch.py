@@ -43,9 +43,26 @@ from repro.spmv.edgecsc import lookup_cycles
 from repro.spmv import sccsc as _sccsc
 from repro.spmv import veccsc as _veccsc
 from repro.spmv import edgecsc as _edgecsc
+from repro.spmv import pullcsc as _pullcsc
+from repro.spmv import tcspmm as _tcspmm
 
 #: Kernel strategies the dispatcher switches between.
-STRATEGIES = ("sccooc", "sccsc", "veccsc")
+STRATEGIES = ("sccooc", "sccsc", "veccsc", "pullcsc", "tcspmm")
+
+#: Traversal direction of each strategy: the warp kernels iterate from the
+#: frontier side gathering values (push); ``pullcsc`` probes the frontier
+#: bitmap from the unvisited side, and the blocked tensor-core kernel prunes
+#: tiles against the same bitmap, so both are pull-shaped.
+DIRECTION = {
+    "sccooc": "push",
+    "sccsc": "push",
+    "veccsc": "push",
+    "pullcsc": "pull",
+    "tcspmm": "pull",
+}
+
+#: Valid values of the ``direction`` override on the dispatcher / driver.
+DIRECTIONS = ("auto", "push", "pull")
 
 #: Divergence inflation applied to scCSC's mean per-entry issue cost: a warp
 #: retires at its slowest lane, so the aggregate runs above the mean even on
@@ -65,6 +82,13 @@ class DispatchDecision:
     avg_deg_active: float
     max_deg_allowed: int
     batch: int = 1
+    #: Traversal direction of the chosen kernel (``DIRECTION[kernel]``): the
+    #: per-level push<->pull decision this row records.
+    direction: str = "push"
+    #: Unvisited-side density ``n_allowed / n``: the pull kernels scan the
+    #: *undiscovered* columns, so their cost tracks this, not the frontier
+    #: nnz (which is what the push cost tracks).
+    unvisited_frac: float = 1.0
     est_us: dict = field(default_factory=dict)   # strategy -> estimated µs
     #: Measured modeled time per strategy, in µs.  The chosen kernel's entry
     #: is filled on every adaptive launch; the others only under
@@ -77,8 +101,10 @@ class DispatchDecision:
         """Attributes recorded on the level span for this decision."""
         return {
             f"{self.stage}_kernel": self.kernel,
+            f"{self.stage}_direction": self.direction,
             "nnz_frontier": self.nnz_frontier,
             "frontier_frac": round(self.frontier_frac, 6),
+            "unvisited_frac": round(self.unvisited_frac, 6),
             "avg_deg_active": round(self.avg_deg_active, 3),
             "max_deg_allowed": self.max_deg_allowed,
         }
@@ -87,9 +113,14 @@ class DispatchDecision:
 class AdaptiveDispatcher:
     """Chooses a kernel strategy per SpMV/SpMM launch from frontier stats."""
 
-    def __init__(self, csc: CSCMatrix, spec: DeviceSpec):
+    def __init__(self, csc: CSCMatrix, spec: DeviceSpec, *, direction: str = "auto"):
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"unknown direction {direction!r}; expected one of {DIRECTIONS}"
+            )
         self.csc = csc
         self.spec = spec
+        self.direction = direction
         self.n = csc.n_cols
         self.m = csc.nnz
         self.deg = csc.column_counts().astype(np.int64)
@@ -99,6 +130,35 @@ class AdaptiveDispatcher:
             self.rowdeg = np.zeros(csc.n_rows, dtype=np.int64)
         self.decisions: list[DispatchDecision] = []
         self.last: DispatchDecision | None = None
+
+    def _tile_stats(
+        self, active_rows: np.ndarray, allowed: np.ndarray | None
+    ) -> tuple[int, int, int]:
+        """Exact active-tile statistics for the blocked-kernel estimate.
+
+        Returns ``(tiles_active, nnz_active, chain)``: occupied 16x16 tiles
+        whose column stripe has an allowed column *and* whose row stripe has
+        a frontier entry, their stored-entry total, and the longest
+        output-stripe commit chain.  One O(n + tiles) reduction over the
+        cached tile directory -- same order as the degree reductions the
+        push estimates already pay.
+        """
+        t_row, t_col, t_cnt = self.csc.tile_plan(W.MMA_TILE)
+        if t_row.size == 0:
+            return 0, 0, 0
+        row_ok = _tcspmm.stripe_any(active_rows)
+        col_ok = (
+            _tcspmm.stripe_any(allowed)
+            if allowed is not None
+            else np.ones(-(-self.n // W.MMA_TILE), dtype=bool)
+        )
+        active = col_ok[t_col] & row_ok[t_row]
+        n_active = int(np.count_nonzero(active))
+        if not n_active:
+            return 0, 0, 0
+        nnz_active = int(t_cnt[active].sum())
+        chain = int(np.bincount(t_col[active]).max())
+        return n_active, nnz_active, chain
 
     # -- cost estimation -----------------------------------------------------
 
@@ -112,12 +172,18 @@ class AdaptiveDispatcher:
         max_deg_allowed: int,
         dtype,
         batch: int = 1,
+        tiles_active: int = 0,
+        tile_nnz_active: int = 0,
+        tile_chain: int = 0,
     ) -> dict[str, float]:
         """Closed-form time estimate (seconds) per kernel strategy.
 
         Mirrors the dominant terms of each kernel's hardware model: issue
-        cycles / warp-issue rate, DRAM transactions / bandwidth, and the two
-        latency floors (critical warp path, same-address atomic chain).
+        cycles / warp-issue rate, DRAM transactions / bandwidth, the two
+        latency floors (critical warp path, same-address atomic chain) and,
+        for the tensor-core strategy, the MMA-pipe busy time.  Strategies
+        excluded by a forced ``direction`` are not estimated (and so never
+        chosen, measured or audited).
         """
         spec = self.spec
         n, m = self.n, self.m
@@ -200,6 +266,89 @@ class AdaptiveDispatcher:
             / clk
         )
         est["veccsc"] = max(compute, mem_txn * txn / bw, serial)
+
+        # -- pullcsc strategy (bottom-up, bitmap probes + early exit) --------
+        # Expected phase-1 probes per allowed column: the first frontier
+        # parent sits ~1/p entries into the scan (geometric), capped by the
+        # column's expected degree; undiscovered columns scan fully either
+        # way, and the discovered fraction re-scans in phase 2.
+        avg_deg_allowed = s_allowed / max(n_allowed, 1)
+        p_row = nnz_x / max(n, 1)
+        if p_row > 0.0 and avg_deg_allowed > 0.0:
+            probes1 = n_allowed * min(avg_deg_allowed, 1.0 / p_row)
+            disc_cols = n_allowed * -np.expm1(
+                avg_deg_allowed * np.log1p(-min(p_row, 1.0 - 1e-12))
+            )
+        else:
+            probes1 = float(s_allowed)
+            disc_cols = 0.0
+        total_probes = probes1 + disc_cols * avg_deg_allowed
+        bitmap_words = -(-n * B // 32)
+        compute = (
+            W.uniform_warp_cycles(n * B, _pullcsc._BITMAP_BUILD_CYCLES)
+            + W.uniform_warp_cycles(n, _pullcsc._BASE_CYCLES)
+            + (
+                total_probes * _pullcsc._PROBE_CYCLES
+                + contrib * B * _pullcsc._GATHER_CYCLES * dtf
+            )
+            * _SCCSC_DIVERGENCE
+            / W.WARP_SIZE
+        ) / issue
+        mem_txn = (
+            2 * W.coalesced_transactions(n)
+            + W.coalesced_transactions(n * B, item)
+            + 2 * W.coalesced_transactions(bitmap_words)
+            + int(total_probes + 7) // 8
+            + W.capped_random_transactions(int(total_probes), bitmap_words, 4,
+                                           l2_bytes=l2)
+            + W.bwide_gather_transactions(contrib, B, n, item, l2_bytes=l2)
+        )
+        # Critical path: the slowest lane probes its whole column and then
+        # gathers its expected active entries (deg * p) across all B lanes
+        # at full gather latency -- on a dense frontier this, not the probe
+        # loop, is what the pull kernel's exec time degenerates to.
+        serial = (
+            max_deg_allowed
+            * (
+                _pullcsc._CRITICAL_PROBE_CYCLES
+                + min(p_row, 1.0) * B * _pullcsc._CRITICAL_GATHER_CYCLES * dtf
+                + (B - 1)
+            )
+            / clk
+        )
+        est["pullcsc"] = max(compute, mem_txn * txn / bw, serial)
+
+        # -- tcspmm strategy (blocked tensor-core SpMM) ----------------------
+        # Exact active-tile statistics come from the cached tile directory;
+        # the MMA arm is the dense-flop cost of feeding every active tile.
+        mma_per_tile = -(-B // W.MMA_TILE)
+        mma_t = (
+            W.mma_ops_for_tiles(tiles_active, B)
+            * W.MMA_FLOPS_PER_OP
+            / (spec.mma_tflops * 1e12)
+        )
+        compute = (
+            tiles_active
+            * (_tcspmm._TILE_BASE_CYCLES + mma_per_tile * _tcspmm._MMA_ISSUE_CYCLES)
+            + tile_nnz_active * _tcspmm._DECODE_CYCLES
+        ) / issue
+        n_tiles = self.csc.tile_plan(W.MMA_TILE)[0].size
+        mem_txn = (
+            W.coalesced_transactions(3 * n_tiles)
+            + W.coalesced_transactions(tile_nnz_active)
+            + W.bwide_gather_transactions(tiles_active * W.MMA_TILE, B, n, item,
+                                          l2_bytes=l2)
+            + W.coalesced_transactions(n * B)
+        )
+        serial = (
+            tile_chain
+            * (_tcspmm._TILE_BASE_CYCLES + mma_per_tile * _tcspmm._MMA_ISSUE_CYCLES)
+            / clk
+        )
+        est["tcspmm"] = max(compute, mem_txn * txn / bw, mma_t, serial)
+
+        if self.direction != "auto":
+            est = {k: v for k, v in est.items() if DIRECTION[k] == self.direction}
         return est
 
     def _decide(
@@ -223,6 +372,9 @@ class AdaptiveDispatcher:
             s_allowed = int(deg_allowed.sum())
             n_allowed = int(deg_allowed.size)
             dmax = int(deg_allowed.max()) if deg_allowed.size else 0
+        tiles_active, tile_nnz_active, tile_chain = self._tile_stats(
+            active_rows, allowed
+        )
         est = self._estimate(
             nnz_x=nnz_x,
             e_active=e_active,
@@ -231,6 +383,9 @@ class AdaptiveDispatcher:
             max_deg_allowed=dmax,
             dtype=dtype,
             batch=batch,
+            tiles_active=tiles_active,
+            tile_nnz_active=tile_nnz_active,
+            tile_chain=tile_chain,
         )
         kernel = min(est, key=est.get)
         decision = DispatchDecision(
@@ -242,6 +397,8 @@ class AdaptiveDispatcher:
             avg_deg_active=e_active / max(nnz_x, 1),
             max_deg_allowed=dmax,
             batch=batch,
+            direction=DIRECTION[kernel],
+            unvisited_frac=n_allowed / max(self.n, 1),
             est_us={k: round(v * 1e6, 3) for k, v in est.items()},
         )
         self.decisions.append(decision)
@@ -308,4 +465,11 @@ class AdaptiveDispatcher:
         mix: dict[str, int] = {}
         for d in self.decisions:
             mix[d.kernel] = mix.get(d.kernel, 0) + 1
+        return mix
+
+    def direction_mix(self) -> dict[str, int]:
+        """Decision counts per traversal direction (push vs pull)."""
+        mix: dict[str, int] = {}
+        for d in self.decisions:
+            mix[d.direction] = mix.get(d.direction, 0) + 1
         return mix

@@ -68,7 +68,7 @@ def bfs_forward(ctx: TurboBCContext, source: int) -> BFSResult:
                 size = int(np.count_nonzero(new_f))
                 if any_new:
                     frontier_sizes.append(size)
-                    sp.set(frontier_size=size)
+                    sp.set(**FK.level_density(new_f, sigma))
                     if tel is not None and tel.metrics is not None:
                         tel.metrics.histogram("frontier_size").record(size)
                 # The host must read the convergence flag back each level to
@@ -151,7 +151,7 @@ def bfs_forward_batch(ctx: TurboBCContext, sources) -> BatchedBFSResult:
                     frontier_sizes[j].append(size)
                     if tel is not None and tel.metrics is not None:
                         tel.metrics.histogram("frontier_size").record(size)
-                sp.set(frontier_size=int(new_per_lane.sum()),
+                sp.set(**FK.level_density(newF, Sigma),
                        active_lanes=int(got.sum()))
                 depths[got] = depth
                 active &= got

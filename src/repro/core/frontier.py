@@ -354,3 +354,28 @@ def bc_update_kernel(
     )
     stats.flops = n
     return device.launch(stats, tag=tag)
+
+
+def level_density(frontier: np.ndarray, sigma: np.ndarray) -> dict:
+    """Both sides of a level's density: the frontier and the unvisited set.
+
+    Direction-optimizing traversal (DESIGN.md §12) needs *two* densities to
+    reason about a level: the frontier fraction (push cost is proportional
+    to the frontier's out-edges) and the unvisited fraction (pull cost is
+    proportional to the unvisited side's in-edges).  The PR 4 accounting
+    reported only ``frontier_size``; per-level spans now carry both sides
+    so perf reports can attribute *why* a direction won.
+
+    Works for the per-source vectors and the batched ``(n, B)`` matrices
+    alike -- the fractions are taken over all elements, so a batched level
+    reports the lane-averaged densities (``sigma.size == n * B``).
+    """
+    total = int(sigma.size)
+    frontier_size = int(np.count_nonzero(frontier))
+    unvisited = total - int(np.count_nonzero(sigma))
+    return {
+        "frontier_size": frontier_size,
+        "frontier_frac": round(frontier_size / max(total, 1), 6),
+        "unvisited": unvisited,
+        "unvisited_frac": round(unvisited / max(total, 1), 6),
+    }

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from repro.gpusim.kernel import KernelLaunch, KernelStats
 from repro.gpusim.memory import DeviceMemory
 from repro.gpusim.profiler import Profiler
+from repro.gpusim.warp import MMA_FLOPS_PER_OP
 from repro.obs.telemetry import get_telemetry
 
 
@@ -39,6 +40,15 @@ class DeviceSpec:
     #: Same-address atomic updates serialise at the L2; ~2.5 ns per update
     #: on Pascal-class parts.
     atomic_serialization_s: float = 2.5e-9
+    #: Peak MMA-pipe throughput in TFLOP/s for the blocked tensor-core
+    #: kernels.  The TITAN Xp (Pascal) has no tensor cores; this is a
+    #: *simulated* Volta-class extension (V100 tensor peak ~112 TFLOP/s,
+    #: half of it modeled as sustainable on this part's 30 SMs) so the
+    #: dispatcher and roofline can attribute when a blocked MMA formulation
+    #: would beat the warp kernels.  Compare the CUDA-core FMA peak of
+    #: ~12 GFLOP/s x 512 = 6.07 TFLOP/s: the MMA pipe is ~9x denser, but
+    #: only sparse tiles that are actually occupied make use of it.
+    mma_tflops: float = 56.0
 
     @property
     def warp_issue_rate(self) -> float:
@@ -103,15 +113,24 @@ class Device:
             stats.serial_updates * self.spec.atomic_serialization_s,
             stats.critical_warp_cycles / (self.spec.clock_ghz * 1e9),
         )
+        # The MMA pipe runs concurrently with the CUDA cores; its busy time
+        # is a fourth roofline arm (dense flops against the mma_tflops peak).
+        mma = (
+            stats.mma_ops * MMA_FLOPS_PER_OP / (self.spec.mma_tflops * 1e12)
+            if stats.mma_ops
+            else 0.0
+        )
         if self._slowdown:
             factor = self._slowdown.get(stats.name, self._slowdown.get("*", 1.0))
-            compute, memory, serial = compute * factor, memory * factor, serial * factor
+            compute, memory = compute * factor, memory * factor
+            serial, mma = serial * factor, mma * factor
         launch = KernelLaunch(
             stats=stats,
             compute_time_s=compute,
             memory_time_s=memory,
             overhead_s=self.spec.kernel_launch_overhead_us * 1e-6,
             serial_time_s=serial,
+            mma_time_s=mma,
             tag=tag,
         )
         self.profiler.record(launch)

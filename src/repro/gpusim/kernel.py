@@ -54,6 +54,12 @@ class KernelStats:
         kills thread-per-column kernels on hub columns.
     flops:
         Arithmetic operations (informational).
+    mma_ops:
+        16x16x16 matrix-multiply-accumulate operations issued to the MMA
+        pipe (tensor-core kernels only).  Each op performs
+        ``MMA_FLOPS_PER_OP`` dense flops regardless of how many are useful;
+        the ratio ``flops / (mma_ops * MMA_FLOPS_PER_OP / 2)`` is the
+        tile-fill occupancy the counters report.
     """
 
     name: str
@@ -65,6 +71,7 @@ class KernelStats:
     serial_updates: int = 0
     critical_warp_cycles: int = 0
     flops: int = 0
+    mma_ops: int = 0
 
     def __post_init__(self):
         for attr in (
@@ -76,6 +83,7 @@ class KernelStats:
             "serial_updates",
             "critical_warp_cycles",
             "flops",
+            "mma_ops",
         ):
             if getattr(self, attr) < 0:
                 raise InvalidKernelError(f"{self.name}: {attr} must be non-negative")
@@ -96,6 +104,7 @@ class KernelStats:
             serial_updates=max(self.serial_updates, other.serial_updates),
             critical_warp_cycles=max(self.critical_warp_cycles, other.critical_warp_cycles),
             flops=self.flops + other.flops,
+            mma_ops=self.mma_ops + other.mma_ops,
         )
 
 
@@ -108,6 +117,10 @@ class KernelLaunch:
     memory_time_s: float
     overhead_s: float
     serial_time_s: float = 0.0
+    #: Time the MMA pipe is busy: ``mma_ops * MMA_FLOPS_PER_OP`` dense flops
+    #: against the spec's ``mma_tflops`` ceiling.  A fourth roofline arm --
+    #: tensor-core kernels can be MMA-bound while the CUDA cores idle.
+    mma_time_s: float = 0.0
     tag: str = field(default="", compare=False)
 
     @property
@@ -117,7 +130,8 @@ class KernelLaunch:
     @property
     def exec_time_s(self) -> float:
         """In-kernel time (excludes launch overhead)."""
-        return max(self.compute_time_s, self.memory_time_s, self.serial_time_s)
+        return max(self.compute_time_s, self.memory_time_s, self.serial_time_s,
+                   self.mma_time_s)
 
     @property
     def time_s(self) -> float:

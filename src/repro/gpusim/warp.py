@@ -19,6 +19,13 @@ import numpy as np
 
 WARP_SIZE = 32
 TRANSACTION_BYTES = 32
+#: MMA fragment edge: the tensor-core pipe multiplies 16x16 tiles.
+MMA_TILE = 16
+#: Dense flops of one 16x16x16 matrix-multiply-accumulate op (2 * 16^3:
+#: a multiply and an add per scalar MAC).  Every MMA op costs this against
+#: the device's ``mma_tflops`` ceiling no matter how sparse the tile is --
+#: tile-fill occupancy is what decides whether the pipe was worth feeding.
+MMA_FLOPS_PER_OP = 2 * MMA_TILE**3
 #: TITAN Xp L2 cache; random gathers within an array that fits here cost at
 #: most one DRAM fill per 32 B segment per kernel.
 L2_BYTES = 3 * 2**20
@@ -279,3 +286,18 @@ def warp_count(n_threads: int, *, warp_size: int = WARP_SIZE) -> int:
     if n_threads < 0:
         raise ValueError(f"n_threads must be non-negative, got {n_threads}")
     return -(-n_threads // warp_size)
+
+
+def mma_ops_for_tiles(n_tiles: int, lanes: int, *, tile: int = MMA_TILE) -> int:
+    """16x16x16 MMA operations to multiply ``n_tiles`` sparse 16x16 tiles
+    against a ``lanes``-wide dense operand.
+
+    Each occupied tile of the adjacency structure needs ``ceil(lanes / 16)``
+    MMA ops -- a single SpMV (lanes=1) still pays a full op per tile, which
+    is why the tensor-core path only wins on wide batches and dense tiles.
+    """
+    if n_tiles < 0 or lanes < 0:
+        raise ValueError("n_tiles and lanes must be non-negative")
+    if n_tiles == 0 or lanes == 0:
+        return 0
+    return n_tiles * -(-lanes // tile)

@@ -71,6 +71,12 @@ class DispatchAudit:
     total_chosen_us: float = 0.0
     total_regret_us: float = 0.0
     level_mix: dict = field(default_factory=dict)  # stage -> {kernel: count}
+    #: stage -> {direction: count} -- how often the dispatcher traversed
+    #: top-down (push) vs bottom-up (pull) per stage (DESIGN.md §12).
+    direction_mix: dict = field(default_factory=dict)
+    #: (stage, depth) -> {direction: count} across sources, for the
+    #: per-level direction-mix table of ``repro perf-report``.
+    depth_direction: dict = field(default_factory=dict)
 
     @property
     def regret_frac(self) -> float:
@@ -82,6 +88,11 @@ class DispatchAudit:
             "decisions": len(self.decisions),
             "measured_complete": self.measured_complete,
             "level_mix": {s: dict(m) for s, m in self.level_mix.items()},
+            "direction_mix": {s: dict(m) for s, m in self.direction_mix.items()},
+            "depth_direction": [
+                {"stage": s, "depth": d, **dict(m)}
+                for (s, d), m in sorted(self.depth_direction.items())
+            ],
             "calibration": {
                 k: {
                     "decisions": c.decisions,
@@ -129,6 +140,13 @@ def audit_dispatch(decisions) -> DispatchAudit:
     for d in audit.decisions:
         mix = audit.level_mix.setdefault(d.stage, {})
         mix[d.kernel] = mix.get(d.kernel, 0) + 1
+        # Decisions recorded before the direction-optimizing dispatcher
+        # (PR 4 traces) carry no direction field; they were all push.
+        direction = getattr(d, "direction", "push")
+        dmix = audit.direction_mix.setdefault(d.stage, {})
+        dmix[direction] = dmix.get(direction, 0) + 1
+        level = audit.depth_direction.setdefault((d.stage, d.depth), {})
+        level[direction] = level.get(direction, 0) + 1
 
         measured_chosen = d.measured_us.get(d.kernel)
         if measured_chosen is not None:
@@ -201,7 +219,11 @@ def launch_drift(launches) -> list:
     for launch in launches:
         if launch.exec_time_s <= 0.0:
             continue  # pure-overhead pseudo-launch; nothing to predict
-        roofline = max(launch.compute_time_s, launch.memory_time_s) + launch.overhead_s
+        # The MMA pipe is a throughput ceiling like compute/memory, not a
+        # serial floor, so it belongs in the roofline bound.
+        roofline = max(
+            launch.compute_time_s, launch.memory_time_s, launch.mma_time_s
+        ) + launch.overhead_s
         rows.append(
             LaunchDrift(
                 name=launch.name,

@@ -22,8 +22,13 @@ Derivations (all closed-form from the launch record):
   10^2..10^4;
 * ``atomic_conflicts`` -- the longest same-address atomic chain
   (``serial_updates``), the latency floor of scatter kernels on hub rows;
-* attained rates -- DRAM GB/s, requested-load GB/s (the paper's GLT) and
-  GFLOP/s over the in-kernel time.
+* ``mma_tile_fill`` -- for tensor-core launches, the useful-FLOP fraction
+  of the issued MMA work (``flops / (mma_ops * MMA_TILE^2 * 16)``): sparse
+  16x16 tiles issue full-tile MMAs regardless of how many stored entries
+  they contain, so low fill means the MMA pipe is mostly multiplying zeros;
+* attained rates -- DRAM GB/s, requested-load GB/s (the paper's GLT),
+  GFLOP/s and, for MMA launches, attained TFLOP/s against the tensor-core
+  ceiling -- all over the in-kernel time.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.gpusim.kernel import KernelLaunch
-from repro.gpusim.warp import WARP_SIZE
+from repro.gpusim.warp import MMA_FLOPS_PER_OP, WARP_SIZE
 
 
 @dataclass(frozen=True)
@@ -52,9 +57,12 @@ class LaunchCounters:
     warp_cycles: int
     warp_divergence: float
     atomic_conflicts: int
+    mma_ops: int
+    mma_tile_fill: float
     dram_gbs: float
     glt_gbs: float
     gflops: float
+    mma_tflops: float
 
     @property
     def dram_bytes(self) -> int:
@@ -76,9 +84,12 @@ class LaunchCounters:
             "warp_cycles": self.warp_cycles,
             "warp_divergence": self.warp_divergence,
             "atomic_conflicts": self.atomic_conflicts,
+            "mma_ops": self.mma_ops,
+            "mma_tile_fill": self.mma_tile_fill,
             "dram_gbs": self.dram_gbs,
             "glt_gbs": self.glt_gbs,
             "gflops": self.gflops,
+            "mma_tflops": self.mma_tflops,
         }
 
 
@@ -100,6 +111,11 @@ def counters_for_launch(launch: KernelLaunch, spec=None) -> LaunchCounters:
     occupancy = 0.0
     if spec is not None and stats.threads:
         occupancy = min(1.0, stats.threads / spec.max_resident_threads)
+    if stats.mma_ops > 0:
+        tile_fill = min(1.0, stats.flops / (stats.mma_ops * MMA_FLOPS_PER_OP / 2))
+    else:
+        tile_fill = 0.0
+    mma_flops = stats.mma_ops * MMA_FLOPS_PER_OP
     return LaunchCounters(
         name=stats.name,
         tag=launch.tag,
@@ -115,7 +131,10 @@ def counters_for_launch(launch: KernelLaunch, spec=None) -> LaunchCounters:
         warp_cycles=stats.warp_cycles,
         warp_divergence=divergence,
         atomic_conflicts=stats.serial_updates,
+        mma_ops=stats.mma_ops,
+        mma_tile_fill=tile_fill,
         dram_gbs=(stats.dram_bytes / exec_s / 1e9) if exec_s > 0 else 0.0,
         glt_gbs=launch.glt_bytes_per_s / 1e9,
         gflops=(stats.flops / exec_s / 1e9) if exec_s > 0 else 0.0,
+        mma_tflops=(mma_flops / exec_s / 1e12) if exec_s > 0 and mma_flops else 0.0,
     )

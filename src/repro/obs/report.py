@@ -59,18 +59,25 @@ def _roofline_section(r: RooflineReport) -> list:
         f"{b} {r.bound_share(b):.1%}" for b in BOUND_CLASSES if r.bound_time_s[b] > 0
     )
     lines += [f"time by bound class: {shares or 'none'}", ""]
+    # The tensor-core fill column only renders when a blocked-MMA kernel ran
+    # (an all-warp-kernel run would show a column of dashes).
+    has_mma = any(k.mma_ops for k in r.kernels.values())
+    mma_head, mma_sep = (" tc fill |", "---:|") if has_mma else ("", "")
     lines += [
         "| kernel | launches | time (ms) | AI (flop/B) | DRAM GB/s | GLT GB/s "
-        "| occ | div | bound |",
-        "|---|---:|---:|---:|---:|---:|---:|---:|---|",
+        f"| occ | div | bound |{mma_head}",
+        f"|---|---:|---:|---:|---:|---:|---:|---:|---|{mma_sep}",
     ]
     ordered = sorted(r.kernels.values(), key=lambda k: k.time_s, reverse=True)
     for k in ordered:
+        mma_cell = ""
+        if has_mma:
+            mma_cell = f" {k.max_tile_fill:.2f} |" if k.mma_ops else " - |"
         lines.append(
             f"| `{k.name}` | {k.launches} | {k.time_s * 1e3:.3f} "
             f"| {k.arithmetic_intensity:.3f} | {k.dram_gbs:.1f} | {k.glt_gbs:.1f} "
             f"| {k.max_occupancy:.2f} | {k.max_divergence:.1f} "
-            f"| {k.dominant_bound} |"
+            f"| {k.dominant_bound} |{mma_cell}"
         )
     lines.append("")
     return lines
@@ -95,7 +102,23 @@ def _dispatch_section(a: DispatchAudit) -> list:
         if mix:
             parts = ", ".join(f"{k}: {v}" for k, v in sorted(mix.items()))
             lines.append(f"* level mix ({stage}): {parts}")
+        dmix = a.direction_mix.get(stage)
+        if dmix and len(dmix) > 1:
+            parts = ", ".join(f"{d}: {v}" for d, v in sorted(dmix.items()))
+            lines.append(f"* direction mix ({stage}): {parts}")
     lines.append("")
+    # Per-level direction table, only when the run ever traversed pull-mode
+    # (an all-push run would render an all-'push' column of no information).
+    if any(len(m) > 1 for m in a.direction_mix.values()):
+        lines += [
+            "| stage | depth | push levels | pull levels |",
+            "|---|---:|---:|---:|",
+        ]
+        for (stage, depth), m in sorted(a.depth_direction.items()):
+            lines.append(
+                f"| {stage} | {depth} | {m.get('push', 0)} | {m.get('pull', 0)} |"
+            )
+        lines.append("")
     if a.calibration:
         lines += [
             "| strategy | decisions | est total (us) | measured (us) | drift |",

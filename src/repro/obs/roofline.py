@@ -14,7 +14,11 @@ the :class:`~repro.gpusim.device.DeviceSpec` ceilings:
   critical warp's own runtime, costs no amount of parallelism hides;
 * ``overhead``  -- launch/sync overhead exceeded in-kernel time: the
   small-frontier deep-BFS regime where the 5 us launch + 28 us readback
-  dominate (the paper's luxembourg rows).
+  dominate (the paper's luxembourg rows);
+* ``mma``       -- the tensor-core issue pipe won: the blocked SpMM pushed
+  enough 16x16 MMA ops that the ``mma_tflops`` ceiling was the wall (only
+  the ``tcspmm`` kernel can land here; its ceiling is the MMA roof, not
+  the scalar-issue roof).
 
 Arithmetic intensity is flops over DRAM bytes, and the attainable ceiling
 at that intensity is ``min(peak_flops, AI * peak_bandwidth)`` -- the
@@ -33,7 +37,7 @@ from repro.gpusim.kernel import KernelLaunch
 from repro.obs.counters import LaunchCounters, counters_for_launch
 
 #: Attribution classes, in display order.
-BOUND_CLASSES = ("bandwidth", "compute", "latency", "overhead")
+BOUND_CLASSES = ("bandwidth", "compute", "latency", "overhead", "mma")
 
 
 def peak_gflops(spec) -> float:
@@ -51,6 +55,10 @@ def classify_launch(launch: KernelLaunch) -> str:
     exec_s = launch.exec_time_s
     if launch.overhead_s > exec_s or exec_s == 0.0:
         return "overhead"
+    if launch.mma_time_s > max(
+        launch.compute_time_s, launch.memory_time_s, launch.serial_time_s
+    ):
+        return "mma"
     if launch.serial_time_s > launch.compute_time_s and launch.serial_time_s > launch.memory_time_s:
         return "latency"
     if launch.memory_time_s >= launch.compute_time_s:
@@ -87,6 +95,10 @@ def roofline_for_launch(launch: KernelLaunch, spec) -> LaunchRoofline:
     """Place one launch on the ``spec`` roofline."""
     c = counters_for_launch(launch, spec)
     peak = peak_gflops(spec)
+    if c.mma_ops:
+        # Tensor-core launches are issued against the MMA pipe, so their
+        # compute roof is the mma_tflops ceiling, not the scalar-issue peak.
+        peak = getattr(spec, "mma_tflops", 0.0) * 1e3 or peak
     ai = c.flops / c.dram_bytes if c.dram_bytes else 0.0
     ceiling = min(peak, ai * spec.dram_bandwidth_gbs) if ai > 0 else peak
     frac = c.gflops / ceiling if ceiling > 0 and c.flops else 0.0
@@ -113,6 +125,8 @@ class KernelRoofline:
     requested_load_bytes: int = 0
     flops: int = 0
     atomic_conflicts: int = 0
+    mma_ops: int = 0
+    max_tile_fill: float = 0.0
     max_divergence: float = 1.0
     max_occupancy: float = 0.0
     bound_time_s: dict | None = None  # class -> seconds
@@ -130,6 +144,8 @@ class KernelRoofline:
         self.requested_load_bytes += c.requested_load_bytes
         self.flops += c.flops
         self.atomic_conflicts += c.atomic_conflicts
+        self.mma_ops += c.mma_ops
+        self.max_tile_fill = max(self.max_tile_fill, c.mma_tile_fill)
         self.max_divergence = max(self.max_divergence, c.warp_divergence)
         self.max_occupancy = max(self.max_occupancy, c.occupancy)
         self.bound_time_s[lr.bound] += c.time_s
@@ -161,6 +177,8 @@ class KernelRoofline:
             "requested_load_bytes": self.requested_load_bytes,
             "flops": self.flops,
             "atomic_conflicts": self.atomic_conflicts,
+            "mma_ops": self.mma_ops,
+            "max_tile_fill": self.max_tile_fill,
             "max_divergence": self.max_divergence,
             "max_occupancy": self.max_occupancy,
             "arithmetic_intensity": self.arithmetic_intensity,

@@ -60,6 +60,18 @@ from repro.spmv.veccsc import (
     veccsc_spmv,
     veccsc_spmv_scatter,
 )
+from repro.spmv.pullcsc import (
+    pullcsc_spmm,
+    pullcsc_spmm_scatter,
+    pullcsc_spmv,
+    pullcsc_spmv_scatter,
+)
+from repro.spmv.tcspmm import (
+    tcspmm_spmm,
+    tcspmm_spmm_scatter,
+    tcspmm_spmv,
+    tcspmm_spmv_scatter,
+)
 from repro.spmv.reference import (
     reference_spmm,
     reference_spmm_scatter,
@@ -68,9 +80,16 @@ from repro.spmv.reference import (
 )
 
 KERNEL_NAMES = ("sccooc", "sccsc", "veccsc")
+#: The PR-6 direction-optimised additions: the pull-mode (bottom-up) kernel
+#: and the blocked tensor-core kernel.  Kept out of KERNEL_NAMES (the
+#: paper's three static variants, which drive ``scf`` selection and the
+#: baseline conformance loop) but exercised by their own conformance
+#: configs, the kernel differential and the adaptive dispatcher.
+EXTENDED_KERNEL_NAMES = KERNEL_NAMES + ("pullcsc", "tcspmm")
 
 __all__ = [
     "KERNEL_NAMES",
+    "EXTENDED_KERNEL_NAMES",
     "edgecsc_spmm",
     "edgecsc_spmm_scatter",
     "edgecsc_spmv",
@@ -87,6 +106,14 @@ __all__ = [
     "veccsc_spmm_scatter",
     "veccsc_spmv",
     "veccsc_spmv_scatter",
+    "pullcsc_spmm",
+    "pullcsc_spmm_scatter",
+    "pullcsc_spmv",
+    "pullcsc_spmv_scatter",
+    "tcspmm_spmm",
+    "tcspmm_spmm_scatter",
+    "tcspmm_spmv",
+    "tcspmm_spmv_scatter",
     "reference_spmm",
     "reference_spmm_scatter",
     "reference_spmv",

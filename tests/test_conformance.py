@@ -92,9 +92,12 @@ class TestConfigRegistry:
     def test_covers_every_execution_axis(self):
         configs = default_configs()
         names = {c.name for c in configs}
-        assert len(names) == len(configs) == 17
+        assert len(names) == len(configs) == 21
         for kernel in (*KERNEL_NAMES, "adaptive"):
             for batch in (1, 4, "auto"):
+                assert f"{kernel}/b{batch}" in names
+        for kernel in ("pullcsc", "tcspmm"):
+            for batch in (1, 4):
                 assert f"{kernel}/b{batch}" in names
         by_axes = [c.axes for c in configs]
         assert any(a.get("gpus", 1) > 1 for a in by_axes)
@@ -115,7 +118,8 @@ class TestConfigRegistry:
         assert [c.name for c in filter_configs(configs, ["veccsc"])] == [
             "veccsc/b1", "veccsc/b4", "veccsc/bauto", "veccsc/b4/gpus3"]
         assert [c.name for c in filter_configs(configs, ["*/b1"])] == [
-            "sccooc/b1", "sccsc/b1", "veccsc/b1", "adaptive/b1"]
+            "sccooc/b1", "sccsc/b1", "veccsc/b1", "adaptive/b1",
+            "pullcsc/b1", "tcspmm/b1"]
         assert [c.name for c in filter_configs(configs, ["adaptive*"])] == [
             "adaptive/b1", "adaptive/b4", "adaptive/bauto"]
         assert filter_configs(configs, None) == list(configs)
