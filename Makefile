@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-slow lint conformance-smoke bench-adaptive-smoke bench-kernels-smoke bless perf-gate
+.PHONY: test test-fast test-slow lint conformance-smoke bench-adaptive-smoke bench-kernels-smoke bless perf-gate mem-report-smoke
 
 test:  ## tier-1: the full suite (the ROADMAP verify command)
 	$(PYTEST) -x -q
@@ -40,6 +40,11 @@ perf-gate:  ## run the adaptive smoke bench twice and fail on significant regres
 		--benchmark-disable
 	PYTHONPATH=src python -m repro perf-diff perf-gate-base.json \
 		BENCH_adaptive.json --report perf-gate-report.md
+
+mem-report-smoke:  ## allocation-profiler report on the mawi trace (CI artifact)
+	PYTHONPATH=src python -m repro mem-report mawi_201512012345 \
+		--sources 2 --out mem-report.md --json mem-report.json \
+		--jsonl mem-report.jsonl
 
 bless:  ## regenerate tests/golden/ from the Brandes oracle (review the diff)
 	PYTHONPATH=src python -m repro conformance --bless

@@ -31,9 +31,10 @@ from repro.core.result import BCResult, BCRunStats
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_sigma_levels
 from repro.gpusim.device import Device
+from repro.gpusim.errors import DeviceOutOfMemoryError
 from repro.gpusim.kernel import KernelStats
 from repro.gpusim import warp as W
-from repro.perf.memory_model import GUNROCK_WORKSPACE_WORDS_PER_VERTEX
+from repro.perf.memory_model import GUNROCK_WORKSPACE_WORDS_PER_VERTEX, advise_fit
 
 #: Bookkeeping kernels per forward level besides the two advances:
 #: filter/compact, bitmask update, frontier bookkeeping.
@@ -117,9 +118,16 @@ def _alloc_gunrock_arrays(device: Device, graph: Graph) -> list:
             mem.alloc("enactor_workspace",
                       GUNROCK_WORKSPACE_WORDS_PER_VERTEX * n, np.int32)
         )
-    except Exception:
+    except Exception as exc:
         for arr in arrays:
             mem.free(arr)
+        if isinstance(exc, DeviceOutOfMemoryError) and exc.advice is None:
+            # The gunrock OOM is the Table 4 scenario; attach the what-if
+            # advisor so the forensic report can say how much smaller the
+            # graph would have to be (DESIGN.md §13).
+            exc.advice = advise_fit(
+                mem.capacity_bytes, graph.n, graph.m, system="gunrock"
+            )
         raise
     return arrays
 

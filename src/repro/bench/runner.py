@@ -19,7 +19,7 @@ from dataclasses import replace as _dc_replace
 
 from repro.gpusim.device import Device, DeviceSpec, TITAN_XP
 from repro.gpusim.errors import DeviceOutOfMemoryError
-from repro.perf.memory_model import FootprintModel
+from repro.perf.memory_model import FootprintModel, advise_fit
 from repro.perf.mteps import bc_per_vertex_mteps, exact_bc_mteps
 
 logger = logging.getLogger(__name__)
@@ -93,7 +93,10 @@ def run_bc_per_vertex(
     logger.debug("bc/vertex %s: n=%d m=%d", entry.name, graph.n, graph.m)
     telemetry = None
     if collect_telemetry:
-        with obs.session(trace=False) as tel:
+        # trace off (span trees are bulky), memtrace on: the snapshot then
+        # carries the mem_* gauges (mem_peak_bytes above all) the perf gate
+        # treats as lower-is-better (DESIGN.md §13).
+        with obs.session(trace=False, memtrace=True) as tel:
             result = turbo_bc(
                 graph, sources=entry.source, algorithm=entry.algorithm, device=device
             )
@@ -166,7 +169,7 @@ def run_exact_bc(
     logger.debug("exact bc %s: sampling %d of %d sources", entry.name, k, n)
     telemetry = None
     if collect_telemetry:
-        with obs.session(trace=False) as tel:
+        with obs.session(trace=False, memtrace=True) as tel:
             result = turbo_bc(graph, sources=sources, algorithm=entry.algorithm)
         telemetry = tel.snapshot()
     else:
@@ -215,19 +218,28 @@ def check_paper_scale_memory(
         "turbobc_fits": model.fits(capacity_bytes, system="turbobc", fmt=fmt),
         "gunrock_fits": model.fits(capacity_bytes, system="gunrock"),
     }
-    # Cross-check with the allocator: plan the actual array sets.
+    # Cross-check with the allocator: plan the actual array sets.  Failed
+    # plans keep their forensic payload: the what-if advisor's max_n (the
+    # largest graph at this density that *would* fit) lands in the verdict.
     dev = Device(backed=False)
     try:
         _plan_turbobc_arrays(dev, n, m, fmt)
         verdict["turbobc_alloc_ok"] = True
-    except DeviceOutOfMemoryError:
+    except DeviceOutOfMemoryError as exc:
+        if exc.advice is None:
+            exc.advice = advise_fit(capacity_bytes, n, m,
+                                    system="turbobc", fmt=fmt)
         verdict["turbobc_alloc_ok"] = False
+        verdict["turbobc_max_n"] = exc.advice.max_n
     dev = Device(backed=False)
     try:
         _plan_gunrock_arrays(dev, n, m)
         verdict["gunrock_alloc_ok"] = True
-    except DeviceOutOfMemoryError:
+    except DeviceOutOfMemoryError as exc:
+        if exc.advice is None:
+            exc.advice = advise_fit(capacity_bytes, n, m, system="gunrock")
         verdict["gunrock_alloc_ok"] = False
+        verdict["gunrock_max_n"] = exc.advice.max_n
     return verdict
 
 

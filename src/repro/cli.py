@@ -13,7 +13,10 @@ Three subcommands cover the workflows a user reaches for first:
 * ``suite`` -- list the whole 33-graph benchmark registry;
 * ``conformance`` -- differential fuzzing of every execution configuration
   against the Brandes oracle, metamorphic oracles, and the golden
-  regression corpus (see DESIGN.md §9); ``--bless`` regenerates the corpus.
+  regression corpus (see DESIGN.md §9); ``--bless`` regenerates the corpus;
+* ``mem-report`` -- run TurboBC under the allocation-timeline profiler and
+  render the memory report: watermark attribution (100%% of peak named),
+  arena fragmentation, OOM forensics (see DESIGN.md §13).
 
 ``--log-level`` configures structured :mod:`logging` for every subcommand
 (progress and diagnostics go to the log, results to stdout).  Usage errors
@@ -340,6 +343,59 @@ def cmd_perf_report(args) -> int:
     return 0
 
 
+def cmd_mem_report(args) -> int:
+    from repro import Device, obs, turbo_bc
+    from repro.core.bc import select_algorithm
+    from repro.core.context import ALGORITHMS
+    from repro.gpusim.errors import DeviceOutOfMemoryError
+
+    _check_distinct_outputs(args, {
+        "--out": args.out,
+        "--json": args.json_out,
+        "--jsonl": args.jsonl_out,
+    })
+    graph = _load_graph(args.graph)
+    sources = list(range(args.sources)) if args.sources is not None else None
+    alg_name = args.algorithm or select_algorithm(graph).name
+    fmt = ALGORITHMS[alg_name][0]
+    device = Device()
+    oom = None
+    with obs.session(trace=True, memtrace=True) as tel:
+        try:
+            turbo_bc(
+                graph,
+                sources=sources,
+                algorithm=alg_name,
+                device=device,
+                forward_dtype="auto",
+                batch_size=args.batch_size,
+                direction=args.direction,
+            )
+        except DeviceOutOfMemoryError as exc:
+            oom = exc  # the report still renders: OOM forensics are the point
+    batch = args.batch_size if isinstance(args.batch_size, int) else 1
+    title = f"mem-report: {args.graph} ({alg_name})"
+    report = obs.build_mem_report(
+        tel, device=device, graph=graph, fmt=fmt, batch=batch, title=title
+    )
+    text = obs.render_mem_report(report)
+    if oom is not None:
+        text += "\n## Failure forensics\n\n```\n" + oom.forensics() + "\n```\n"
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        logger.info("mem report written to %s", args.out)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        logger.info("mem report JSON written to %s", args.json_out)
+    if args.jsonl_out:
+        obs.write_jsonl_records(args.jsonl_out, obs.mem_report_records(report))
+        logger.info("mem report JSONL written to %s", args.jsonl_out)
+    return 1 if oom is not None else 0
+
+
 def cmd_suite(args) -> int:
     from repro.graphs import suite
 
@@ -473,6 +529,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--json", dest="json_out", metavar="FILE",
                         help="write roofline/audit/drift as JSON")
     p_perf.set_defaults(func=cmd_perf_report)
+
+    p_mem = sub.add_parser(
+        "mem-report",
+        help="run TurboBC under the allocation profiler and render the "
+             "watermark/fragmentation/OOM memory report",
+    )
+    p_mem.add_argument("graph", help="suite name, .mtx file, or edge-list file")
+    p_mem.add_argument("--sources", type=int, default=None, metavar="N",
+                       help="run the first N vertices as sources "
+                            "(default: exact BC, all sources)")
+    p_mem.add_argument("--algorithm",
+                       choices=("sccooc", "sccsc", "veccsc", "pullcsc",
+                                "tcspmm", "adaptive"),
+                       default=None,
+                       help="pin the kernel (default: static auto by scf)")
+    p_mem.add_argument("--direction", choices=("auto", "push", "pull"),
+                       default="auto")
+    p_mem.add_argument("--batch-size", type=_batch_size_arg, default=1,
+                       metavar="B|auto")
+    p_mem.add_argument("--out", metavar="FILE",
+                       help="also write the markdown report to FILE")
+    p_mem.add_argument("--json", dest="json_out", metavar="FILE",
+                       help="write the structured report as JSON")
+    p_mem.add_argument("--jsonl", dest="jsonl_out", metavar="FILE",
+                       help="write flat report records as JSONL (bench "
+                            "tooling / jq)")
+    p_mem.set_defaults(func=cmd_mem_report)
 
     p_conf = sub.add_parser(
         "conformance",

@@ -23,7 +23,7 @@ def accumulate_dependencies(ctx: TurboBCContext, fwd: BFSResult) -> np.ndarray:
     vectors first (Section 3.4's allocation choreography).  ``fwd.sigma``
     and ``fwd.levels`` are read in place.
     """
-    with obs.span("backward", source=fwd.source):
+    with obs.span("backward", source=fwd.source, phase="backward"):
         delta, _delta_u, _delta_ut = ctx.swap_to_backward()
         sigma = fwd.sigma
         S = fwd.levels
@@ -52,7 +52,7 @@ def accumulate_dependencies_batch(ctx: TurboBCContext, fwd: BatchedBFSResult) ->
     per-source :func:`accumulate_dependencies`.  Per-lane results are
     bit-identical to the sequential stage.
     """
-    with obs.span("backward", sources=fwd.sources, batch=fwd.batch_size):
+    with obs.span("backward", sources=fwd.sources, batch=fwd.batch_size, phase="backward"):
         Delta, _Delta_u, _Delta_ut = ctx.swap_to_backward_batch()
         Sigma = fwd.sigma
         S = fwd.levels

@@ -118,18 +118,16 @@ def _batched_footprint_bytes(graph: Graph, batch: int, fmt: str,
                              forward_dtype, backward_dtype) -> int:
     """Actual peak bytes of a batched run with the given vector dtypes.
 
-    The word model (:func:`turbobc_batched_footprint_words`) assumes 4-byte
-    words; float64 re-runs double the vector terms, so the driver's
-    admission check recomputes the same shape in bytes.
+    Delegates to the single source of truth in
+    :func:`repro.perf.memory_model.turbobc_batched_footprint_bytes`, so the
+    admission check, the footprint plots and the OOM what-if advisor can
+    never drift apart.
     """
-    n, m = graph.n, graph.m
-    fwd = np.dtype(forward_dtype).itemsize
-    bwd = np.dtype(backward_dtype).itemsize
-    matrix = (n + 1 + m) * 4 if fmt == "csc" else 2 * m * 4
-    fixed = matrix + n * bwd  # the stored format + bc
-    forward_peak = batch * n * (3 * fwd + 4)           # F, Ft, Sigma + S
-    backward_peak = batch * n * (fwd + 4 + 3 * bwd)    # Sigma, S + three deltas
-    return fixed + max(forward_peak, backward_peak)
+    from repro.perf.memory_model import turbobc_batched_footprint_bytes
+
+    return turbobc_batched_footprint_bytes(
+        graph.n, graph.m, batch, fmt, forward_dtype, backward_dtype
+    )
 
 
 def _auto_batch_size(graph: Graph, device: Device, n_sources: int, fmt: str,
@@ -153,6 +151,35 @@ def _auto_batch_size(graph: Graph, device: Device, n_sources: int, fmt: str,
         return 1
     batch = int(headroom // per_lane)
     return max(1, min(batch, n_sources, _AUTO_BATCH_CAP))
+
+
+def _advise_for_failed_run(exc, graph: Graph, algorithm, forward_dtype,
+                           backward_dtype, batch_size):
+    """Best-effort :class:`~repro.perf.memory_model.FitAdvice` for an OOM
+    that escaped :func:`turbo_bc` without advice (a raw allocation failure
+    rather than an admission rejection): re-resolve the run configuration
+    the same way the driver would and invert the footprint model against
+    the failing device's capacity."""
+    from repro.perf.memory_model import advise_fit
+
+    try:
+        if isinstance(algorithm, str):
+            algorithm = TurboBCAlgorithm(algorithm)
+        if algorithm is None:
+            algorithm = select_algorithm(graph)
+        fmt = ALGORITHMS[algorithm.name][0]
+    except Exception:
+        fmt = "csc"
+    dtype_is_auto = isinstance(forward_dtype, str) and forward_dtype == "auto"
+    # "auto" may be promoted to float64 by the overflow re-run, so the
+    # advice must hold for the worst-case dtypes the run could reach.
+    fdt = np.float64 if dtype_is_auto else forward_dtype
+    bdt = np.float64 if dtype_is_auto else backward_dtype
+    batch = batch_size if isinstance(batch_size, int) and batch_size >= 1 else 1
+    return advise_fit(
+        exc.capacity, graph.n, graph.m, system="turbobc", fmt=fmt,
+        batch=batch, forward_dtype=fdt, backward_dtype=bdt,
+    )
 
 
 def turbo_bc(
@@ -214,7 +241,49 @@ def turbo_bc(
         ``bc`` in float64 with Brandes' convention (undirected contributions
         halved); ``stats`` carries the modeled device time, launch count,
         transfer time and peak memory.
+
+    Raises
+    ------
+    DeviceOutOfMemoryError
+        When the run cannot fit the device.  Every escape path carries the
+        forensic payload of DESIGN.md §13: the live-allocation table, the
+        run phase, and a :class:`~repro.perf.memory_model.FitAdvice`
+        reporting the largest ``n`` / ``batch_size`` / dtype configuration
+        that *would* have fit.
     """
+    try:
+        return _turbo_bc_impl(
+            graph,
+            sources=sources,
+            algorithm=algorithm,
+            device=device,
+            forward_dtype=forward_dtype,
+            backward_dtype=backward_dtype,
+            batch_size=batch_size,
+            keep_forward=keep_forward,
+            direction=direction,
+        )
+    except DeviceOutOfMemoryError as exc:
+        if exc.advice is None:
+            exc.advice = _advise_for_failed_run(
+                exc, graph, algorithm, forward_dtype, backward_dtype, batch_size
+            )
+        raise
+
+
+def _turbo_bc_impl(
+    graph: Graph,
+    *,
+    sources=None,
+    algorithm: str | TurboBCAlgorithm | None = None,
+    device: Device | None = None,
+    forward_dtype="auto",
+    backward_dtype=np.float32,
+    batch_size: int | str = 1,
+    keep_forward: bool = False,
+    direction: str = "auto",
+) -> BCResult:
+    """The body of :func:`turbo_bc` (which adds the OOM-advice guarantee)."""
     if isinstance(algorithm, str):
         algorithm = TurboBCAlgorithm(algorithm)
     if algorithm is None:
@@ -254,10 +323,28 @@ def turbo_bc(
             _batched_footprint_bytes(graph, 1, fmt, worst_fdt, worst_bdt),
         )
         if not device.memory.fits(need):
-            raise DeviceOutOfMemoryError(
+            # This OOM never reaches DeviceMemory.alloc (it is admission
+            # control, not an allocation), so the forensic payload -- the
+            # terminal telemetry event, the live table, and the what-if
+            # advice -- is assembled here (DESIGN.md §13).
+            from repro.perf.memory_model import advise_fit
+
+            what = f"batched working set (B={batch})"
+            tel = obs.get_telemetry()
+            phase = None
+            if tel is not None:
+                phase = tel.on_oom(what, need, device.memory.used_bytes,
+                                   device.memory.capacity_bytes)
+            exc = DeviceOutOfMemoryError(
                 need, device.memory.used_bytes, device.memory.capacity_bytes,
-                f"batched working set (B={batch})",
+                what, live=device.memory.live_table(), phase=phase,
             )
+            exc.advice = advise_fit(
+                device.memory.free_bytes, graph.n, graph.m,
+                system="turbobc", fmt=fmt, batch=batch,
+                forward_dtype=admission_fdt, backward_dtype=backward_dtype,
+            )
+            raise exc
         return _turbo_bc_batched(
             graph,
             src_list,

@@ -280,6 +280,12 @@ class TurboBCContext:
         if tel is not None and tel.metrics is not None and self._arena is not None:
             tel.metrics.counter("arena_carves").inc(self._arena.carves)
             tel.metrics.counter("arena_reuses").inc(self._arena.reuses)
+            if self._arena.fallback_oversized:
+                tel.metrics.counter("arena_fallbacks", reason="oversized").inc(
+                    self._arena.fallback_oversized)
+            if self._arena.fallback_fragmented:
+                tel.metrics.counter("arena_fallbacks", reason="fragmented").inc(
+                    self._arena.fallback_fragmented)
 
     def abort(self) -> None:
         """Free everything device-side without transferring results."""

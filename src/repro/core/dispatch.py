@@ -100,6 +100,10 @@ class DispatchDecision:
     def span_attrs(self) -> dict:
         """Attributes recorded on the level span for this decision."""
         return {
+            # The run phase this level belongs to -- the memory profiler's
+            # phase derivation reads it when the span *names* alone don't
+            # identify the stage (DESIGN.md §13).
+            "phase": self.stage,
             f"{self.stage}_kernel": self.kernel,
             f"{self.stage}_direction": self.direction,
             "nnz_frontier": self.nnz_frontier,

@@ -48,7 +48,7 @@ def bfs_forward(ctx: TurboBCContext, source: int) -> BFSResult:
     depth = 0
     frontier_sizes: list[int] = []
     tel = obs.get_telemetry()
-    with obs.span("forward", source=source):
+    with obs.span("forward", source=source, phase="forward"):
         f[source] = 1
         sigma[source] = 1
         FK.init_source_kernel(ctx.device, n, tag="d=1")
@@ -123,7 +123,7 @@ def bfs_forward_batch(ctx: TurboBCContext, sources) -> BatchedBFSResult:
 
     lanes = np.arange(B)
     tel = obs.get_telemetry()
-    with obs.span("forward", sources=src, batch=B):
+    with obs.span("forward", sources=src, batch=B, phase="forward"):
         F[src, lanes] = 1
         Sigma[src, lanes] = 1
         FK.init_sources_kernel(ctx.device, n, B, tag="d=1")

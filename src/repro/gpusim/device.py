@@ -164,6 +164,9 @@ class Device:
         """Free all memory and clear the profiler (fresh run)."""
         self.memory.free_all()
         self.profiler.clear()
+        tel = get_telemetry()
+        if tel is not None and tel.memtrace is not None:
+            tel.memtrace.on_device_reset()
 
     def __repr__(self) -> str:
         return (

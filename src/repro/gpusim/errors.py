@@ -12,18 +12,58 @@ class DeviceOutOfMemoryError(GpuSimError):
 
     The simulated analogue of ``cudaErrorMemoryAllocation``; the Table 4
     gunrock "OOM" entries of the paper are reproduced by catching this.
+
+    Beyond the four sizing fields, the error carries a forensic payload
+    (DESIGN.md §13): ``live`` is the allocator's live-allocation table at
+    the moment of failure (largest first), ``phase`` the run phase the
+    failed request happened in (when a telemetry session was active), and
+    ``advice`` a :class:`~repro.perf.memory_model.FitAdvice` attached by
+    the drivers -- the what-if inversion of the footprint model reporting
+    the largest ``n`` / ``batch_size`` / dtype config that *would* have
+    fit.  All three are optional so existing positional construction keeps
+    working.
     """
 
-    def __init__(self, requested: int, used: int, capacity: int, name: str = ""):
+    def __init__(self, requested: int, used: int, capacity: int, name: str = "",
+                 *, live=None, phase: str | None = None):
         self.requested = int(requested)
         self.used = int(used)
         self.capacity = int(capacity)
         self.name = name
+        #: ``[(array_name, nbytes), ...]`` live at failure, largest first.
+        self.live: list[tuple[str, int]] | None = (
+            [(str(n), int(b)) for n, b in live] if live is not None else None
+        )
+        #: Run phase at failure (``setup``/``forward``/``backward``/``rerun``).
+        self.phase = phase
+        #: What-if advice (:class:`repro.perf.memory_model.FitAdvice`),
+        #: attached post-construction by whichever driver knows the graph.
+        self.advice = None
         what = f" for {name!r}" if name else ""
         super().__init__(
             f"device out of memory{what}: requested {requested} B with "
             f"{used} B in use of {capacity} B capacity"
         )
+
+    @property
+    def shortfall_bytes(self) -> int:
+        """Bytes by which the request overshot the remaining capacity."""
+        return self.requested + self.used - self.capacity
+
+    def forensics(self) -> str:
+        """Multi-line human-readable failure report (live table + advice)."""
+        lines = [
+            str(self),
+            f"  shortfall: {self.shortfall_bytes} B"
+            + (f" (phase: {self.phase})" if self.phase else ""),
+        ]
+        if self.live:
+            lines.append("  live allocations at failure:")
+            for name, nbytes in self.live:
+                lines.append(f"    {name:24s} {nbytes / 2**20:10.2f} MiB")
+        if self.advice is not None:
+            lines.append(f"  advice: {self.advice.summary()}")
+        return "\n".join(lines)
 
 
 class InvalidKernelError(GpuSimError):

@@ -95,7 +95,17 @@ class DeviceMemory:
         if nbytes < 0:
             raise ValueError(f"negative allocation size for {name!r}")
         if self.used_bytes + nbytes > self.capacity_bytes:
-            raise DeviceOutOfMemoryError(nbytes, self.used_bytes, self.capacity_bytes, name)
+            # Terminal telemetry event *before* raising, so a trace of the
+            # run shows the failed attempt and not just the exception; the
+            # error itself carries the live-allocation table (DESIGN.md §13).
+            tel = get_telemetry()
+            phase = None
+            if tel is not None:
+                phase = tel.on_oom(name, nbytes, self.used_bytes, self.capacity_bytes)
+            raise DeviceOutOfMemoryError(
+                nbytes, self.used_bytes, self.capacity_bytes, name,
+                live=self.live_table(), phase=phase,
+            )
         data = np.zeros(shape, dtype=dtype) if self.backed else None
         arr = DeviceArray(name, shape, dtype, data)
         self.used_bytes += arr.nbytes
@@ -104,7 +114,7 @@ class DeviceMemory:
         self._live[id(arr)] = arr
         tel = get_telemetry()
         if tel is not None:
-            tel.on_memory(self.used_bytes, arr.nbytes, name)
+            tel.on_memory(self.used_bytes, arr.nbytes, name, obj=arr)
         return arr
 
     def free(self, arr: DeviceArray) -> None:
@@ -117,7 +127,7 @@ class DeviceMemory:
         arr._data = None
         tel = get_telemetry()
         if tel is not None:
-            tel.on_memory(self.used_bytes, -arr.nbytes, arr.name)
+            tel.on_memory(self.used_bytes, -arr.nbytes, arr.name, obj=arr)
 
     def reset_run_peak(self) -> int:
         """Rebase the resettable high-water mark to current usage.
@@ -180,6 +190,18 @@ class DeviceMemory:
     @property
     def live_arrays(self) -> list[DeviceArray]:
         return list(self._live.values())
+
+    def live_table(self) -> list[tuple[str, int]]:
+        """``(name, nbytes)`` for every live allocation, largest first.
+
+        This is the forensic table attached to every
+        :class:`DeviceOutOfMemoryError` -- what was resident when the
+        request failed.
+        """
+        return sorted(
+            ((arr.name, arr.nbytes) for arr in self._live.values()),
+            key=lambda t: (-t[1], t[0]),
+        )
 
     def usage_report(self) -> str:
         """Human-readable allocation table (largest first)."""
@@ -274,7 +296,12 @@ class DeviceArena:
         self._free_list: list[tuple[int, int]] = []   # sorted (offset, nbytes)
         self.carves = 0          # blocks served from the slab
         self.reuses = 0          # slab carves after bytes started recycling
-        self.fallback_allocs = 0  # oversized carves routed to DeviceMemory
+        self.fallback_allocs = 0  # carves routed to DeviceMemory (any reason)
+        #: Fallbacks split by reason: ``oversized`` = the request exceeds the
+        #: slab's total free bytes; ``fragmented`` = the bytes exist but no
+        #: single free-list hole is large enough (DESIGN.md §13).
+        self.fallback_oversized = 0
+        self.fallback_fragmented = 0
         self._recycled = False   # has any block been released back yet?
 
     # -- slab lifecycle ------------------------------------------------------
@@ -290,6 +317,9 @@ class DeviceArena:
             self.carves = 0
             self.reuses = 0
             self._recycled = False
+            tel = get_telemetry()
+            if tel is not None and tel.memtrace is not None:
+                tel.memtrace.on_arena_slab(self)
 
     def destroy(self) -> None:
         """Free the slab (tolerates a prior ``free_all``/device reset)."""
@@ -326,8 +356,23 @@ class DeviceArena:
                 self.carves += 1
                 if self._recycled:
                     self.reuses += 1
+                tel = get_telemetry()
+                if tel is not None and tel.memtrace is not None:
+                    tel.memtrace.on_carve(self, block)
                 return block
+        # No hole fits.  Distinguish *why*: an oversized request could never
+        # be served from this slab, while a fragmented one would fit the
+        # total free bytes if they were contiguous -- the distinction drives
+        # the fragmentation telemetry and the mem-report verdicts.
+        reason = "fragmented" if nbytes <= self.free_bytes else "oversized"
         self.fallback_allocs += 1
+        if reason == "fragmented":
+            self.fallback_fragmented += 1
+        else:
+            self.fallback_oversized += 1
+        tel = get_telemetry()
+        if tel is not None and tel.memtrace is not None:
+            tel.memtrace.on_fallback(self, name, nbytes, reason)
         return self.memory.alloc(name, shape, dtype)
 
     def release(self, block: ArenaBlock) -> None:
@@ -357,6 +402,9 @@ class DeviceArena:
             if poff + psize == off:
                 self._free_list[lo - 1] = (poff, psize + size)
                 del self._free_list[lo]
+        tel = get_telemetry()
+        if tel is not None and tel.memtrace is not None:
+            tel.memtrace.on_release(self, block)
 
     # -- inspection ----------------------------------------------------------
 
@@ -364,3 +412,23 @@ class DeviceArena:
     def free_bytes(self) -> int:
         """Unreserved bytes currently in the slab's free list."""
         return sum(size for _, size in self._free_list)
+
+    @property
+    def hole_count(self) -> int:
+        """Number of disjoint holes in the slab's free list."""
+        return len(self._free_list)
+
+    @property
+    def largest_hole_bytes(self) -> int:
+        """Size of the largest contiguous free hole (0 for a full slab)."""
+        return max((size for _, size in self._free_list), default=0)
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        """``1 - largest_hole / free_bytes``: 0 = one contiguous hole,
+        approaching 1 as the free bytes shatter into many small holes.  0.0
+        when nothing is free (a full slab is not fragmented, just full)."""
+        free = self.free_bytes
+        if free <= 0:
+            return 0.0
+        return 1.0 - self.largest_hole_bytes / free

@@ -19,6 +19,13 @@ Performance attribution (DESIGN.md §11) builds on those:
   behind ``repro perf-diff`` / ``make perf-gate``;
 * :mod:`repro.obs.report` -- the ``repro perf-report`` markdown renderer.
 
+Memory observability (DESIGN.md §13) adds:
+
+* :mod:`repro.obs.memtrace` -- the opt-in allocation-timeline profiler
+  (``session(memtrace=True)``): per-array lifetimes, watermark attribution,
+  arena fragmentation telemetry, OOM forensics;
+* :mod:`repro.obs.memreport` -- the ``repro mem-report`` document builder.
+
 :mod:`repro.obs.telemetry` ties them together: a :class:`RunTelemetry` holds
 one run's tracer + registry, and :func:`session` installs it as the active
 sink the instrumented simulator and drivers feed.  With no active session
@@ -48,6 +55,13 @@ from repro.obs.export import (
     write_jsonl,
     write_jsonl_records,
 )
+from repro.obs.memreport import (
+    MemReport,
+    build_mem_report,
+    mem_report_records,
+    render_mem_report,
+)
+from repro.obs.memtrace import MemEvent, MemLifetime, MemTrace
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.regress import (
     RegressionReport,
@@ -78,6 +92,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LaunchCounters",
+    "MemEvent",
+    "MemLifetime",
+    "MemReport",
+    "MemTrace",
     "MetricsRegistry",
     "NOOP_SPAN",
     "RegressionReport",
@@ -88,6 +106,7 @@ __all__ = [
     "activate",
     "audit_dispatch",
     "bootstrap_ratio_ci",
+    "build_mem_report",
     "classify_launch",
     "compare_metrics",
     "counters_for_launch",
@@ -96,7 +115,9 @@ __all__ = [
     "get_telemetry",
     "jsonl_records",
     "launch_drift",
+    "mem_report_records",
     "perf_report_for_run",
+    "render_mem_report",
     "render_perf_report",
     "roofline_for_launch",
     "roofline_report",

@@ -20,6 +20,7 @@ from repro.obs.trace import Span
 
 _HOST_TID = 1
 _GPU_TID = 2
+_MEM_TID = 3
 _US = 1e6  # chrome-trace timestamps are microseconds
 
 
@@ -42,6 +43,49 @@ def chrome_trace_events(telemetry: RunTelemetry, *, pid: int = 1) -> list[dict]:
         events.append({
             "ph": "C", "pid": pid, "tid": _HOST_TID, "name": "device_mem_used",
             "ts": wall_s * _US, "args": {"bytes": used},
+        })
+    if telemetry.memtrace is not None:
+        events.extend(_memtrace_events(telemetry.memtrace, pid))
+    return events
+
+
+def _memtrace_events(mt, pid: int) -> list[dict]:
+    """The memory track (tid 3): one duration slice per array lifetime,
+    arena-fragmentation counter tracks, and OOM instants (DESIGN.md §13)."""
+    events: list[dict] = [
+        {"ph": "M", "pid": pid, "tid": _MEM_TID, "name": "thread_name",
+         "args": {"name": "memory (lifetimes)"}},
+    ]
+    horizon = mt.last_wall_s
+    for lt in mt.lifetimes:
+        end = lt.end_s if lt.end_s is not None else horizon
+        events.append({
+            "ph": "X", "pid": pid, "tid": _MEM_TID,
+            "name": f"{lt.name} [{lt.scope}]",
+            "ts": lt.start_s * _US,
+            "dur": max(0.0, end - lt.start_s) * _US,
+            "args": {
+                "nbytes": lt.nbytes, "scope": lt.scope, "phase": lt.phase,
+                "dtype": lt.dtype, "shape": list(lt.shape),
+                "still_live": lt.end_s is None,
+            },
+        })
+    for wall_s, arena, holes, largest, free, frag in mt.frag_timeline:
+        events.append({
+            "ph": "C", "pid": pid, "tid": _MEM_TID, "name": f"{arena}_holes",
+            "ts": wall_s * _US, "args": {"holes": holes},
+        })
+        events.append({
+            "ph": "C", "pid": pid, "tid": _MEM_TID, "name": f"{arena}_frag",
+            "ts": wall_s * _US,
+            "args": {"largest_hole_bytes": largest, "free_bytes": free,
+                     "frag_ratio": round(frag, 6)},
+        })
+    for oom in mt.oom_events:
+        events.append({
+            "ph": "i", "pid": pid, "tid": _MEM_TID, "name": "OOM",
+            "ts": oom["wall_s"] * _US, "s": "g",
+            "args": {k: v for k, v in oom.items() if k != "wall_s"},
         })
     return events
 
@@ -114,6 +158,14 @@ def jsonl_records(telemetry: RunTelemetry) -> list[dict]:
         _flatten(root, 0, records)
     for wall_s, used in telemetry.memory_timeline:
         records.append({"type": "memory", "wall_s": wall_s, "used_bytes": used})
+    if telemetry.memtrace is not None:
+        mt = telemetry.memtrace
+        for lt in mt.lifetimes:
+            records.append({"type": "mem_lifetime", **lt.to_dict()})
+        for ev in mt.events:
+            records.append({"type": "mem_event", **ev.to_dict()})
+        for oom in mt.oom_events:
+            records.append({"type": "mem_oom", **oom})
     return records
 
 

@@ -1,0 +1,246 @@
+"""The ``repro mem-report`` document: watermark attribution + forensics.
+
+Turns one memtrace-enabled telemetry session (``obs.session(memtrace=True)``)
+into a reviewable memory report (DESIGN.md §13):
+
+* **watermark attribution** -- every byte of the run's peak named: direct
+  device arrays, arena-carved blocks, and the arena's free remainder, with
+  the phase each was allocated in.  The rows sum to 100% of the peak *by
+  construction*; :func:`build_mem_report` asserts it anyway, so a report
+  that renders is a report whose accounting closed.
+* **fragmentation telemetry** -- per-arena carve/release traffic, fallback
+  reasons (``oversized`` vs ``fragmented``), worst-case hole counts;
+* **model comparison** -- the measured peak against the paper's
+  ``7n + 1 + m`` footprint model when the graph is known;
+* **OOM forensics** -- any failed allocation attempts the session saw.
+
+Three faces: :func:`build_mem_report` (the structured document),
+:func:`render_mem_report` (markdown for humans and CI artifacts),
+:func:`mem_report_records` (JSONL for the bench tooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _mib(nbytes: int | float) -> float:
+    return nbytes / 2**20
+
+
+@dataclass
+class MemReport:
+    """One run's memory accounting, closed to the byte."""
+
+    title: str
+    peak_bytes: int
+    peak_phase: str
+    peak_wall_s: float
+    attributed_bytes: int
+    #: Watermark rows (largest first): name, scope, phase, nbytes, pct.
+    watermark: list[dict]
+    #: Bytes allocated per phase over the whole run (not just at peak).
+    phase_alloc_bytes: dict[str, int]
+    arenas: list[dict]
+    n_events: int
+    n_lifetimes: int
+    oom_events: list[dict]
+    fallbacks: dict[str, int]
+    #: Measured peak vs the paper's footprint model (when the graph is known).
+    model: dict | None = None
+    device: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.obs/mem-report/v1",
+            "title": self.title,
+            "peak_bytes": self.peak_bytes,
+            "peak_phase": self.peak_phase,
+            "peak_wall_s": self.peak_wall_s,
+            "attributed_bytes": self.attributed_bytes,
+            "watermark": list(self.watermark),
+            "phase_alloc_bytes": dict(self.phase_alloc_bytes),
+            "arenas": list(self.arenas),
+            "n_events": self.n_events,
+            "n_lifetimes": self.n_lifetimes,
+            "oom_events": list(self.oom_events),
+            "fallbacks": dict(self.fallbacks),
+            "model": self.model,
+            "device": self.device,
+        }
+
+
+def build_mem_report(telemetry, *, device=None, graph=None, fmt: str = "csc",
+                     batch: int = 1, title: str = "memory report") -> MemReport:
+    """Assemble the report from a memtrace-enabled session.
+
+    ``device`` (optional) contributes capacity and the allocator's own
+    ``run_peak_bytes`` for cross-checking; ``graph`` (optional) enables the
+    footprint-model comparison at the given format and batch size.
+
+    Raises ``ValueError`` if the session ran without ``memtrace=True`` --
+    there is nothing to attribute -- or if the watermark rows fail to sum
+    to the observed peak (an accounting bug, never expected).
+    """
+    mt = getattr(telemetry, "memtrace", None)
+    if mt is None:
+        raise ValueError(
+            "telemetry session has no memtrace; run under "
+            "obs.session(memtrace=True) to build a memory report"
+        )
+    peak = mt.peak_bytes
+    rows = []
+    for r in mt.watermark:
+        rows.append({**r, "pct": (100.0 * r["nbytes"] / peak) if peak else 0.0})
+    attributed = sum(r["nbytes"] for r in rows)
+    if attributed != peak:
+        raise ValueError(
+            f"watermark attribution does not close: rows sum to {attributed} B "
+            f"but the observed peak is {peak} B"
+        )
+    phase_alloc: dict[str, int] = {}
+    for lt in mt.lifetimes:
+        if lt.scope == "slab":
+            continue  # slab bytes are attributed through the carved blocks
+        phase_alloc[lt.phase] = phase_alloc.get(lt.phase, 0) + lt.nbytes
+    arenas = mt.arena_summaries()
+    fallbacks: dict[str, int] = {}
+    for a in arenas:
+        for reason, count in a["fallbacks"].items():
+            fallbacks[reason] = fallbacks.get(reason, 0) + count
+    model = None
+    if graph is not None:
+        from repro.perf.memory_model import turbobc_batched_footprint_bytes
+
+        model_bytes = turbobc_batched_footprint_bytes(graph.n, graph.m,
+                                                      max(1, int(batch)), fmt)
+        model = {
+            "n": int(graph.n),
+            "m": int(graph.m),
+            "fmt": fmt,
+            "batch": max(1, int(batch)),
+            "model_bytes": int(model_bytes),
+            "measured_bytes": int(peak),
+            "delta_bytes": int(peak - model_bytes),
+        }
+    dev = None
+    if device is not None:
+        dev = {
+            "capacity_bytes": int(device.memory.capacity_bytes),
+            "run_peak_bytes": int(device.memory.run_peak_bytes),
+            "planned": not device.memory.backed,
+        }
+    return MemReport(
+        title=title,
+        peak_bytes=peak,
+        peak_phase=mt.peak_phase,
+        peak_wall_s=mt.peak_wall_s,
+        attributed_bytes=attributed,
+        watermark=rows,
+        phase_alloc_bytes=phase_alloc,
+        arenas=arenas,
+        n_events=len(mt.events),
+        n_lifetimes=len(mt.lifetimes),
+        oom_events=list(mt.oom_events),
+        fallbacks=fallbacks,
+        model=model,
+        device=dev,
+    )
+
+
+def render_mem_report(report: MemReport) -> str:
+    """The markdown face of the report (CI artifact, terminal output)."""
+    lines = [f"# {report.title}", ""]
+    cov = (100.0 * report.attributed_bytes / report.peak_bytes
+           if report.peak_bytes else 100.0)
+    lines += [
+        f"peak device memory: **{_mib(report.peak_bytes):.2f} MiB** "
+        f"({report.peak_bytes:,} B), reached in phase `{report.peak_phase}` "
+        f"at t={report.peak_wall_s * 1e3:.2f} ms",
+        f"attribution: {report.attributed_bytes:,} B across "
+        f"{len(report.watermark)} named arrays = {cov:.1f}% of peak",
+        "",
+        "## Watermark (what was live at the peak)",
+        "",
+        "| array | scope | phase | MiB | % of peak |",
+        "|---|---|---|---:|---:|",
+    ]
+    for r in report.watermark:
+        lines.append(
+            f"| {r['name']} | {r['scope']} | {r['phase']} "
+            f"| {_mib(r['nbytes']):.3f} | {r['pct']:.1f} |"
+        )
+    lines.append(
+        f"| **total** |  |  | **{_mib(report.attributed_bytes):.3f}** "
+        f"| **{cov:.1f}** |"
+    )
+    lines += ["", "## Allocation traffic by phase", ""]
+    lines += ["| phase | bytes allocated |", "|---|---:|"]
+    for phase in ("setup", "forward", "backward", "rerun"):
+        if phase in report.phase_alloc_bytes:
+            lines.append(f"| {phase} | {report.phase_alloc_bytes[phase]:,} |")
+    for phase, nbytes in sorted(report.phase_alloc_bytes.items()):
+        if phase not in ("setup", "forward", "backward", "rerun"):
+            lines.append(f"| {phase} | {nbytes:,} |")
+    lines.append(
+        f"\n{report.n_lifetimes} array lifetimes over {report.n_events} "
+        "allocator events."
+    )
+    if report.arenas:
+        lines += ["", "## Arena fragmentation", ""]
+        lines += [
+            "| arena | capacity MiB | carves | releases | fallback "
+            "(oversized/fragmented) | max holes | max frag ratio |",
+            "|---|---:|---:|---:|---:|---:|---:|",
+        ]
+        for a in report.arenas:
+            fb = a["fallbacks"]
+            lines.append(
+                f"| {a['name']} | {_mib(a['capacity_bytes']):.3f} "
+                f"| {a['carves']} | {a['releases']} "
+                f"| {fb.get('oversized', 0)}/{fb.get('fragmented', 0)} "
+                f"| {a['max_hole_count']} | {a['max_frag_ratio']:.3f} |"
+            )
+    if report.model is not None:
+        mdl = report.model
+        lines += [
+            "", "## Footprint model", "",
+            f"paper model (n={mdl['n']:,}, m={mdl['m']:,}, {mdl['fmt']}, "
+            f"B={mdl['batch']}): {mdl['model_bytes']:,} B; measured peak "
+            f"{mdl['measured_bytes']:,} B "
+            f"(delta {mdl['delta_bytes']:+,} B)",
+        ]
+    if report.device is not None:
+        dev = report.device
+        mode = "planned" if dev["planned"] else "backed"
+        lines += [
+            "", "## Device", "",
+            f"capacity {_mib(dev['capacity_bytes']):.1f} MiB ({mode}); "
+            f"allocator run peak {dev['run_peak_bytes']:,} B",
+        ]
+    if report.oom_events:
+        lines += ["", "## OOM forensics", ""]
+        for oom in report.oom_events:
+            lines.append(
+                f"- `{oom['name']}` requested {oom['requested_bytes']:,} B "
+                f"in phase `{oom['phase']}` with {oom['used_bytes']:,} B "
+                f"in use of {oom['capacity_bytes']:,} B"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def mem_report_records(report: MemReport) -> list[dict]:
+    """Flat JSONL rows: one summary line, then watermark/arena/oom rows.
+
+    The bench trajectory tooling and ``jq`` consume these; the summary line
+    carries the whole ``to_dict()`` for lossless round-trips.
+    """
+    records: list[dict] = [{"type": "mem_report", **report.to_dict()}]
+    for r in report.watermark:
+        records.append({"type": "mem_watermark", **r})
+    for a in report.arenas:
+        records.append({"type": "mem_arena", **a})
+    for oom in report.oom_events:
+        records.append({"type": "mem_oom", **oom})
+    return records

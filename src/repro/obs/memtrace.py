@@ -1,0 +1,403 @@
+"""The allocation-timeline profiler: every byte's lifetime, phase-tagged.
+
+PRs 2/5 observe memory as scalar peaks; this module (DESIGN.md §13) records
+*events*: every :class:`~repro.gpusim.memory.DeviceMemory` alloc/free and
+every :class:`~repro.gpusim.memory.DeviceArena` carve/release/fallback
+becomes a timestamped event and a lifetime interval, tagged with the run
+phase it happened in (``setup`` / ``forward`` / ``backward`` / ``rerun``,
+derived from the live span stack).  From the event stream it maintains:
+
+* **watermark attribution** -- the set of named arrays live at the run's
+  peak.  The arena slab is attributed to its carved blocks plus an explicit
+  ``<arena> (free)`` remainder, so the rows sum to 100% of the peak *by
+  construction* (the invariant ``repro mem-report`` asserts);
+* **fragmentation telemetry** -- free-list hole count, largest hole and a
+  fragmentation ratio sampled at every carve/release, plus fallback
+  reasons split into ``oversized`` vs ``fragmented``;
+* **OOM forensics** -- failed allocation attempts as terminal events (the
+  exception carries the live table; the advisor lives in
+  :mod:`repro.perf.memory_model`).
+
+The profiler is opt-in (``obs.session(memtrace=True)``) and purely
+observational: it never touches allocator state, so telemetry-on/off runs
+stay bit-identical -- the same parity contract every other obs layer keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemEvent:
+    """One allocator event (device alloc/free, arena carve/release/fallback,
+    a failed attempt, or a device reset)."""
+
+    kind: str         #: alloc | free | carve | release | fallback | oom | reset
+    name: str
+    nbytes: int
+    used_bytes: int   #: device bytes in use after the event
+    wall_s: float
+    phase: str
+    scope: str        #: "device" | "arena"
+    reason: str = ""  #: fallback only: "oversized" | "fragmented"
+
+    def to_dict(self) -> dict:
+        d = {
+            "kind": self.kind,
+            "name": self.name,
+            "nbytes": self.nbytes,
+            "used_bytes": self.used_bytes,
+            "wall_s": self.wall_s,
+            "phase": self.phase,
+            "scope": self.scope,
+        }
+        if self.reason:
+            d["reason"] = self.reason
+        return d
+
+
+@dataclass
+class MemLifetime:
+    """One named array's residency interval.
+
+    ``scope`` distinguishes direct device allocations (``device``), blocks
+    carved from an arena slab (``arena``) and the slab itself (``slab`` --
+    excluded from watermark attribution, which attributes its bytes to the
+    carved blocks instead).  ``end_s`` stays ``None`` for arrays still live
+    when the session closed.
+    """
+
+    name: str
+    scope: str
+    phase: str
+    nbytes: int
+    dtype: str
+    shape: tuple
+    start_s: float
+    end_s: float | None = None
+
+    @property
+    def live(self) -> bool:
+        return self.end_s is None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scope": self.scope,
+            "phase": self.phase,
+            "nbytes": self.nbytes,
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+        }
+
+
+@dataclass
+class _ArenaState:
+    """Book-keeping for one :class:`~repro.gpusim.memory.DeviceArena`."""
+
+    name: str
+    capacity_bytes: int
+    slab_id: int
+    active: bool = True
+    carved_bytes: int = 0
+    carves: int = 0
+    releases: int = 0
+    fallbacks: dict = field(default_factory=lambda: {"oversized": 0, "fragmented": 0})
+    max_hole_count: int = 0
+    max_frag_ratio: float = 0.0
+    min_largest_hole_bytes: int | None = None
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "capacity_bytes": self.capacity_bytes,
+            "carves": self.carves,
+            "releases": self.releases,
+            "fallbacks": dict(self.fallbacks),
+            "max_hole_count": self.max_hole_count,
+            "max_frag_ratio": self.max_frag_ratio,
+            "min_largest_hole_bytes": self.min_largest_hole_bytes,
+        }
+
+
+class MemTrace:
+    """The in-session recorder (one per :class:`~repro.obs.telemetry.RunTelemetry`).
+
+    Constructed with three callables from the owning telemetry session --
+    ``now()`` (wall seconds since session start), ``phase()`` (current run
+    phase from the span stack) and the shared metrics registry (may be
+    ``None``) -- and fed exclusively by the allocator hooks in
+    :mod:`repro.gpusim.memory`.
+    """
+
+    def __init__(self, *, now, phase, metrics=None):
+        self._now = now
+        self._phase = phase
+        self._metrics = metrics
+        self.events: list[MemEvent] = []
+        self.lifetimes: list[MemLifetime] = []
+        self.oom_events: list[dict] = []
+        #: (wall_s, arena_name, hole_count, largest_hole_bytes, free_bytes,
+        #: frag_ratio) sampled at every carve/release.
+        self.frag_timeline: list[tuple] = []
+        self.peak_bytes = 0
+        self.peak_wall_s = 0.0
+        self.peak_phase = "setup"
+        #: Attribution rows captured at the watermark; see :meth:`_snapshot`.
+        self.watermark: list[dict] = []
+        self.last_wall_s = 0.0
+        self._open: dict[int, MemLifetime] = {}
+        self._live_device: dict[int, MemLifetime] = {}
+        self._arenas: dict[int, _ArenaState] = {}
+        self._slab_to_arena: dict[int, int] = {}
+        self._arena_live: dict[int, dict[int, MemLifetime]] = {}
+        self._used_bytes = 0
+        # Watermark key: device bytes first, then carved bytes -- so at a
+        # flat device peak the snapshot refreshes while the arena fills,
+        # settling on the *fullest* attribution of the peak.
+        self._peak_key = (-1, -1)
+
+    # -- device hooks ---------------------------------------------------------
+
+    def on_device_event(self, name: str, delta_bytes: int, used_bytes: int,
+                        obj) -> None:
+        """One ``DeviceMemory`` alloc (``delta >= 0``) or free (``< 0``)."""
+        wall = self._now()
+        phase = self._phase()
+        self.last_wall_s = wall
+        self._used_bytes = used_bytes
+        if delta_bytes >= 0:
+            lt = MemLifetime(
+                name=name, scope="device", phase=phase, nbytes=abs(delta_bytes),
+                dtype=str(getattr(obj, "dtype", "")),
+                shape=tuple(getattr(obj, "shape", ())),
+                start_s=wall,
+            )
+            self.lifetimes.append(lt)
+            if obj is not None:
+                self._open[id(obj)] = lt
+                self._live_device[id(obj)] = lt
+            kind = "alloc"
+            if self._metrics is not None:
+                self._metrics.counter("mem_allocs", scope="device").inc()
+        else:
+            kind = "free"
+            if obj is not None:
+                lt = self._open.pop(id(obj), None)
+                if lt is not None:
+                    lt.end_s = wall
+                self._live_device.pop(id(obj), None)
+                arena_id = self._slab_to_arena.get(id(obj))
+                if arena_id is not None:
+                    self._retire_arena(arena_id)
+            if self._metrics is not None:
+                self._metrics.counter("mem_frees", scope="device").inc()
+        self.events.append(MemEvent(
+            kind=kind, name=name, nbytes=abs(delta_bytes),
+            used_bytes=used_bytes, wall_s=wall, phase=phase, scope="device",
+        ))
+        if self._metrics is not None:
+            self._metrics.gauge("mem_peak_bytes").set_max(used_bytes)
+        self._maybe_snapshot(wall, phase)
+
+    def on_device_reset(self) -> None:
+        """Device reset marker (the frees themselves arrive as events)."""
+        wall = self._now()
+        self.last_wall_s = wall
+        self.events.append(MemEvent(
+            kind="reset", name="", nbytes=0, used_bytes=self._used_bytes,
+            wall_s=wall, phase=self._phase(), scope="device",
+        ))
+
+    # -- arena hooks ----------------------------------------------------------
+
+    def on_arena_slab(self, arena) -> None:
+        """A fresh slab was just allocated for ``arena``.
+
+        Called *after* the slab's device alloc event, so the recorded device
+        lifetime is re-scoped to ``slab`` here (watermark attribution
+        replaces it with the carved blocks + free remainder).
+        """
+        slab = arena.slab
+        state = _ArenaState(
+            name=arena.name,
+            capacity_bytes=arena.capacity_bytes,
+            slab_id=id(slab),
+        )
+        self._arenas[id(arena)] = state
+        self._arena_live[id(arena)] = {}
+        self._slab_to_arena[id(slab)] = id(arena)
+        lt = self._open.get(id(slab))
+        if lt is not None:
+            lt.scope = "slab"
+        self._live_device.pop(id(slab), None)
+
+    def on_carve(self, arena, block) -> None:
+        state = self._arenas.get(id(arena))
+        if state is None or not state.active:
+            return
+        wall = self._now()
+        phase = self._phase()
+        self.last_wall_s = wall
+        lt = MemLifetime(
+            name=block.name, scope="arena", phase=phase, nbytes=block.nbytes,
+            dtype=str(block.dtype), shape=tuple(block.shape), start_s=wall,
+        )
+        self.lifetimes.append(lt)
+        self._open[id(block)] = lt
+        self._arena_live[id(arena)][id(block)] = lt
+        state.carved_bytes += block.nbytes
+        state.carves += 1
+        self.events.append(MemEvent(
+            kind="carve", name=block.name, nbytes=block.nbytes,
+            used_bytes=arena.memory.used_bytes, wall_s=wall, phase=phase,
+            scope="arena",
+        ))
+        if self._metrics is not None:
+            self._metrics.counter("mem_allocs", scope="arena").inc()
+        self._sample_fragmentation(arena, state, wall)
+        self._maybe_snapshot(wall, phase)
+
+    def on_release(self, arena, block) -> None:
+        state = self._arenas.get(id(arena))
+        if state is None or not state.active:
+            return
+        wall = self._now()
+        phase = self._phase()
+        self.last_wall_s = wall
+        lt = self._open.pop(id(block), None)
+        if lt is not None:
+            lt.end_s = wall
+        self._arena_live[id(arena)].pop(id(block), None)
+        state.carved_bytes -= block.nbytes
+        state.releases += 1
+        self.events.append(MemEvent(
+            kind="release", name=block.name, nbytes=block.nbytes,
+            used_bytes=arena.memory.used_bytes, wall_s=wall, phase=phase,
+            scope="arena",
+        ))
+        if self._metrics is not None:
+            self._metrics.counter("mem_frees", scope="arena").inc()
+        self._sample_fragmentation(arena, state, wall)
+
+    def on_fallback(self, arena, name: str, nbytes: int, reason: str) -> None:
+        state = self._arenas.get(id(arena))
+        wall = self._now()
+        phase = self._phase()
+        self.last_wall_s = wall
+        if state is not None:
+            state.fallbacks[reason] = state.fallbacks.get(reason, 0) + 1
+        self.events.append(MemEvent(
+            kind="fallback", name=name, nbytes=nbytes,
+            used_bytes=arena.memory.used_bytes, wall_s=wall, phase=phase,
+            scope="arena", reason=reason,
+        ))
+        if self._metrics is not None:
+            self._metrics.counter("mem_arena_fallbacks", reason=reason).inc()
+
+    # -- OOM ------------------------------------------------------------------
+
+    def record_oom(self, name: str, requested: int, used_bytes: int,
+                   capacity_bytes: int, phase: str) -> None:
+        """A failed allocation attempt: the terminal event of a timeline."""
+        wall = self._now()
+        self.last_wall_s = wall
+        self.events.append(MemEvent(
+            kind="oom", name=name, nbytes=requested, used_bytes=used_bytes,
+            wall_s=wall, phase=phase, scope="device",
+        ))
+        self.oom_events.append({
+            "name": name,
+            "requested_bytes": int(requested),
+            "used_bytes": int(used_bytes),
+            "capacity_bytes": int(capacity_bytes),
+            "wall_s": wall,
+            "phase": phase,
+        })
+
+    # -- internals ------------------------------------------------------------
+
+    def _retire_arena(self, arena_id: int) -> None:
+        """The slab was freed: close any straggler block lifetimes."""
+        state = self._arenas.get(arena_id)
+        if state is None:
+            return
+        state.active = False
+        wall = self._now()
+        for block_id, lt in self._arena_live.get(arena_id, {}).items():
+            lt.end_s = wall
+            self._open.pop(block_id, None)
+        self._arena_live[arena_id] = {}
+        state.carved_bytes = 0
+
+    def _sample_fragmentation(self, arena, state: _ArenaState, wall: float) -> None:
+        holes = arena.hole_count
+        largest = arena.largest_hole_bytes
+        free = arena.free_bytes
+        frag = arena.fragmentation_ratio
+        self.frag_timeline.append((wall, state.name, holes, largest, free, frag))
+        state.max_hole_count = max(state.max_hole_count, holes)
+        state.max_frag_ratio = max(state.max_frag_ratio, frag)
+        if free > 0 and (state.min_largest_hole_bytes is None
+                         or largest < state.min_largest_hole_bytes):
+            state.min_largest_hole_bytes = largest
+        if self._metrics is not None:
+            self._metrics.gauge("mem_arena_holes").set(holes)
+            self._metrics.gauge("mem_arena_largest_hole_bytes").set(largest)
+            self._metrics.gauge("mem_arena_frag_ratio").set(round(frag, 6))
+
+    def _total_carved(self) -> int:
+        return sum(s.carved_bytes for s in self._arenas.values() if s.active)
+
+    def _maybe_snapshot(self, wall: float, phase: str) -> None:
+        key = (self._used_bytes, self._total_carved())
+        if key <= self._peak_key:
+            return
+        self._peak_key = key
+        self.peak_bytes = self._used_bytes
+        self.peak_wall_s = wall
+        self.peak_phase = phase
+        rows: list[dict] = []
+        for lt in self._live_device.values():
+            rows.append({"name": lt.name, "scope": "device",
+                         "phase": lt.phase, "nbytes": lt.nbytes})
+        for arena_id, state in self._arenas.items():
+            if not state.active:
+                continue
+            for lt in self._arena_live[arena_id].values():
+                rows.append({"name": lt.name, "scope": "arena",
+                             "phase": lt.phase, "nbytes": lt.nbytes})
+            free = state.capacity_bytes - state.carved_bytes
+            if free > 0:
+                rows.append({"name": f"{state.name} (free)", "scope": "arena",
+                             "phase": "-", "nbytes": free})
+        rows.sort(key=lambda r: (-r["nbytes"], r["name"]))
+        self.watermark = rows
+
+    # -- summaries ------------------------------------------------------------
+
+    @property
+    def attributed_bytes(self) -> int:
+        """Sum of the watermark rows -- equals :attr:`peak_bytes` by
+        construction (device arrays + arena carves + arena free filler)."""
+        return sum(r["nbytes"] for r in self.watermark)
+
+    def arena_summaries(self) -> list[dict]:
+        return [s.summary() for s in self._arenas.values()]
+
+    def summary(self) -> dict:
+        """JSON-able digest for ``RunTelemetry.snapshot()`` and bench rows."""
+        return {
+            "peak_bytes": self.peak_bytes,
+            "peak_wall_s": self.peak_wall_s,
+            "peak_phase": self.peak_phase,
+            "attributed_bytes": self.attributed_bytes,
+            "n_events": len(self.events),
+            "n_lifetimes": len(self.lifetimes),
+            "n_oom_events": len(self.oom_events),
+            "watermark": list(self.watermark),
+            "arenas": self.arena_summaries(),
+        }

@@ -71,6 +71,16 @@ class Gauge:
         if self.min is None or value < self.min:
             self.min = value
 
+    def set_max(self, value: int | float) -> None:
+        """Ratchet the gauge upward: keep the maximum of old and new.
+
+        High-water gauges (``mem_peak_bytes``) want the peak as their
+        *value*, not merely in the ``max`` field -- downstream flatteners
+        (the perf-regression comparator) read ``value``.
+        """
+        if value > self.value or (self.max is None and self.min is None):
+            self.set(value)
+
 
 class Histogram:
     """A distribution in power-of-two buckets, with exact quantiles.

@@ -26,10 +26,13 @@ import numpy as np
 _HIGHER_PATTERNS = (
     "mteps", "speedup", "per_s", "gbs", "gflops", "throughput", "occupancy",
 )
-#: Substrings marking a metric where lower is better.
+#: Substrings marking a metric where lower is better.  The memory-telemetry
+#: family lands here: any ``*_bytes`` gauge (``mem_peak_bytes`` above all --
+#: the perf gate can gate on peak memory once bench rows carry it), OOM and
+#: arena-fallback counters, and the fragmentation gauges.
 _LOWER_PATTERNS = (
-    "time", "_ms", "_s", "_us", "runtime", "bytes", "seconds", "launches",
-    "regret", "drift",
+    "time", "_ms", "_s", "_us", "runtime", "bytes", "_bytes", "seconds",
+    "launches", "regret", "drift", "oom", "fallback", "holes", "frag",
 )
 
 

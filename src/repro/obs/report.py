@@ -25,7 +25,10 @@ def perf_report_for_run(device, telemetry=None, *, title: str = "perf-report") -
     decisions = telemetry.dispatch_decisions if telemetry is not None else []
     audit = audit_dispatch(decisions)
     drifts = launch_drift(device.profiler.launches)
-    return render_perf_report(roofline, audit, drifts, title=title)
+    text = render_perf_report(roofline, audit, drifts, title=title)
+    if telemetry is not None and getattr(telemetry, "memtrace", None) is not None:
+        text += "\n" + "\n".join(_memory_section(telemetry.memtrace))
+    return text
 
 
 def render_perf_report(
@@ -149,6 +152,26 @@ def _dispatch_section(a: DispatchAudit) -> list:
                 f"| {r.regret_us:.1f} | {r.nnz_frontier} |"
             )
         lines.append("")
+    return lines
+
+
+def _memory_section(mt) -> list:
+    """Compact memory digest when the run profiled allocations (the full
+    document is ``repro mem-report``; this is the cross-reference)."""
+    lines = [
+        "## Memory (allocation profiler)",
+        "",
+        f"peak {mt.peak_bytes / 2**20:.2f} MiB in phase `{mt.peak_phase}`; "
+        f"{len(mt.lifetimes)} array lifetimes over {len(mt.events)} "
+        "allocator events "
+        f"({len(mt.oom_events)} OOM)",
+    ]
+    top = mt.watermark[:5]
+    if top:
+        named = ", ".join(f"`{r['name']}` {r['nbytes'] / 2**20:.2f} MiB"
+                          for r in top)
+        lines.append(f"largest at peak: {named}")
+    lines += ["", "run `repro mem-report <graph>` for the full attribution.", ""]
     return lines
 
 

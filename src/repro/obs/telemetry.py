@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
+from repro.obs.memtrace import MemTrace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NOOP_SPAN, Span, Tracer
 
@@ -35,7 +36,8 @@ class RunTelemetry:
     """
 
     def __init__(self, *, trace: bool = True, metrics: bool = True,
-                 audit_dispatch: bool = False, clock=time.perf_counter):
+                 audit_dispatch: bool = False, memtrace: bool = False,
+                 clock=time.perf_counter):
         self.tracer: Tracer | None = Tracer(clock=clock) if trace else None
         self.metrics: MetricsRegistry | None = MetricsRegistry() if metrics else None
         #: When set, adaptive contexts replay the *unchosen* strategies on a
@@ -54,11 +56,39 @@ class RunTelemetry:
         self._t0 = clock()
         # per-kernel GLT accumulators: name -> [requested_load_bytes, exec_s]
         self._glt: dict[str, list] = {}
+        #: Opt-in allocation-timeline profiler (DESIGN.md §13); ``None``
+        #: keeps the allocator hooks on their zero-extra-work path.
+        self.memtrace: MemTrace | None = (
+            MemTrace(now=lambda: self._clock() - self._t0,
+                     phase=self.current_phase, metrics=self.metrics)
+            if memtrace else None
+        )
 
     def span(self, name: str, **attrs):
         if self.tracer is None:
             return NOOP_SPAN
         return self.tracer.span(name, **attrs)
+
+    def current_phase(self) -> str:
+        """The run phase implied by the open span stack.
+
+        Walking innermost-out: a ``rerun`` span wins (the sigma-overflow
+        float64 replay), then the nearest ``forward``/``backward`` span or
+        a span carrying a ``phase`` attribute (the dispatch stages tag
+        themselves).  Anything outside those -- graph upload, context
+        setup, teardown -- is ``setup``.
+        """
+        if self.tracer is None:
+            return "setup"
+        for s in reversed(self.tracer._stack):
+            if s.name == "rerun":
+                return "rerun"
+            if s.name in ("forward", "backward"):
+                return s.name
+            phase = s.attrs.get("phase")
+            if phase in ("forward", "backward", "rerun"):
+                return phase
+        return "setup"
 
     def bind_device(self, device) -> None:
         if self.tracer is not None:
@@ -105,13 +135,46 @@ class RunTelemetry:
                 dram_gbs=counters.dram_gbs,
             )
 
-    def on_memory(self, used_bytes: int, delta_bytes: int, name: str) -> None:
-        """Record one allocation/free (called by ``DeviceMemory``)."""
+    def on_memory(self, used_bytes: int, delta_bytes: int, name: str,
+                  obj=None) -> None:
+        """Record one allocation/free (called by ``DeviceMemory``).
+
+        ``obj`` is the :class:`~repro.gpusim.memory.DeviceArray` involved;
+        the memtrace profiler keys lifetimes on its identity.  Optional so
+        older callers (and tests) remain valid.
+        """
         if self.metrics is not None:
             self.metrics.gauge("device_mem_used_bytes").set(used_bytes)
         self.memory_timeline.append((self._clock() - self._t0, used_bytes))
         if self.tracer is not None:
             self.tracer.observe_memory(used_bytes)
+        if self.memtrace is not None:
+            self.memtrace.on_device_event(name, delta_bytes, used_bytes, obj)
+
+    def on_oom(self, name: str, requested: int, used_bytes: int,
+               capacity_bytes: int) -> str:
+        """Record a failed allocation attempt; returns the current phase.
+
+        Called by whatever is about to raise
+        :class:`~repro.gpusim.errors.DeviceOutOfMemoryError` -- the device
+        allocator or the batched-admission check -- so the terminal event
+        lands in the timeline even though no allocation happened.  Always
+        counted and traced (satellite of DESIGN.md §13); the structured
+        forensic record additionally lands in the memtrace when enabled.
+        """
+        phase = self.current_phase()
+        if self.metrics is not None:
+            self.metrics.counter("mem_oom_events").inc()
+        if self.tracer is not None:
+            self.tracer.add_event(
+                "oom", array=name, requested_bytes=int(requested),
+                used_bytes=int(used_bytes), capacity_bytes=int(capacity_bytes),
+                phase=phase,
+            )
+        if self.memtrace is not None:
+            self.memtrace.record_oom(name, requested, used_bytes,
+                                     capacity_bytes, phase)
+        return phase
 
     # -- results --------------------------------------------------------------
 
@@ -131,13 +194,16 @@ class RunTelemetry:
         """The run's metrics as one JSON-able dict (``--metrics-json``)."""
         metrics = self.metrics.to_dict() if self.metrics is not None else {}
         peak = max((u for _, u in self.memory_timeline), default=0)
-        return {
+        out = {
             "schema": "repro.obs/metrics/v1",
             "metrics": metrics,
             "per_kernel_glt_gbs": self.per_kernel_glt_gbs(),
             "run_peak_memory_bytes": peak,
             "memory_timeline_samples": len(self.memory_timeline),
         }
+        if self.memtrace is not None:
+            out["mem"] = self.memtrace.summary()
+        return out
 
 
 # -- the active session -------------------------------------------------------

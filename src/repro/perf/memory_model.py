@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.formats.base import INDEX_BYTES
 
 
@@ -53,6 +55,257 @@ def turbobc_batched_footprint_words(n: int, m: int, batch: int, fmt: str = "csc"
     if fmt == "cooc":
         return 5 * n * batch + n + 2 * m
     raise ValueError(f"unknown format {fmt!r}; expected 'csc' or 'cooc'")
+
+
+def turbobc_batched_footprint_bytes(
+    n: int,
+    m: int,
+    batch: int = 1,
+    fmt: str = "csc",
+    forward_dtype=np.int32,
+    backward_dtype=np.float32,
+) -> int:
+    """Exact peak *bytes* of a (possibly batched) TurboBC run.
+
+    The byte-level twin of :func:`turbobc_batched_footprint_words`: the word
+    model assumes 4-byte words, but the driver's float64 overflow re-run
+    doubles the vector terms, so admission control -- and the OOM what-if
+    advisor -- need the same shape evaluated with real dtypes.  At
+    ``batch=1`` with the paper's int32/float32 vectors this reduces to
+    ``(7n + 1 + m) * 4`` for CSC, matching the word model exactly.  This is
+    the single source of truth the driver's batch admission sizes against.
+    """
+    if n < 0 or m < 0:
+        raise ValueError("n and m must be non-negative")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if fmt not in ("csc", "cooc"):
+        raise ValueError(f"unknown format {fmt!r}; expected 'csc' or 'cooc'")
+    fwd = np.dtype(forward_dtype).itemsize
+    bwd = np.dtype(backward_dtype).itemsize
+    matrix = (n + 1 + m) * INDEX_BYTES if fmt == "csc" else 2 * m * INDEX_BYTES
+    fixed = matrix + n * bwd  # the stored format + bc
+    forward_peak = batch * n * (3 * fwd + 4)           # F, Ft, Sigma + S
+    backward_peak = batch * n * (fwd + 4 + 3 * bwd)    # Sigma, S + three deltas
+    return fixed + max(forward_peak, backward_peak)
+
+
+def gunrock_footprint_bytes(n: int, m: int) -> int:
+    """gunrock's measured (workspace-inclusive) peak in bytes."""
+    return gunrock_measured_words(n, m) * INDEX_BYTES
+
+
+# -- what-if inversions (the OOM advisor; DESIGN.md §13) ----------------------
+#
+# A DeviceOutOfMemoryError tells you the request that failed; these functions
+# answer the question that actually matters afterwards -- what *would* have
+# fit?  Each inversion is exact against the forward model by construction:
+# the returned value fits and the next size up does not, which the OOM
+# forensics tests round-trip.
+
+
+def max_batch_that_fits(
+    capacity_bytes: int,
+    n: int,
+    m: int,
+    *,
+    fmt: str = "csc",
+    forward_dtype=np.int32,
+    backward_dtype=np.float32,
+) -> int:
+    """Largest ``batch_size`` whose footprint fits ``capacity_bytes``.
+
+    Returns 0 when not even ``batch=1`` fits.  The footprint is affine in
+    the batch, so the inversion is closed-form plus an exact verification.
+    """
+    if capacity_bytes < 0:
+        raise ValueError("capacity must be non-negative")
+
+    def fp(b: int) -> int:
+        return turbobc_batched_footprint_bytes(n, m, b, fmt, forward_dtype,
+                                               backward_dtype)
+
+    if fp(1) > capacity_bytes:
+        return 0
+    per_lane = fp(2) - fp(1)
+    if per_lane <= 0:           # n == 0: lanes are free
+        return 1
+    batch = 1 + (capacity_bytes - fp(1)) // per_lane
+    # Exact post-check against the forward model (guards rounding).
+    while fp(batch) > capacity_bytes:
+        batch -= 1
+    return int(batch)
+
+
+def max_n_that_fits(
+    capacity_bytes: int,
+    *,
+    m_per_n: float,
+    system: str = "turbobc",
+    fmt: str = "csc",
+    batch: int = 1,
+    forward_dtype=np.int32,
+    backward_dtype=np.float32,
+) -> int:
+    """Largest ``n`` (at a fixed edge ratio ``m = round(n * m_per_n)``)
+    whose peak footprint fits ``capacity_bytes``.
+
+    This is the "how much smaller would the graph need to be" arm of the
+    OOM advisor: the footprint is monotone in ``n`` for a fixed density, so
+    a binary search yields the exact boundary -- ``max_n`` fits,
+    ``max_n + 1`` does not.
+    """
+    if m_per_n < 0:
+        raise ValueError("m_per_n must be non-negative")
+
+    def fp(n: int) -> int:
+        m = int(round(n * m_per_n))
+        if system == "turbobc":
+            return turbobc_batched_footprint_bytes(n, m, batch, fmt,
+                                                   forward_dtype, backward_dtype)
+        if system == "gunrock":
+            return gunrock_footprint_bytes(n, m)
+        raise ValueError(f"unknown system {system!r}")
+
+    if fp(0) > capacity_bytes:
+        return 0
+    lo, hi = 0, 1
+    while fp(hi) <= capacity_bytes:
+        lo, hi = hi, hi * 2
+        if hi > 2**48:          # device capacities are far below this
+            return lo
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if fp(mid) <= capacity_bytes:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+@dataclass(frozen=True)
+class FitAdvice:
+    """The OOM advisor's answer: what configuration *would* have fit.
+
+    Attached to :class:`~repro.gpusim.errors.DeviceOutOfMemoryError` by the
+    drivers (see DESIGN.md §13).  Every field is reproducible from the
+    request via :func:`advise_fit`, and the suggestions are exact against
+    the footprint model: ``max_batch`` fits while ``max_batch + 1`` does
+    not, likewise ``max_n`` (at the graph's own edge ratio).
+    """
+
+    system: str
+    capacity_bytes: int
+    n: int
+    m: int
+    fmt: str
+    batch: int
+    forward_dtype: str
+    backward_dtype: str
+    requested_bytes: int   #: footprint of the requested configuration
+    fits: bool             #: did the requested configuration fit at all?
+    max_batch: int         #: largest batch at (n, m, dtypes); 0 = none
+    max_n: int             #: largest n at the graph's m/n ratio and batch
+    #: 4-byte (int32/float32) dtype pair, when the requested wide-dtype
+    #: config does not fit but the paper's narrow one would.
+    dtype_fallback: tuple[str, str] | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "capacity_bytes": self.capacity_bytes,
+            "n": self.n,
+            "m": self.m,
+            "fmt": self.fmt,
+            "batch": self.batch,
+            "forward_dtype": self.forward_dtype,
+            "backward_dtype": self.backward_dtype,
+            "requested_bytes": self.requested_bytes,
+            "fits": self.fits,
+            "max_batch": self.max_batch,
+            "max_n": self.max_n,
+            "dtype_fallback": list(self.dtype_fallback) if self.dtype_fallback else None,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable suggestion."""
+        need = f"needs {self.requested_bytes / 2**20:.1f} MiB " \
+               f"of {self.capacity_bytes / 2**20:.1f} MiB"
+        if self.fits:
+            return f"requested config fits ({need})"
+        parts = []
+        if self.max_batch >= 1 and self.max_batch < self.batch:
+            parts.append(f"batch_size<={self.max_batch} would fit")
+        elif self.max_batch == 0:
+            parts.append("no batch size fits this graph")
+        if self.max_n < self.n:
+            parts.append(f"largest graph at this density: n<={self.max_n:,}")
+        if self.dtype_fallback is not None:
+            parts.append(
+                f"dtypes {self.dtype_fallback[0]}/{self.dtype_fallback[1]} would fit"
+            )
+        return f"{need}; " + ("; ".join(parts) if parts else "no smaller config helps")
+
+
+def advise_fit(
+    capacity_bytes: int,
+    n: int,
+    m: int,
+    *,
+    system: str = "turbobc",
+    fmt: str = "csc",
+    batch: int = 1,
+    forward_dtype=np.int32,
+    backward_dtype=np.float32,
+) -> FitAdvice:
+    """Build the what-if :class:`FitAdvice` for one failed (or probed) config.
+
+    Inverts the footprint model along its three free axes -- batch size,
+    graph size at fixed density, and vector dtypes -- so an OOM report can
+    say what to change instead of only what broke.
+    """
+    fdt = np.dtype(forward_dtype)
+    bdt = np.dtype(backward_dtype)
+    m_per_n = (m / n) if n > 0 else 0.0
+    if system == "turbobc":
+        requested = turbobc_batched_footprint_bytes(n, m, batch, fmt, fdt, bdt)
+        max_batch = max_batch_that_fits(
+            capacity_bytes, n, m, fmt=fmt, forward_dtype=fdt, backward_dtype=bdt
+        )
+    elif system == "gunrock":
+        requested = gunrock_footprint_bytes(n, m)
+        max_batch = 1 if requested <= capacity_bytes else 0
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    fits = requested <= capacity_bytes
+    max_n = max_n_that_fits(
+        capacity_bytes, m_per_n=m_per_n, system=system, fmt=fmt, batch=batch,
+        forward_dtype=fdt, backward_dtype=bdt,
+    )
+    dtype_fallback = None
+    if (
+        system == "turbobc"
+        and not fits
+        and (fdt.itemsize > 4 or bdt.itemsize > 4)
+        and turbobc_batched_footprint_bytes(n, m, batch, fmt, np.int32, np.float32)
+        <= capacity_bytes
+    ):
+        dtype_fallback = ("int32", "float32")
+    return FitAdvice(
+        system=system,
+        capacity_bytes=int(capacity_bytes),
+        n=int(n),
+        m=int(m),
+        fmt=fmt,
+        batch=int(batch),
+        forward_dtype=fdt.name,
+        backward_dtype=bdt.name,
+        requested_bytes=int(requested),
+        fits=fits,
+        max_batch=int(max_batch),
+        max_n=int(max_n),
+        dtype_fallback=dtype_fallback,
+    )
 
 
 def turbobc_arena_slab_bytes(

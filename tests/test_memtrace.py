@@ -1,0 +1,448 @@
+"""Memory-observability tests (DESIGN.md §13): the allocation-timeline
+profiler, watermark attribution, arena fragmentation telemetry, OOM
+forensics with the what-if advisor, and the exporter/report faces."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import cli, obs, turbo_bc
+from repro.bench.runner import check_paper_scale_memory
+from repro.graphs import suite
+from repro.gpusim.device import TITAN_XP, Device
+from repro.gpusim.errors import DeviceOutOfMemoryError
+from repro.gpusim.memory import DeviceArena, DeviceMemory
+from repro.obs.export import chrome_trace_events, jsonl_records
+from repro.perf.memory_model import (
+    advise_fit,
+    gunrock_footprint_bytes,
+    turbobc_batched_footprint_bytes,
+)
+from tests.conftest import random_graph
+
+PHASES = {"setup", "forward", "backward", "rerun", "-"}
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_session():
+    """Every test must leave the global telemetry switch off."""
+    yield
+    assert obs.get_telemetry() is None
+    obs.deactivate()
+
+
+def _run_traced(graph, *, sources=0, algorithm="sccsc", **kwargs):
+    """One turbo_bc run under a full (trace + memtrace) session."""
+    device = Device()
+    with obs.session(trace=True, memtrace=True) as tel:
+        result = turbo_bc(
+            graph, sources=sources, algorithm=algorithm, device=device, **kwargs
+        )
+    return tel, device, result
+
+
+class TestMemTraceBasics:
+    def test_peak_matches_allocator_and_model(self):
+        g = random_graph(60, 0.08, directed=True, seed=1)
+        tel, device, _ = _run_traced(g)
+        mt = tel.memtrace
+        assert mt.peak_bytes == device.memory.run_peak_bytes
+        # no sigma overflow on a 60-vertex graph: the int32/float32 run's
+        # peak is the paper's 7n + 1 + m word model, to the byte.
+        assert mt.peak_bytes == turbobc_batched_footprint_bytes(g.n, g.m, 1, "csc")
+
+    def test_event_stream_covers_both_allocators(self):
+        g = random_graph(40, 0.1, directed=False, seed=2)
+        tel, _, _ = _run_traced(g)
+        kinds = {e.kind for e in tel.memtrace.events}
+        assert {"alloc", "free", "carve", "release"} <= kinds
+        # per-source working vectors come from the arena, not the device
+        arena_names = {
+            lt.name for lt in tel.memtrace.lifetimes if lt.scope == "arena"
+        }
+        assert "sigma" in arena_names
+
+    def test_lifetimes_are_closed_intervals(self):
+        g = random_graph(40, 0.1, directed=True, seed=3)
+        tel, _, _ = _run_traced(g)
+        for lt in tel.memtrace.lifetimes:
+            assert lt.nbytes >= 0
+            if lt.end_s is not None:
+                assert lt.start_s <= lt.end_s
+            d = lt.to_dict()
+            json.dumps(d)  # JSON-able
+            assert d["scope"] in ("device", "arena", "slab")
+
+    def test_metrics_side_channel(self):
+        g = random_graph(40, 0.1, directed=True, seed=4)
+        tel, device, _ = _run_traced(g)
+        assert tel.metrics.counter("mem_allocs", scope="device").value > 0
+        assert tel.metrics.counter("mem_allocs", scope="arena").value > 0
+        assert (tel.metrics.gauge("mem_peak_bytes").max
+                == device.memory.run_peak_bytes)
+
+    def test_snapshot_carries_mem_summary(self):
+        g = random_graph(30, 0.1, directed=True, seed=5)
+        tel, device, _ = _run_traced(g)
+        snap = tel.snapshot()
+        assert snap["mem"]["peak_bytes"] == device.memory.run_peak_bytes
+        assert snap["mem"]["attributed_bytes"] == snap["mem"]["peak_bytes"]
+        json.dumps(snap)
+
+    def test_session_without_memtrace_has_none(self):
+        with obs.session(trace=True) as tel:
+            assert tel.memtrace is None
+
+
+class TestWatermarkAttribution:
+    @pytest.mark.parametrize("n,p,directed,seed", [
+        (50, 0.08, True, 0),
+        (50, 0.08, False, 1),
+        (80, 0.05, True, 2),
+        (64, 0.12, False, 3),
+    ])
+    def test_attribution_closes_to_100_percent(self, n, p, directed, seed):
+        g = random_graph(n, p, directed=directed, seed=seed, connected_chain=True)
+        tel, device, _ = _run_traced(g, sources=[0, 1])
+        mt = tel.memtrace
+        assert mt.peak_bytes == device.memory.run_peak_bytes
+        assert mt.attributed_bytes == mt.peak_bytes
+        assert mt.watermark, "peak must have named rows"
+        for row in mt.watermark:
+            assert row["phase"] in PHASES
+            assert row["nbytes"] > 0
+
+    def test_peak_is_phase_tagged_backward(self):
+        # The backward chunk (sigma + S + three deltas) outweighs the
+        # forward chunk, so the run's peak lands in the backward stage and
+        # the watermark carries rows allocated in distinct phases.
+        g = random_graph(60, 0.08, directed=True, seed=6, connected_chain=True)
+        tel, _, _ = _run_traced(g)
+        mt = tel.memtrace
+        assert mt.peak_phase == "backward"
+        phases = {r["phase"] for r in mt.watermark}
+        assert "setup" in phases        # matrix + bc
+        assert "backward" in phases     # the delta vectors
+
+    def test_phase_without_tracer_is_setup(self):
+        # metrics-only sessions (bench rows) have no span stack: every
+        # lifetime degrades to the setup phase but attribution still closes.
+        g = random_graph(40, 0.1, directed=True, seed=7)
+        device = Device()
+        with obs.session(trace=False, memtrace=True) as tel:
+            turbo_bc(g, sources=0, algorithm="sccsc", device=device)
+        mt = tel.memtrace
+        assert mt.attributed_bytes == mt.peak_bytes
+        assert {r["phase"] for r in mt.watermark} <= {"setup", "-"}
+
+
+class TestBitParity:
+    def test_memtrace_on_off_results_identical(self):
+        g = random_graph(50, 0.1, directed=False, seed=8, connected_chain=True)
+
+        def run():
+            return turbo_bc(g, sources=[0, 1], algorithm="sccsc",
+                            device=Device())
+
+        bare = run()
+        with obs.session(trace=True, memtrace=True):
+            traced = run()
+        with obs.session(trace=False, memtrace=True):
+            metrics_only = run()
+        for other in (traced, metrics_only):
+            assert np.array_equal(bare.bc, other.bc)
+            assert bare.stats.kernel_launches == other.stats.kernel_launches
+            assert bare.stats.gpu_time_s == other.stats.gpu_time_s
+            assert bare.stats.peak_memory_bytes == other.stats.peak_memory_bytes
+
+
+class TestArenaFragmentation:
+    def _fragmented_arena(self):
+        """An arena with two non-adjacent holes: 100 B @ 0 and 700 B @ 300.
+
+        Live blocks must stay referenced (memtrace keys lifetimes on object
+        identity, like any allocator does on pointers); the returned list
+        keeps b and c alive.
+        """
+        mem = DeviceMemory(1 << 20)
+        arena = DeviceArena(mem, 1000, name="test_arena")
+        a = arena.carve("a", 100, np.uint8)
+        live = [arena.carve("b", 100, np.uint8), arena.carve("c", 100, np.uint8)]
+        arena.release(a)
+        return mem, arena, live
+
+    def test_fallback_reasons_split(self):
+        with obs.session(trace=True, memtrace=True) as tel:
+            _, arena, _live = self._fragmented_arena()
+            assert arena.free_bytes == 800
+            assert arena.largest_hole_bytes == 700
+            # 750 B fits the free total but no single hole: fragmented.
+            frag = arena.carve("frag_victim", 750, np.uint8)
+            # 900 B exceeds the free total outright: oversized.
+            over = arena.carve("oversized_victim", 900, np.uint8)
+        assert arena.fallback_fragmented == 1
+        assert arena.fallback_oversized == 1
+        assert arena.fallback_allocs == 2
+        # both fallbacks are plain device arrays, not slab views
+        assert not hasattr(frag, "offset")
+        assert not hasattr(over, "offset")
+        mt = tel.memtrace
+        reasons = [e.reason for e in mt.events if e.kind == "fallback"]
+        assert reasons == ["fragmented", "oversized"]
+        (summary,) = mt.arena_summaries()
+        assert summary["name"] == "test_arena"
+        assert summary["fallbacks"] == {"oversized": 1, "fragmented": 1}
+        assert tel.metrics.counter("mem_arena_fallbacks",
+                                   reason="fragmented").value == 1
+        assert tel.metrics.counter("mem_arena_fallbacks",
+                                   reason="oversized").value == 1
+
+    def test_fragmentation_timeline_and_extrema(self):
+        with obs.session(trace=True, memtrace=True) as tel:
+            _, arena, _live = self._fragmented_arena()
+        mt = tel.memtrace
+        assert mt.frag_timeline, "every carve/release samples the free list"
+        (summary,) = mt.arena_summaries()
+        assert summary["max_hole_count"] == arena.hole_count == 2
+        # after the release: free 800, largest 700 -> ratio 1 - 700/800
+        assert summary["max_frag_ratio"] == pytest.approx(1 - 700 / 800)
+        assert tel.metrics.gauge("mem_arena_holes").max == 2
+
+    def test_slab_excluded_from_watermark(self):
+        with obs.session(trace=True, memtrace=True) as tel:
+            _keep = self._fragmented_arena()
+        mt = tel.memtrace
+        names = [r["name"] for r in mt.watermark]
+        assert "test_arena" not in names          # the raw slab row
+        assert "test_arena (free)" in names       # replaced by the filler
+        assert mt.attributed_bytes == mt.peak_bytes
+        slab_lts = [lt for lt in mt.lifetimes if lt.scope == "slab"]
+        assert len(slab_lts) == 1
+
+
+class TestOOMForensics:
+    def test_device_alloc_emits_terminal_event(self):
+        with obs.session(trace=True, memtrace=True) as tel:
+            mem = DeviceMemory(1000)
+            mem.alloc("resident", 800, np.uint8)
+            with pytest.raises(DeviceOutOfMemoryError) as ei:
+                mem.alloc("victim", 300, np.uint8)
+        exc = ei.value
+        assert exc.live == [("resident", 800)]
+        assert exc.phase == "setup"
+        assert exc.shortfall_bytes == 100
+        assert "live allocations at failure" in exc.forensics()
+        mt = tel.memtrace
+        assert mt.events[-1].kind == "oom"
+        assert mt.oom_events == [{
+            "name": "victim", "requested_bytes": 300, "used_bytes": 800,
+            "capacity_bytes": 1000, "wall_s": mt.oom_events[0]["wall_s"],
+            "phase": "setup",
+        }]
+        assert tel.metrics.counter("mem_oom_events").value == 1
+
+    def test_oom_without_session_still_carries_live_table(self):
+        mem = DeviceMemory(1000)
+        mem.alloc("resident", 900, np.uint8)
+        with pytest.raises(DeviceOutOfMemoryError) as ei:
+            mem.alloc("victim", 200, np.uint8)
+        assert ei.value.live == [("resident", 900)]
+        assert ei.value.phase is None
+
+    def test_batched_admission_advice_round_trips(self):
+        g = random_graph(200, 0.05, directed=True, seed=9)
+
+        def fp(b):
+            return turbobc_batched_footprint_bytes(g.n, g.m, b, "csc")
+
+        spec = replace(TITAN_XP, global_memory_bytes=fp(3))
+        device = Device(spec)
+        with obs.session(trace=True, memtrace=True) as tel:
+            with pytest.raises(DeviceOutOfMemoryError) as ei:
+                turbo_bc(g, sources=range(8), algorithm="sccsc", device=device,
+                         forward_dtype=np.int32, batch_size=8)
+        exc = ei.value
+        advice = exc.advice
+        assert advice is not None and not advice.fits
+        assert advice.batch == 8
+        # exact round-trip: the suggested batch fits, the next one up does not
+        assert advice.max_batch == 3
+        assert fp(advice.max_batch) <= advice.capacity_bytes < fp(advice.max_batch + 1)
+        # likewise max_n at the graph's own edge ratio
+        m_per_n = g.m / g.n
+
+        def fp_n(n):
+            return turbobc_batched_footprint_bytes(
+                n, int(round(n * m_per_n)), 8, "csc")
+
+        assert fp_n(advice.max_n) <= advice.capacity_bytes < fp_n(advice.max_n + 1)
+        assert "batch_size<=3" in advice.summary()
+        # admission control is an OOM without an allocation: the terminal
+        # telemetry event still lands
+        assert tel.memtrace.oom_events[0]["name"].startswith("batched working set")
+        assert exc.phase == "setup"
+
+    def test_unbatched_oom_attaches_advice(self):
+        g = random_graph(100, 0.1, directed=True, seed=10)
+        device = Device(replace(TITAN_XP, global_memory_bytes=2000))
+        with pytest.raises(DeviceOutOfMemoryError) as ei:
+            turbo_bc(g, sources=0, algorithm="sccsc", device=device)
+        advice = ei.value.advice
+        assert advice is not None and not advice.fits
+        # forward_dtype="auto" resolves to int32 first; the OOM happened on
+        # that attempt, so the advice describes the config that failed and
+        # round-trips exactly against its own dtypes.
+        assert advice.forward_dtype == "int32"
+        m_per_n = g.m / g.n
+
+        def fp_n(n):
+            return turbobc_batched_footprint_bytes(
+                n, int(round(n * m_per_n)), 1, advice.fmt,
+                np.dtype(advice.forward_dtype), np.dtype(advice.backward_dtype))
+
+        assert fp_n(advice.max_n) <= advice.capacity_bytes
+        assert fp_n(advice.max_n + 1) > advice.capacity_bytes
+        assert ei.value.live is not None
+
+    def test_paper_scale_planned_oom_advice(self):
+        # sk-2005 is the paper's flagship Table 4 row: TurboBC fits the
+        # TITAN Xp, gunrock's 22n + 2m words do not.  The planned-mode OOM
+        # must carry the advisor's max_n, exact against the gunrock model.
+        entry = suite.get("sk-2005")
+        verdict = check_paper_scale_memory(entry)
+        assert verdict["turbobc_alloc_ok"] is True
+        assert verdict["gunrock_alloc_ok"] is False
+        max_n = verdict["gunrock_max_n"]
+        cap = TITAN_XP.global_memory_bytes
+        m_per_n = entry.paper.m / entry.paper.n
+
+        def fp_n(n):
+            return gunrock_footprint_bytes(n, int(round(n * m_per_n)))
+
+        assert 0 < max_n < entry.paper.n
+        assert fp_n(max_n) <= cap < fp_n(max_n + 1)
+
+    def test_advisor_dtype_fallback(self):
+        n, m = 1000, 5000
+        narrow = turbobc_batched_footprint_bytes(n, m, 1, "csc")
+        wide = turbobc_batched_footprint_bytes(n, m, 1, "csc",
+                                               np.int64, np.float64)
+        cap = (narrow + wide) // 2
+        advice = advise_fit(cap, n, m, forward_dtype=np.int64,
+                            backward_dtype=np.float64)
+        assert not advice.fits
+        assert advice.dtype_fallback == ("int32", "float32")
+        assert "int32/float32 would fit" in advice.summary()
+
+    def test_advisor_fitting_config_reports_fits(self):
+        advice = advise_fit(TITAN_XP.global_memory_bytes, 1000, 5000)
+        assert advice.fits
+        assert advice.max_batch >= 1
+        assert "fits" in advice.summary()
+
+
+class TestExport:
+    def test_chrome_trace_memory_track(self):
+        g = random_graph(40, 0.1, directed=True, seed=11)
+        tel, _, _ = _run_traced(g)
+        events = chrome_trace_events(tel)
+        meta = [e for e in events if e["ph"] == "M" and e["tid"] == 3]
+        assert any(e["args"]["name"] == "memory (lifetimes)" for e in meta)
+        slices = [e for e in events if e["ph"] == "X" and e["tid"] == 3]
+        assert slices, "every lifetime renders as a duration slice"
+        assert any("[arena]" in e["name"] for e in slices)
+        counters = [e for e in events if e["ph"] == "C" and e["tid"] == 3]
+        assert any(e["name"].endswith("_holes") for e in counters)
+
+    def test_chrome_trace_oom_instant(self):
+        with obs.session(trace=True, memtrace=True) as tel:
+            mem = DeviceMemory(1000)
+            with pytest.raises(DeviceOutOfMemoryError):
+                mem.alloc("victim", 2000, np.uint8)
+        events = chrome_trace_events(tel)
+        instants = [e for e in events if e["ph"] == "i" and e["tid"] == 3]
+        assert len(instants) == 1
+
+    def test_jsonl_memory_records(self):
+        g = random_graph(40, 0.1, directed=True, seed=12)
+        tel, _, _ = _run_traced(g)
+        records = jsonl_records(tel)
+        types = {r["type"] for r in records}
+        assert {"mem_lifetime", "mem_event"} <= types
+        for r in records:
+            json.dumps(r)
+
+    def test_jsonl_oom_record(self):
+        with obs.session(trace=True, memtrace=True) as tel:
+            mem = DeviceMemory(1000)
+            with pytest.raises(DeviceOutOfMemoryError):
+                mem.alloc("victim", 2000, np.uint8)
+        oom_rows = [r for r in jsonl_records(tel) if r["type"] == "mem_oom"]
+        assert len(oom_rows) == 1
+        assert oom_rows[0]["requested_bytes"] == 2000
+
+
+class TestMemReport:
+    def test_build_and_render(self):
+        g = random_graph(60, 0.08, directed=True, seed=13)
+        tel, device, _ = _run_traced(g)
+        report = obs.build_mem_report(tel, device=device, graph=g, fmt="csc",
+                                      title="test report")
+        assert report.attributed_bytes == report.peak_bytes
+        assert sum(r["pct"] for r in report.watermark) == pytest.approx(100.0)
+        # no overflow re-run on this graph: measured peak == paper model
+        assert report.model["delta_bytes"] == 0
+        assert report.device["run_peak_bytes"] == device.memory.run_peak_bytes
+        text = obs.render_mem_report(report)
+        assert "## Watermark" in text
+        assert "## Arena fragmentation" in text
+        assert "100.0% of peak" in text
+        doc = report.to_dict()
+        assert doc["schema"] == "repro.obs/mem-report/v1"
+        json.dumps(doc)
+
+    def test_records_round_trip(self):
+        g = random_graph(30, 0.1, directed=False, seed=14)
+        tel, device, _ = _run_traced(g)
+        report = obs.build_mem_report(tel, device=device)
+        records = obs.mem_report_records(report)
+        assert records[0]["type"] == "mem_report"
+        assert records[0]["schema"] == "repro.obs/mem-report/v1"
+        assert sum(1 for r in records if r["type"] == "mem_watermark") == len(
+            report.watermark)
+
+    def test_requires_memtrace_session(self):
+        with obs.session(trace=True) as tel:
+            pass
+        with pytest.raises(ValueError, match="memtrace"):
+            obs.build_mem_report(tel)
+
+
+class TestMemReportCLI:
+    def test_cli_writes_all_faces(self, tmp_path, capsys):
+        edges = tmp_path / "tiny.el"
+        g = random_graph(40, 0.12, directed=True, seed=15, connected_chain=True)
+        edges.write_text(
+            "\n".join(f"{u} {v}" for u, v in zip(g.src, g.dst)) + "\n")
+        out_md = tmp_path / "mem.md"
+        out_json = tmp_path / "mem.json"
+        out_jsonl = tmp_path / "mem.jsonl"
+        rc = cli.main([
+            "mem-report", str(edges), "--sources", "2",
+            "--out", str(out_md), "--json", str(out_json),
+            "--jsonl", str(out_jsonl),
+        ])
+        assert rc == 0
+        assert "## Watermark" in capsys.readouterr().out
+        assert "## Watermark" in out_md.read_text()
+        doc = json.loads(out_json.read_text())
+        assert doc["schema"] == "repro.obs/mem-report/v1"
+        assert doc["attributed_bytes"] == doc["peak_bytes"] > 0
+        assert all(r["phase"] for r in doc["watermark"])
+        rows = [json.loads(line) for line in out_jsonl.read_text().splitlines()]
+        assert rows[0]["type"] == "mem_report"
+        assert obs.get_telemetry() is None

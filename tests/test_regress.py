@@ -133,6 +133,14 @@ class TestDirection:
         ("dram_gbs", "higher"),
         ("occupancy_pct", "higher"),
         ("total_regret_us", "lower"),
+        # the mem-telemetry family (DESIGN.md §13): byte peaks, OOM and
+        # fallback counts, fragmentation gauges all regress upward
+        ("mem_peak_bytes", "lower"),
+        ("graphs[mawi].rows[adaptive].mem_peak_bytes", "lower"),
+        ("mem_oom_events", "lower"),
+        ("mem_arena_fallbacks{reason=fragmented}", "lower"),
+        ("mem_arena_holes", "lower"),
+        ("mem_arena_frag_ratio", "lower"),
         ("n", "none"),
         ("nnz_frontier", "none"),
     ])
