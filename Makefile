@@ -3,16 +3,19 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-slow lint conformance-smoke bench-adaptive-smoke bench-kernels-smoke bless perf-gate mem-report-smoke
+.PHONY: test test-fast test-slow test-dynamic lint conformance-smoke bench-adaptive-smoke bench-kernels-smoke bless perf-gate mem-report-smoke
 
 test:  ## tier-1: the full suite (the ROADMAP verify command)
 	$(PYTEST) -x -q
 
-test-fast:  ## tier-1 minus the slow fuzz soaks
-	$(PYTEST) -x -q -m "not slow"
+test-fast:  ## tier-1 minus the slow fuzz soaks and dynamic scaling tests
+	$(PYTEST) -x -q -m "not slow and not dynamic"
 
 test-slow:  ## only the @pytest.mark.slow fuzz soaks
 	$(PYTEST) -q -m slow
+
+test-dynamic:  ## only the @pytest.mark.dynamic large dynamic-graph tests
+	$(PYTEST) -q -m dynamic
 
 lint:
 	ruff check src tests benchmarks examples
@@ -23,6 +26,8 @@ conformance-smoke:  ## fixed-seed differential fuzz pass, wall-clock capped
 	PYTHONPATH=src python -m repro conformance --seed 1 --budget 60 \
 		--max-seconds 30 --config 'adaptive*' \
 		--report conformance-adaptive.jsonl
+	PYTHONPATH=src python -m repro conformance --recipes edits --seed 0 \
+		--budget 100 --max-seconds 60 --report conformance-edits.jsonl
 
 bench-adaptive-smoke:  ## adaptive-dispatch bench on a tiny graph (CI artifact)
 	BENCH_ADAPTIVE_SMOKE=1 $(PYTEST) -q benchmarks/bench_adaptive.py \

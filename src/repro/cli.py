@@ -13,7 +13,12 @@ Three subcommands cover the workflows a user reaches for first:
 * ``suite`` -- list the whole 33-graph benchmark registry;
 * ``conformance`` -- differential fuzzing of every execution configuration
   against the Brandes oracle, metamorphic oracles, and the golden
-  regression corpus (see DESIGN.md §9); ``--bless`` regenerates the corpus;
+  regression corpus (see DESIGN.md §9); ``--recipes edits`` fuzzes dynamic
+  edit scripts through the incremental engine (DESIGN.md §14); ``--bless``
+  regenerates both corpora;
+* ``update`` -- apply ``--add U,V`` / ``--remove U,V`` edge edits to a graph
+  and recompute BC incrementally through a ``DynamicBC`` handle, printing
+  the update mode and affected/skipped source counts (see DESIGN.md §14);
 * ``mem-report`` -- run TurboBC under the allocation-timeline profiler and
   render the memory report: watermark attribution (100%% of peak named),
   arena fragmentation, OOM forensics (see DESIGN.md §13).
@@ -175,6 +180,91 @@ def cmd_bc(args) -> int:
     return 0
 
 
+def _edge_pair_arg(value: str) -> tuple[int, int]:
+    """argparse type for ``--add``/``--remove``: an edge as ``U,V``."""
+    parts = value.split(",")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"expected an edge as U,V (two comma-separated vertex ids), "
+            f"got {value!r}"
+        )
+    try:
+        u, v = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"edge endpoints must be integers, got {value!r}"
+        ) from None
+    if u < 0 or v < 0:
+        raise argparse.ArgumentTypeError(f"edge endpoints must be >= 0, got {value!r}")
+    return u, v
+
+
+def cmd_update(args) -> int:
+    from repro import Device, obs, turbo_bc
+
+    _check_distinct_outputs(args, {
+        "--output": args.output,
+        "--trace-out": args.trace_out,
+        "--metrics-json": args.metrics_json,
+        "--stats-json": args.stats_json,
+    })
+    if not args.add and not args.remove:
+        raise CLIError("nothing to do: pass at least one --add U,V or --remove U,V")
+    graph = _load_graph(args.graph)
+    sources = list(range(args.sources)) if args.sources is not None else None
+    device = Device()
+    want_telemetry = bool(args.trace_out or args.metrics_json)
+    tel = obs.RunTelemetry(trace=bool(args.trace_out)) if want_telemetry else None
+    if tel is not None:
+        obs.activate(tel)
+    try:
+        handle = turbo_bc(
+            graph,
+            sources=sources,
+            algorithm=args.algorithm,
+            device=device,
+            forward_dtype="auto",
+            batch_size=args.batch_size,
+            direction=args.direction,
+            keep_state=True,
+        )
+        handle.churn_threshold = args.churn_threshold
+        result = handle.update(edges_added=args.add or (),
+                               edges_removed=args.remove or ())
+    finally:
+        if tel is not None:
+            if tel.tracer is not None:
+                tel.tracer.finish()
+            obs.deactivate()
+    st = result.stats
+    print(f"update on {graph}: +{len(args.add or ())} -{len(args.remove or ())} "
+          f"edges -> n={handle.graph.n:,} m={handle.graph.m:,}")
+    print(f"mode={st.update_mode}: {st.affected_sources} affected, "
+          f"{st.skipped_sources} skipped of {st.sources} sources; "
+          f"modeled {st.runtime_ms:.3f} ms, {st.kernel_launches} launches")
+    print(f"top-{args.top} vertices by betweenness after the update:")
+    for v, score in result.top(args.top):
+        print(f"  {v:10d}  {score:.4f}")
+    if args.output:
+        np.savetxt(args.output, result.bc)
+        logger.info("updated bc vector written to %s", args.output)
+    if args.trace_out:
+        if str(args.trace_out).endswith(".jsonl"):
+            obs.write_jsonl(args.trace_out, tel)
+        else:
+            obs.write_chrome_trace(args.trace_out, tel)
+        logger.info("trace written to %s (load in ui.perfetto.dev)", args.trace_out)
+    if args.metrics_json:
+        with open(args.metrics_json, "w") as fh:
+            json.dump(tel.snapshot(), fh, indent=2)
+        logger.info("metrics snapshot written to %s", args.metrics_json)
+    if args.stats_json:
+        with open(args.stats_json, "w") as fh:
+            json.dump(st.to_dict(), fh, indent=2)
+        logger.info("update stats written to %s", args.stats_json)
+    return 0
+
+
 def cmd_table(args) -> int:
     from repro.bench import format_comparison_table, run_bc_per_vertex
     from repro.graphs import suite
@@ -193,63 +283,114 @@ def cmd_table(args) -> int:
 def cmd_conformance(args) -> int:
     from repro.conformance import (
         bless_golden,
+        bless_golden_edits,
         check_golden,
+        check_golden_edits,
         default_configs,
+        dynamic_configs,
         filter_configs,
         run_conformance,
+        run_edit_conformance,
     )
     from repro.obs import write_jsonl_records
 
     if args.bless:
         written = bless_golden(args.golden_dir)
+        written += bless_golden_edits(
+            None if args.golden_dir is None else os.path.join(args.golden_dir, "edits")
+        )
         for path in written:
             print(path)
         print(f"blessed {len(written)} golden corpus files")
         return 0
 
-    configs = filter_configs(default_configs(), args.config)
-    if not configs:
-        raise CLIError(
-            f"no execution config matches {args.config!r}; "
-            f"known configs: {', '.join(c.name for c in default_configs())}"
-        )
-    logger.info("running %d configs: %s", len(configs),
-                ", ".join(c.name for c in configs))
-
-    golden_divs = [] if args.skip_golden else check_golden(configs, args.golden_dir)
-    report = run_conformance(
-        configs,
-        seed=args.seed,
-        budget=args.budget,
-        time_limit_s=args.max_seconds,
-        shrink=not args.no_shrink,
-        progress=logger.info,
+    run_graphs = args.recipes in ("graphs", "all")
+    run_edits = args.recipes in ("edits", "all")
+    edits_golden_dir = (
+        None if args.golden_dir is None else os.path.join(args.golden_dir, "edits")
     )
-    report.divergences = golden_divs + report.divergences
+
+    reports = []
+    if run_graphs:
+        configs = filter_configs(default_configs(), args.config)
+        if not configs:
+            raise CLIError(
+                f"no execution config matches {args.config!r}; "
+                f"known configs: {', '.join(c.name for c in default_configs())}"
+            )
+        logger.info("running %d configs: %s", len(configs),
+                    ", ".join(c.name for c in configs))
+        golden_divs = [] if args.skip_golden else check_golden(
+            configs, args.golden_dir)
+        report = run_conformance(
+            configs,
+            seed=args.seed,
+            budget=args.budget,
+            time_limit_s=args.max_seconds,
+            shrink=not args.no_shrink,
+            progress=logger.info,
+        )
+        report.divergences = golden_divs + report.divergences
+        reports.append(("graphs", report))
+    if run_edits:
+        configs = filter_configs(dynamic_configs(), args.config)
+        if not configs:
+            raise CLIError(
+                f"no dynamic config matches {args.config!r}; "
+                f"known configs: {', '.join(c.name for c in dynamic_configs())}"
+            )
+        logger.info("running %d dynamic configs: %s", len(configs),
+                    ", ".join(c.name for c in configs))
+        golden_divs = [] if args.skip_golden else check_golden_edits(
+            configs, edits_golden_dir)
+        report = run_edit_conformance(
+            configs,
+            seed=args.seed,
+            budget=args.budget,
+            time_limit_s=args.max_seconds,
+            shrink=not args.no_shrink,
+            progress=logger.info,
+        )
+        report.divergences = golden_divs + report.divergences
+        reports.append(("edits", report))
 
     if args.report:
-        write_jsonl_records(args.report, report.to_records())
+        records = []
+        for label, report in reports:
+            for rec in report.to_records():
+                rec["recipes"] = label
+                records.append(rec)
+        write_jsonl_records(args.report, records)
         logger.info("conformance report written to %s", args.report)
 
-    early = " (time limit hit)" if report.stopped_early else ""
-    print(f"conformance: {report.cases_run} fuzz cases, {report.checks_run} checks, "
-          f"{len(configs)} configs, seed {args.seed}, "
-          f"{report.elapsed_s:.1f}s{early}")
-    if report.divergences:
-        print(f"{len(report.divergences)} divergence(s):")
-        for div in report.divergences:
-            print(f"  [{div.kind}] {div.config} on {div.case}: {div.detail}")
-            if div.counterexample is not None:
-                ce = div.counterexample
-                print(f"    counterexample: n={ce['n']} "
-                      f"{'directed' if ce['directed'] else 'undirected'} "
-                      f"edges={ce['edges']}")
+    failed = False
+    for label, report in reports:
+        early = " (time limit hit)" if report.stopped_early else ""
+        print(f"conformance[{label}]: {report.cases_run} fuzz cases, "
+              f"{report.checks_run} checks, {len(report.configs)} configs, "
+              f"seed {args.seed}, {report.elapsed_s:.1f}s{early}")
+        if report.divergences:
+            failed = True
+            print(f"{len(report.divergences)} divergence(s):")
+            for div in report.divergences:
+                print(f"  [{div.kind}] {div.config} on {div.case}: {div.detail}")
+                if div.counterexample is not None:
+                    ce = div.counterexample
+                    print(f"    counterexample: n={ce['n']} "
+                          f"{'directed' if ce['directed'] else 'undirected'} "
+                          f"edges={ce['edges']}")
+                    if ce.get("segments") is not None:
+                        print(f"    edit script: {ce['segments']}")
+    if failed:
         return 1
-    print("no divergences: every config matches the Brandes oracle, "
-          "all metamorphic oracles hold, golden corpus reproduced"
-          if not args.skip_golden else
-          "no divergences: every config matches the Brandes oracle and "
-          "all metamorphic oracles hold")
+    if run_graphs:
+        print("no divergences: every config matches the Brandes oracle, "
+              "all metamorphic oracles hold"
+              + ("" if args.skip_golden else ", golden corpus reproduced"))
+    if run_edits:
+        print("no divergences: every DynamicBC update chain is bit-identical "
+              "to from-scratch recomputation"
+              + ("" if args.skip_golden else ", edit corpus reproduced"))
     return 0
 
 
@@ -561,6 +702,10 @@ def build_parser() -> argparse.ArgumentParser:
         "conformance",
         help="differential fuzzing + metamorphic oracles + golden corpus",
     )
+    p_conf.add_argument("--recipes", choices=("graphs", "edits", "all"),
+                        default="graphs",
+                        help="which fuzz layer to run: static graph cases, "
+                             "dynamic edit scripts, or both (default: graphs)")
     p_conf.add_argument("--seed", type=int, default=0,
                         help="fuzzer master seed (default: 0); case i is "
                              "reproducible from (seed, i) alone")
@@ -585,6 +730,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="regenerate the golden corpus from the Brandes "
                              "oracle and exit (review the diff!)")
     p_conf.set_defaults(func=cmd_conformance)
+
+    p_upd = sub.add_parser(
+        "update",
+        help="apply an edge edit to a graph and recompute BC incrementally",
+    )
+    p_upd.add_argument("graph", help="suite name, .mtx file, or edge-list file")
+    p_upd.add_argument("--add", action="append", type=_edge_pair_arg,
+                       metavar="U,V",
+                       help="insert edge (u, v); repeatable; endpoints >= n "
+                            "grow the graph")
+    p_upd.add_argument("--remove", action="append", type=_edge_pair_arg,
+                       metavar="U,V",
+                       help="delete edge (u, v); repeatable; removing an "
+                            "absent edge is a no-op")
+    p_upd.add_argument("--sources", type=int, default=None, metavar="N",
+                       help="run the first N vertices as sources "
+                            "(default: exact BC, all sources)")
+    p_upd.add_argument("--algorithm",
+                       choices=("sccooc", "sccsc", "veccsc", "pullcsc",
+                                "tcspmm", "adaptive"),
+                       default=None,
+                       help="pin the kernel (default: static auto by scf)")
+    p_upd.add_argument("--direction", choices=("auto", "push", "pull"),
+                       default="auto")
+    p_upd.add_argument("--batch-size", type=_batch_size_arg, default=1,
+                       metavar="B|auto")
+    p_upd.add_argument("--churn-threshold", type=float, default=0.5,
+                       metavar="FRAC",
+                       help="fall back to full recompute when more than this "
+                            "fraction of sources is affected (default: 0.5)")
+    p_upd.add_argument("--top", type=int, default=10)
+    p_upd.add_argument("--output", help="write the updated bc vector to a file")
+    p_upd.add_argument("--trace-out", metavar="FILE",
+                       help="write the update's span trace: Chrome-trace JSON "
+                            "or JSONL if FILE ends in .jsonl")
+    p_upd.add_argument("--metrics-json", metavar="FILE",
+                       help="write the run's metrics snapshot (includes the "
+                            "incremental_sources_* counters) as JSON")
+    p_upd.add_argument("--stats-json", metavar="FILE",
+                       help="write the update's BCRunStats (update_mode, "
+                            "affected/skipped sources) as JSON")
+    p_upd.set_defaults(func=cmd_update)
     return parser
 
 

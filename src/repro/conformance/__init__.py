@@ -23,49 +23,86 @@ whole surface systematically (DESIGN.md §9):
   ground truth (relabeling invariance, disjoint-union additivity, pendant
   identities, duplicate-edge/self-loop invariance, sigma doubling);
 * :mod:`repro.conformance.golden` -- pinned small graphs with exact
-  expected BC vectors under ``tests/golden/``, regenerated only via
+  expected BC vectors under ``tests/golden/``, plus pinned (graph,
+  edit-script) pairs under ``tests/golden/edits/``, regenerated only via
   ``python -m repro conformance --bless``.
 
+The edit-script layer (DESIGN.md §14) extends all of the above to dynamic
+graphs: :class:`EditScriptFuzzer` draws segmented insert/delete scripts,
+:func:`run_edit_conformance` proves every ``DynamicBC.update`` chain
+bit-identical to from-scratch recomputation across the kernel x batch grid,
+and failures shrink along both the edit list and the base graph.
+
 CLI: ``python -m repro conformance --seed 0 --budget 200 [--config PAT]
-[--report out.jsonl]``.
+[--recipes graphs|edits|all] [--report out.jsonl]``.
 """
 
 from repro.conformance.configs import (
     ExecutionConfig,
     default_configs,
+    dynamic_configs,
     filter_configs,
 )
-from repro.conformance.fuzzer import FuzzCase, GraphFuzzer, diamond_chain
+from repro.conformance.fuzzer import (
+    EditScriptCase,
+    EditScriptFuzzer,
+    FuzzCase,
+    GraphFuzzer,
+    diamond_chain,
+    replay_edit_script,
+)
 from repro.conformance.golden import (
     GOLDEN_BUILDERS,
+    GOLDEN_EDIT_BUILDERS,
     bless_golden,
+    bless_golden_edits,
     check_golden,
+    check_golden_edits,
     golden_dir,
+    golden_edits_dir,
     load_golden_case,
+    load_golden_edit_case,
 )
 from repro.conformance.harness import (
     ConformanceReport,
     Divergence,
     run_conformance,
+    run_edit_conformance,
     shrink_counterexample,
+    shrink_edit_counterexample,
 )
-from repro.conformance.oracles import METAMORPHIC_ORACLES
+from repro.conformance.oracles import (
+    METAMORPHIC_ORACLES,
+    check_incremental_edit_identity,
+)
 
 __all__ = [
     "ExecutionConfig",
     "default_configs",
+    "dynamic_configs",
     "filter_configs",
+    "EditScriptCase",
+    "EditScriptFuzzer",
     "FuzzCase",
     "GraphFuzzer",
     "diamond_chain",
+    "replay_edit_script",
     "GOLDEN_BUILDERS",
+    "GOLDEN_EDIT_BUILDERS",
     "bless_golden",
+    "bless_golden_edits",
     "check_golden",
+    "check_golden_edits",
     "golden_dir",
+    "golden_edits_dir",
     "load_golden_case",
+    "load_golden_edit_case",
     "ConformanceReport",
     "Divergence",
     "run_conformance",
+    "run_edit_conformance",
     "shrink_counterexample",
+    "shrink_edit_counterexample",
     "METAMORPHIC_ORACLES",
+    "check_incremental_edit_identity",
 ]

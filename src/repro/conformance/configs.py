@@ -163,6 +163,45 @@ def default_configs() -> list[ExecutionConfig]:
     return configs
 
 
+def dynamic_configs() -> list[ExecutionConfig]:
+    """The execution grid the edit-script conformance layer runs on.
+
+    Incremental updates re-run affected sources through the same kernel
+    dispatch as the original computation, so the edit-identity check must
+    cover every kernel x batch combination that can disagree on
+    accumulation order: the paper's trio plus the adaptive dispatcher and
+    the PR 6 direction-optimized kernels, each single-lane and batched,
+    plus one auto-batched entry and one under an active telemetry session.
+    The ``runner`` stays the standard from-scratch ``turbo_bc`` (it is the
+    comparison baseline); the edit harness reads ``axes`` to build the
+    matching :class:`~repro.core.incremental.DynamicBC` handle.
+    """
+    configs: list[ExecutionConfig] = []
+    for kernel in (*KERNEL_NAMES, "adaptive", "pullcsc", "tcspmm"):
+        for batch in (1, 4):
+            configs.append(ExecutionConfig(
+                name=f"dyn/{kernel}/b{batch}",
+                runner=_turbo_runner(kernel, batch),
+                description=f"DynamicBC {kernel}, batch_size={batch!r}",
+                axes={"kernel": kernel, "batch": batch, "gpus": 1,
+                      "telemetry": False},
+            ))
+    configs.append(ExecutionConfig(
+        name="dyn/adaptive/bauto",
+        runner=_turbo_runner("adaptive", "auto"),
+        description="DynamicBC adaptive, memory-model auto batch sizing",
+        axes={"kernel": "adaptive", "batch": "auto", "gpus": 1,
+              "telemetry": False},
+    ))
+    configs.append(ExecutionConfig(
+        name="dyn/sccsc/b4/telemetry",
+        runner=_turbo_runner("sccsc", 4),
+        description="DynamicBC sccsc batch 4 under an active telemetry session",
+        axes={"kernel": "sccsc", "batch": 4, "gpus": 1, "telemetry": True},
+    ))
+    return configs
+
+
 def filter_configs(
     configs: Sequence[ExecutionConfig], patterns: Sequence[str] | None
 ) -> list[ExecutionConfig]:

@@ -293,3 +293,236 @@ class GraphFuzzer:
     def cases(self, budget: int) -> Iterator[FuzzCase]:
         for i in range(budget):
             yield self.case(i)
+
+
+# -- edit-script fuzzing (DESIGN.md §14) --------------------------------------
+#
+# A dynamic-graph fuzz case is a base graph plus a *segmented* edit script:
+# each segment is one ``DynamicBC.update(added, removed)`` call, so a case
+# with three segments exercises a three-update chain.  The conformance check
+# is that the chained incremental results are bit-identical to from-scratch
+# runs on every intermediate graph, across every registered kernel/batch
+# configuration.
+
+
+@dataclass(frozen=True)
+class EditScriptCase:
+    """One dynamic-graph fuzz instance: a base graph plus an edit script.
+
+    ``segments[k]`` is ``(added, removed)`` -- the pairs passed to the
+    ``k``-th ``update`` call (removals apply before additions within a
+    segment, matching :meth:`Graph.apply_edits`).
+    """
+
+    index: int
+    recipe: str
+    graph: Graph
+    segments: tuple[tuple[tuple[tuple[int, int], ...],
+                          tuple[tuple[int, int], ...]], ...]
+    sources: tuple[int, ...] | None
+
+    @property
+    def source_list(self) -> list[int]:
+        if self.sources is None:
+            return list(range(self.graph.n))
+        return list(self.sources)
+
+    @property
+    def n_edits(self) -> int:
+        return sum(len(a) + len(r) for a, r in self.segments)
+
+
+def replay_edit_script(graph: Graph, segments) -> Graph:
+    """Set-based reference application of an edit script.
+
+    Deliberately independent of :meth:`Graph.apply_edits` (python sets, no
+    canonical re-sort): maintains the edge set per segment -- removals
+    first, then additions, self-loops dropped, growth by max endpoint --
+    and rebuilds the final graph from scratch.  The conformance harness
+    differentials ``apply_edits`` chains against this replay, so a bug in
+    the array-level edit application cannot hide behind itself.
+    """
+    def key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if graph.directed else (min(u, v), max(u, v))
+
+    if graph.directed:
+        edges = set(zip(graph.src.tolist(), graph.dst.tolist()))
+    else:
+        edges = {key(u, v) for u, v in zip(graph.src.tolist(), graph.dst.tolist())}
+    n = graph.n
+    for added, removed in segments:
+        for u, v in removed:
+            edges.discard(key(int(u), int(v)))
+        for u, v in added:
+            u, v = int(u), int(v)
+            if u == v:
+                continue
+            n = max(n, u + 1, v + 1)
+            edges.add(key(u, v))
+    return Graph.from_edges(sorted(edges), n, directed=graph.directed,
+                            name=f"{graph.name}+replay" if graph.name else "")
+
+
+def _existing_pairs(graph: Graph) -> list[tuple[int, int]]:
+    """Distinct edges as pairs (one orientation for undirected graphs)."""
+    if graph.directed:
+        return list(zip(graph.src.tolist(), graph.dst.tolist()))
+    keep = graph.src < graph.dst
+    return list(zip(graph.src[keep].tolist(), graph.dst[keep].tolist()))
+
+
+def _random_pairs(rng, n: int, k: int) -> list[tuple[int, int]]:
+    pairs = []
+    for _ in range(k):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u != v:
+            pairs.append((u, v))
+    return pairs
+
+
+def _edit_hub_deletion(rng):
+    """Delete edges incident to the highest-degree hub of a star-ish graph."""
+    n = int(rng.integers(6, 16))
+    g = Graph.from_edges(
+        [(0, i) for i in range(1, n)] + [(1, 2), (3, 4)],
+        n, directed=False,
+    )
+    spokes = [(0, int(v)) for v in rng.choice(np.arange(1, n), size=3, replace=False)]
+    k = int(rng.integers(1, 4))
+    return g, ((tuple(), tuple(spokes[:k])),), f"edits-hub-del-{n}"
+
+
+def _edit_bridge_insertion(rng):
+    """Bridge two disjoint components; only sources near the seam change."""
+    a = int(rng.integers(3, 8))
+    b = int(rng.integers(3, 8))
+    e = [(i, i + 1) for i in range(a - 1)]                      # path 0..a-1
+    e += [(a + i, a + j) for i in range(b) for j in range(i + 1, b)]  # clique
+    g = Graph.from_edges(e, a + b, directed=False)
+    u = int(rng.integers(0, a))
+    v = a + int(rng.integers(0, b))
+    segments = [((((u, v),), tuple()))]
+    if rng.random() < 0.5:  # sometimes a second bridge in a second segment
+        segments.append((((0, a + b - 1),), tuple()))
+    return g, tuple(segments), f"edits-bridge-{a}+{b}"
+
+
+def _edit_shortcut(rng):
+    """Depth-collapsing shortcut across a path: every source's DAG moves."""
+    n = int(rng.integers(6, 20))
+    g = Graph.from_edges([(i, i + 1) for i in range(n - 1)], n,
+                         directed=bool(rng.integers(2)))
+    far = int(rng.integers(n // 2, n))
+    return g, (((((0, far),)), tuple()),), f"edits-shortcut-{n}"
+
+
+def _edit_noop_reinsert(rng):
+    """No-op scripts: remove+re-add the same edges, re-add present edges."""
+    n = int(rng.integers(5, 14))
+    g = erdos_renyi_graph(n, 0.25, directed=bool(rng.integers(2)), seed=rng)
+    pairs = _existing_pairs(g)
+    if not pairs:
+        g = Graph.from_edges([(0, 1), (1, 2)], n, directed=g.directed)
+        pairs = _existing_pairs(g)
+    k = min(len(pairs), int(rng.integers(1, 4)))
+    pick = [pairs[int(i)] for i in rng.choice(len(pairs), size=k, replace=False)]
+    segments = [
+        (tuple(pick), tuple(pick)),   # removed then re-added: graph no-op
+        (tuple(pick[:1]), tuple()),   # re-insert an already-present edge
+    ]
+    return g, tuple(segments), f"edits-noop-{n}"
+
+
+def _edit_random_mixed(rng):
+    """1-32 random edits across 1-4 segments on a G(n, p) graph."""
+    n = int(rng.integers(6, 28))
+    g = erdos_renyi_graph(n, float(rng.uniform(0.08, 0.25)),
+                          directed=bool(rng.integers(2)), seed=rng)
+    total = int(rng.integers(1, 33))
+    n_segments = int(rng.integers(1, 5))
+    pairs = _existing_pairs(g)
+    segments = []
+    for _ in range(n_segments):
+        k = max(1, total // n_segments)
+        adds, rems = [], []
+        for _ in range(k):
+            if rng.random() < 0.5 and pairs:
+                rems.append(pairs[int(rng.integers(0, len(pairs)))])
+            else:
+                adds.extend(_random_pairs(rng, n, 1))
+        segments.append((tuple(adds), tuple(rems)))
+    return g, tuple(segments), f"edits-mixed-{n}-k{total}"
+
+
+def _edit_insert_only(rng):
+    """Insert-only script on a sparse (likely disconnected) graph."""
+    n = int(rng.integers(8, 24))
+    g = erdos_renyi_graph(n, 0.04, directed=bool(rng.integers(2)), seed=rng)
+    k = int(rng.integers(1, 9))
+    return (g, ((tuple(_random_pairs(rng, n, k)), tuple()),),
+            f"edits-insert-{n}-k{k}")
+
+
+def _edit_delete_only(rng):
+    """Delete-only script; includes deletes of absent edges (no-ops)."""
+    n = int(rng.integers(6, 18))
+    g = erdos_renyi_graph(n, 0.3, directed=bool(rng.integers(2)), seed=rng)
+    pairs = _existing_pairs(g)
+    k = min(len(pairs), int(rng.integers(1, 6)))
+    rems = [pairs[int(i)] for i in rng.choice(len(pairs), size=k, replace=False)] \
+        if pairs else []
+    rems += _random_pairs(rng, n, 1)  # probably absent: must be a no-op
+    return g, ((tuple(), tuple(rems)),), f"edits-delete-{n}-k{k}"
+
+
+def _edit_growth(rng):
+    """Edits whose endpoints grow the vertex set past the stored ``n``."""
+    n = int(rng.integers(4, 12))
+    g = erdos_renyi_graph(n, 0.2, directed=bool(rng.integers(2)), seed=rng)
+    grow = [(int(rng.integers(0, n)), n + i) for i in range(int(rng.integers(1, 4)))]
+    segments = [((tuple(grow), tuple()))]
+    if rng.random() < 0.5:  # then wire the new vertices together
+        segments.append((((n, n + len(grow) - 1),), tuple())
+                        if len(grow) > 1 else ((tuple(grow[:1])), tuple()))
+    return g, tuple(segments), f"edits-growth-{n}+{len(grow)}"
+
+
+_EDIT_RECIPES = (
+    _edit_random_mixed,
+    _edit_hub_deletion,
+    _edit_bridge_insertion,
+    _edit_shortcut,
+    _edit_noop_reinsert,
+    _edit_insert_only,
+    _edit_delete_only,
+    _edit_growth,
+)
+
+
+class EditScriptFuzzer:
+    """Deterministic dynamic-graph fuzz stream.
+
+    Same determinism contract as :class:`GraphFuzzer` with a distinct RNG
+    stream (``default_rng([seed, index, 2])``), so graph cases and edit
+    cases at the same ``(seed, index)`` never correlate.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def case(self, index: int) -> EditScriptCase:
+        rng = np.random.default_rng([self.seed, index, 2])
+        base = _EDIT_RECIPES[index % len(_EDIT_RECIPES)]
+        graph, segments, label = base(rng)
+        return EditScriptCase(
+            index=index,
+            recipe=label,
+            graph=graph,
+            segments=segments,
+            sources=_pick_sources(graph, rng),
+        )
+
+    def cases(self, budget: int) -> Iterator[EditScriptCase]:
+        for i in range(budget):
+            yield self.case(i)

@@ -27,6 +27,7 @@ from repro.conformance.fuzzer import diamond_chain
 from repro.graphs.graph import Graph
 
 SCHEMA = "repro/conformance/golden/v1"
+EDIT_SCHEMA = "repro/conformance/golden-edits/v1"
 
 #: Per-config comparison tolerance (device accumulates in float32).
 RTOL, ATOL = 1e-6, 1e-9
@@ -35,6 +36,11 @@ RTOL, ATOL = 1e-6, 1e-9
 def golden_dir() -> pathlib.Path:
     """Default corpus location: ``tests/golden/`` at the repository root."""
     return pathlib.Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def golden_edits_dir() -> pathlib.Path:
+    """Edit-script corpus location: ``tests/golden/edits/``."""
+    return golden_dir() / "edits"
 
 
 # -- pinned graph builders ---------------------------------------------------
@@ -231,5 +237,213 @@ def check_golden(configs, directory: pathlib.Path | str | None = None) -> list:
                            f"vs pinned vector",
                     max_abs_err=float(np.abs(got - expected).max()),
                     counterexample=_counterexample_dict(graph, None),
+                ))
+    return divergences
+
+
+# -- golden edit scripts (DESIGN.md §14) -------------------------------------
+#
+# A golden edit case pins a base graph, a segmented edit script, the final
+# BC vector after the whole chain (computed by Brandes on the final graph)
+# and the per-update affected-source counts observed on the reference
+# ``adaptive/b1`` chain.  The affected-source predicate is exact integer
+# arithmetic over depth/sigma state, so the counts are kernel- and
+# batch-independent; a drift in either the predicate or the fold shows up
+# as a diff in a reviewed JSON file, not just a transient test failure.
+
+
+def _golden_edits_hub_deletion() -> tuple[Graph, tuple]:
+    # Star with a tail: deleting two spokes reroutes (or disconnects)
+    # shortest paths through the hub.
+    e = [(0, i) for i in range(1, 6)] + [(5, 6), (6, 7)]
+    g = Graph.from_edges(e, 8, directed=False)
+    return g, ((tuple(), ((0, 2), (0, 3))),)
+
+
+def _golden_edits_bridge_insertion() -> tuple[Graph, tuple]:
+    # Path component + clique component, then a bridge joins them.
+    e = [(i, i + 1) for i in range(4)]
+    e += [(5 + i, 5 + j) for i in range(4) for j in range(i + 1, 4)]
+    g = Graph.from_edges(e, 9, directed=False)
+    return g, ((((4, 5),), tuple()),)
+
+
+def _golden_edits_shortcut() -> tuple[Graph, tuple]:
+    # A depth-collapsing chord on a path: every source's BFS tree shallows.
+    g = Graph.from_edges([(i, i + 1) for i in range(7)], 8, directed=False)
+    return g, ((((0, 6),), tuple()),)
+
+
+def _golden_edits_noop_reinsert() -> tuple[Graph, tuple]:
+    # Segment 1 removes and re-adds the same edge (structural no-op);
+    # segment 2 re-adds an edge that is already present.
+    g = _grid_3x3()
+    return g, ((((1, 2),), ((1, 2),)), (((0, 1),), tuple()))
+
+
+def _golden_edits_mixed_directed() -> tuple[Graph, tuple]:
+    # Directed: break one bridge into the sink chain, then grow a bypass.
+    g = _asym_digraph()
+    return g, ((((0, 3),), ((2, 3),)), (((5, 6),), tuple()))
+
+
+def _golden_edits_growth() -> tuple[Graph, tuple]:
+    # Endpoints past n grow the vertex set mid-chain.
+    g = _path5()
+    return g, ((((4, 5), (5, 6)), tuple()), (((6, 0),), tuple()))
+
+
+GOLDEN_EDIT_BUILDERS = {
+    "edits-hub-deletion": _golden_edits_hub_deletion,
+    "edits-bridge-insertion": _golden_edits_bridge_insertion,
+    "edits-shortcut": _golden_edits_shortcut,
+    "edits-noop-reinsert": _golden_edits_noop_reinsert,
+    "edits-mixed-directed": _golden_edits_mixed_directed,
+    "edits-growth": _golden_edits_growth,
+}
+
+
+def _edit_case_dict(name: str, graph: Graph, segments, bc: np.ndarray,
+                    affected: list[int], modes: list[str]) -> dict:
+    rec = _case_dict(name, graph, bc)
+    rec["schema"] = EDIT_SCHEMA
+    rec["segments"] = [
+        {"add": [[int(u), int(v)] for u, v in added],
+         "remove": [[int(u), int(v)] for u, v in removed]}
+        for added, removed in segments
+    ]
+    rec["affected_sources"] = [int(a) for a in affected]
+    rec["update_modes"] = list(modes)
+    rec["oracle"] = "brandes+adaptive/b1"
+    return rec
+
+
+def _reference_chain(graph: Graph, segments):
+    """Run the adaptive/b1 chain; returns (final_graph, affected, modes)."""
+    from repro.core.bc import turbo_bc
+
+    handle = turbo_bc(graph, algorithm="adaptive", batch_size=1,
+                      keep_state=True)
+    affected, modes = [], []
+    for added, removed in segments:
+        res = handle.update(edges_added=added, edges_removed=removed)
+        affected.append(res.stats.affected_sources)
+        modes.append(res.stats.update_mode)
+    return handle.graph, affected, modes
+
+
+def bless_golden_edits(
+    directory: pathlib.Path | str | None = None,
+) -> list[pathlib.Path]:
+    """(Re)write the edit-script corpus; returns the written paths."""
+    directory = pathlib.Path(directory) if directory else golden_edits_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, builder in GOLDEN_EDIT_BUILDERS.items():
+        graph, segments = builder()
+        final, affected, modes = _reference_chain(graph, segments)
+        bc = brandes_bc(final)
+        path = directory / f"{name}.json"
+        with open(path, "w") as fh:
+            json.dump(_edit_case_dict(name, graph, segments, bc,
+                                      affected, modes),
+                      fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(path)
+    return written
+
+
+def load_golden_edit_case(
+    path: pathlib.Path | str,
+) -> tuple[Graph, tuple, np.ndarray, dict]:
+    """Load one edit corpus file: ``(graph, segments, final_bc, record)``."""
+    with open(path) as fh:
+        rec = json.load(fh)
+    if rec.get("schema") != EDIT_SCHEMA:
+        raise ValueError(
+            f"{path}: unexpected golden-edits schema {rec.get('schema')!r}")
+    edges = np.asarray(rec["edges"], dtype=np.int64).reshape(-1, 2)
+    graph = Graph.from_edges(edges, rec["n"], directed=rec["directed"],
+                             name=rec["name"])
+    segments = tuple(
+        (tuple((int(u), int(v)) for u, v in seg["add"]),
+         tuple((int(u), int(v)) for u, v in seg["remove"]))
+        for seg in rec["segments"]
+    )
+    return graph, segments, np.asarray(rec["bc"], dtype=np.float64), rec
+
+
+def iter_golden_edits(directory: pathlib.Path | str | None = None):
+    """Yield ``(name, graph, segments, final_bc, record)`` per corpus file."""
+    directory = pathlib.Path(directory) if directory else golden_edits_dir()
+    for path in sorted(directory.glob("*.json")):
+        graph, segments, bc, rec = load_golden_edit_case(path)
+        yield rec["name"], graph, segments, bc, rec
+
+
+def check_golden_edits(
+    configs, directory: pathlib.Path | str | None = None
+) -> list:
+    """Chain every dynamic config through every pinned edit script.
+
+    For each (case, config) pair the full update chain runs through a
+    ``DynamicBC`` handle built from the config's kernel/batch axes; the
+    final BC vector must match the pinned Brandes vector and the
+    per-update affected-source counts must match the pinned reference
+    chain exactly (the predicate is integer-exact, so any drift is a bug,
+    not noise).
+    """
+    from repro.conformance.harness import Divergence, _edit_counterexample_dict
+    from repro.core.bc import turbo_bc
+
+    divergences = []
+    corpus = list(iter_golden_edits(directory))
+    if not corpus:
+        divergences.append(Divergence(
+            case="golden-edits", config="-", kind="golden-missing",
+            detail=f"no edit corpus found under "
+                   f"{directory or golden_edits_dir()} "
+                   "(run `python -m repro conformance --bless`)",
+        ))
+        return divergences
+    for name, graph, segments, expected, rec in corpus:
+        for config in configs:
+            kernel = config.axes.get("kernel", "adaptive")
+            batch = config.axes.get("batch", 1)
+            try:
+                handle = turbo_bc(graph, algorithm=kernel, batch_size=batch,
+                                  keep_state=True)
+                affected = []
+                for added, removed in segments:
+                    res = handle.update(edges_added=added,
+                                        edges_removed=removed)
+                    affected.append(res.stats.affected_sources)
+                got = handle.bc
+            except Exception as exc:
+                divergences.append(Divergence(
+                    case=f"golden:{name}", config=config.name,
+                    kind="exception", detail=repr(exc),
+                    counterexample=_edit_counterexample_dict(
+                        graph, segments, None),
+                ))
+                continue
+            if not np.allclose(got, expected, rtol=RTOL, atol=ATOL):
+                divergences.append(Divergence(
+                    case=f"golden:{name}", config=config.name,
+                    kind="golden-mismatch",
+                    detail=f"final bc max |diff| "
+                           f"{np.abs(got - expected).max():.3e} vs pinned",
+                    max_abs_err=float(np.abs(got - expected).max()),
+                    counterexample=_edit_counterexample_dict(
+                        graph, segments, None),
+                ))
+            elif affected != rec["affected_sources"]:
+                divergences.append(Divergence(
+                    case=f"golden:{name}", config=config.name,
+                    kind="golden-mismatch",
+                    detail=f"affected-source counts {affected} != pinned "
+                           f"{rec['affected_sources']}",
+                    counterexample=_edit_counterexample_dict(
+                        graph, segments, None),
                 ))
     return divergences

@@ -31,10 +31,16 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.baselines.brandes import brandes_bc
-from repro.conformance.configs import ExecutionConfig, default_configs
-from repro.conformance.fuzzer import FuzzCase, GraphFuzzer
+from repro.conformance.configs import ExecutionConfig, default_configs, dynamic_configs
+from repro.conformance.fuzzer import (
+    EditScriptCase,
+    EditScriptFuzzer,
+    FuzzCase,
+    GraphFuzzer,
+)
 from repro.conformance.oracles import (
     METAMORPHIC_ORACLES,
+    check_incremental_edit_identity,
     check_sigma_doubling,
 )
 from repro.core.validate import validate_bc
@@ -507,3 +513,260 @@ def _check_config(
         max_abs_err=err,
         counterexample=_counterexample_dict(counter, counter_srcs),
     )
+
+
+# -- edit-script conformance (DESIGN.md §14) ---------------------------------
+
+
+def _edit_counterexample_dict(graph: Graph, segments,
+                              sources: Sequence[int] | None) -> dict:
+    """JSON-able reproduction of a failing (graph, edit-script) instance."""
+    rec = _counterexample_dict(graph, sources)
+    rec["segments"] = [
+        {"add": [[int(u), int(v)] for u, v in added],
+         "remove": [[int(u), int(v)] for u, v in removed]}
+        for added, removed in segments
+    ]
+    return rec
+
+
+def counterexample_segments(rec: dict):
+    """Rebuild the segments of an :func:`_edit_counterexample_dict` record."""
+    return tuple(
+        (tuple((int(u), int(v)) for u, v in seg["add"]),
+         tuple((int(u), int(v)) for u, v in seg["remove"]))
+        for seg in rec.get("segments", ())
+    )
+
+
+def _segments_from_items(n_segments: int, items) -> tuple:
+    segments = []
+    for k in range(n_segments):
+        added = tuple((u, v) for kk, op, u, v in items if kk == k and op == "add")
+        removed = tuple((u, v) for kk, op, u, v in items if kk == k and op == "remove")
+        segments.append((added, removed))
+    return tuple(segments)
+
+
+def shrink_edit_counterexample(
+    graph: Graph,
+    segments,
+    predicate: Callable[[Graph, tuple], bool],
+    *,
+    max_checks: int = SHRINK_BUDGET,
+) -> tuple[Graph, tuple]:
+    """Minimize a failing (graph, edit-script) pair under ``predicate``.
+
+    Shrinks along both dimensions while the divergence persists: a ddmin
+    pass over the flattened edit list first (segment structure preserved --
+    an emptied update call stays an update call until a final cleanup pass
+    proves the failure survives dropping it), then vertex blocks of the
+    base graph with the surviving edits remapped through the subgraph
+    relabeling (edits touching a dropped vertex are dropped; growth
+    endpoints ``>= n`` keep their offset past the shrunk vertex count).
+    """
+    if not predicate(graph, segments):
+        return graph, segments
+    budget = _PredicateBudget(max_checks)
+    n_segments = len(segments)
+
+    # Pass 1: the edit list.
+    items = [
+        (k, op, int(u), int(v))
+        for k, (added, removed) in enumerate(segments)
+        for op, pairs in (("remove", removed), ("add", added))
+        for u, v in pairs
+    ]
+
+    def rebuild_items(kept: list):
+        return (graph, _segments_from_items(n_segments, kept))
+
+    items = _shrink_pass(
+        items, rebuild_items, lambda gs: predicate(*gs), budget
+    )
+    segments = _segments_from_items(n_segments, items)
+
+    # Pass 2: vertex blocks, with edits remapped through the relabeling.
+    def remap_segments(mapping: np.ndarray, sub_n: int) -> tuple:
+        relabel = np.full(graph.n, -1, dtype=np.int64)
+        relabel[mapping] = np.arange(mapping.size)
+
+        def remap(w: int) -> int | None:
+            if w >= graph.n:
+                return sub_n + (w - graph.n)
+            new = int(relabel[w])
+            return None if new < 0 else new
+
+        out = []
+        for added, removed in segments:
+            new_added = []
+            new_removed = []
+            for pairs, dest in ((added, new_added), (removed, new_removed)):
+                for u, v in pairs:
+                    nu, nv = remap(u), remap(v)
+                    if nu is not None and nv is not None:
+                        dest.append((nu, nv))
+            out.append((tuple(new_added), tuple(new_removed)))
+        return tuple(out)
+
+    def rebuild_vertices(keep: list):
+        if not keep:
+            return None
+        sub, mapping = graph.subgraph(keep)
+        return (sub, remap_segments(mapping, sub.n))
+
+    kept = _shrink_pass(
+        list(range(graph.n)), rebuild_vertices, lambda gs: predicate(*gs), budget
+    )
+    if len(kept) < graph.n:
+        sub, mapping = graph.subgraph(kept)
+        graph, segments = sub, remap_segments(mapping, sub.n)
+
+    # Cleanup: drop emptied update calls if the failure survives.
+    compact = tuple(seg for seg in segments if seg[0] or seg[1])
+    if len(compact) < len(segments) and budget.spend() and predicate(graph, compact):
+        segments = compact
+    return graph, segments
+
+
+def _edit_check_runner(config: ExecutionConfig):
+    """The per-config edit-identity check, honouring the config's axes."""
+    kernel = config.axes.get("kernel", "adaptive")
+    batch = config.axes.get("batch", 1)
+    telemetry = bool(config.axes.get("telemetry", False))
+
+    def run(graph: Graph, segments, sources) -> str | None:
+        if telemetry:
+            from repro.obs import telemetry as obs_telemetry
+            from repro.obs.telemetry import RunTelemetry
+
+            tel = RunTelemetry(trace=True)
+            obs_telemetry.activate(tel)
+            try:
+                return check_incremental_edit_identity(
+                    graph, segments, algorithm=kernel, batch_size=batch,
+                    sources=sources,
+                )
+            finally:
+                if tel.tracer is not None:
+                    tel.tracer.finish()
+                obs_telemetry.deactivate()
+        return check_incremental_edit_identity(
+            graph, segments, algorithm=kernel, batch_size=batch, sources=sources,
+        )
+
+    return run
+
+
+def _check_edit_config(
+    case: EditScriptCase,
+    config: ExecutionConfig,
+    shrink: bool,
+) -> Divergence | None:
+    graph, segments, srcs = case.graph, case.segments, case.sources
+    check = _edit_check_runner(config)
+    try:
+        err = check(graph, segments, srcs)
+    except Exception as exc:
+        counter, counter_segments = graph, segments
+        if shrink:
+            exc_type = type(exc)
+
+            def raises_same(g: Graph, segs) -> bool:
+                try:
+                    check(g, segs, _predicate_sources(g))
+                except exc_type:
+                    return True
+                except Exception:
+                    return False
+                return False
+
+            counter, counter_segments = shrink_edit_counterexample(
+                graph, segments, raises_same
+            )
+        return Divergence(
+            case=case.recipe, config=config.name, kind="exception",
+            detail=traceback.format_exception_only(exc)[-1].strip(),
+            counterexample=_edit_counterexample_dict(
+                counter, counter_segments, None
+            ),
+        )
+    if err is None:
+        return None
+
+    counter, counter_segments, counter_srcs = graph, segments, srcs
+    if shrink:
+        def still_fails(g: Graph, segs) -> bool:
+            try:
+                return check(g, segs, _predicate_sources(g)) is not None
+            except Exception:
+                return True
+
+        counter, counter_segments = shrink_edit_counterexample(
+            graph, segments, still_fails
+        )
+        if counter is not graph:
+            counter_srcs = _predicate_sources(counter)
+    return Divergence(
+        case=case.recipe, config=config.name, kind="edit-mismatch",
+        detail=err,
+        counterexample=_edit_counterexample_dict(
+            counter, counter_segments, counter_srcs
+        ),
+    )
+
+
+def run_edit_conformance(
+    configs: Sequence[ExecutionConfig] | None = None,
+    *,
+    seed: int = 0,
+    budget: int = 100,
+    time_limit_s: float | None = None,
+    shrink: bool = True,
+    cases: Iterable[EditScriptCase] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ConformanceReport:
+    """Fuzz ``budget`` edit scripts through every dynamic configuration.
+
+    The edit-script analogue of :func:`run_conformance`: every case is a
+    (graph, segmented edit script) pair, every config is a kernel/batch
+    combination, and the check is :func:`check_incremental_edit_identity`
+    (structure differential + bit-identity + accounting).  Divergences are
+    shrunk along both the edit list and the graph.
+    """
+    configs = list(dynamic_configs() if configs is None else configs)
+    report = ConformanceReport(
+        seed=seed, budget=budget, configs=[c.name for c in configs]
+    )
+    t0 = time.perf_counter()
+    say = progress or (lambda msg: None)
+    case_stream = EditScriptFuzzer(seed).cases(budget) if cases is None else cases
+
+    for case in case_stream:
+        if time_limit_s is not None and time.perf_counter() - t0 > time_limit_s:
+            report.stopped_early = True
+            break
+        report.cases_run += 1
+
+        fmt_errors = format_coherence_report(case.graph)
+        report.checks_run += 1
+        if fmt_errors:
+            for err in fmt_errors:
+                report.divergences.append(Divergence(
+                    case=case.recipe, config="-", kind="format", detail=err,
+                    counterexample=_edit_counterexample_dict(
+                        case.graph, case.segments, case.sources
+                    ),
+                ))
+            continue
+
+        for config in configs:
+            report.checks_run += 1
+            div = _check_edit_config(case, config, shrink)
+            if div is not None:
+                say(f"edit divergence: {config.name} on case {case.index} "
+                    f"({case.recipe})")
+                report.divergences.append(div)
+
+    report.elapsed_s = time.perf_counter() - t0
+    return report

@@ -145,6 +145,93 @@ def check_direction_invariance(run, graph: Graph, rng) -> str | None:
     return None
 
 
+def check_incremental_edit_identity(
+    graph: Graph,
+    segments,
+    *,
+    algorithm: str = "adaptive",
+    batch_size: int | str = 1,
+    sources=None,
+) -> str | None:
+    """Chained ``DynamicBC.update`` == from-scratch, bit for bit.
+
+    Three layers per segment of the edit script:
+
+    1. **structure differential** -- the ``apply_edits`` chain must equal
+       the independent set-based :func:`replay_edit_script` reference,
+       entry-for-entry (a canonical re-sort bug cannot hide behind itself);
+    2. **bit-identity** -- the incremental BC vector after each update must
+       be bitwise equal (``array_equal``, not ``allclose``) to a
+       from-scratch ``turbo_bc`` on the intermediate graph with the same
+       kernel/batch configuration;
+    3. **accounting sanity** -- ``affected + skipped == sources`` and the
+       update mode is one of the two documented values.
+    """
+    from repro.conformance.fuzzer import replay_edit_script
+    from repro.core.bc import turbo_bc
+
+    src_arg = None if sources is None else list(sources)
+    handle = turbo_bc(graph, sources=src_arg, algorithm=algorithm,
+                      batch_size=batch_size, keep_state=True)
+    for k, (added, removed) in enumerate(segments):
+        res = handle.update(edges_added=added, edges_removed=removed)
+
+        reference = replay_edit_script(graph, segments[: k + 1])
+        if handle.graph.n != reference.n or not (
+            np.array_equal(handle.graph.src, reference.src)
+            and np.array_equal(handle.graph.dst, reference.dst)
+        ):
+            return (f"segment {k}: apply_edits chain disagrees with the "
+                    f"set-based replay (n={handle.graph.n} vs {reference.n}, "
+                    f"m={handle.graph.m} vs {reference.m})")
+
+        scratch = turbo_bc(handle.graph, sources=src_arg, algorithm=algorithm,
+                           batch_size=batch_size)
+        if not np.array_equal(res.bc, scratch.bc):
+            err = _mismatch(f"segment {k} incremental vs from-scratch",
+                            res.bc, scratch.bc)
+            return err or (f"segment {k}: incremental result not "
+                           "bit-identical to from-scratch")
+
+        st = res.stats
+        if st.update_mode not in ("incremental", "full"):
+            return f"segment {k}: unexpected update_mode {st.update_mode!r}"
+        if st.affected_sources + st.skipped_sources != st.sources:
+            return (f"segment {k}: affected {st.affected_sources} + skipped "
+                    f"{st.skipped_sources} != sources {st.sources}")
+    return None
+
+
+def check_incremental_invariance(run, graph: Graph, rng) -> str | None:
+    """Rotating metamorphic form: a small random edit script on the case.
+
+    Ignores ``run`` like the direction oracle -- the property belongs to
+    the ``keep_state`` machinery, not the registered config.  Draws 1-4
+    edits (mixed insert/delete, split into up to two update calls) from the
+    per-case RNG and delegates to :func:`check_incremental_edit_identity`.
+    """
+    if graph.n < 2:
+        return None
+    pairs = list(zip(graph.src.tolist(), graph.dst.tolist()))
+    adds, rems = [], []
+    for _ in range(int(rng.integers(1, 5))):
+        if rng.random() < 0.5 and pairs:
+            rems.append(pairs[int(rng.integers(0, len(pairs)))])
+        else:
+            u = int(rng.integers(0, graph.n))
+            v = int(rng.integers(0, graph.n))
+            if u != v:
+                adds.append((u, v))
+    if not adds and not rems:
+        return None
+    if len(adds) + len(rems) >= 2 and rng.random() < 0.5:
+        segments = ((tuple(adds), tuple()), (tuple(), tuple(rems)))
+    else:
+        segments = ((tuple(adds), tuple(rems)),)
+    batch = (1, 4)[int(rng.integers(0, 2))]
+    return check_incremental_edit_identity(graph, segments, batch_size=batch)
+
+
 #: name -> oracle; the harness rotates through these across fuzz cases.
 METAMORPHIC_ORACLES = {
     "relabel": check_relabel_invariance,
@@ -153,6 +240,7 @@ METAMORPHIC_ORACLES = {
     "dup-edges": check_duplicate_edge_self_loop_invariance,
     "disjoint-union": check_disjoint_union_additivity,
     "direction": check_direction_invariance,
+    "incremental": check_incremental_invariance,
 }
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,6 +19,9 @@ from repro.graphs.metrics import SCF_IRREGULAR_THRESHOLD, scale_free_metric
 from repro.gpusim.device import Device
 from repro.gpusim.errors import DeviceOutOfMemoryError
 from repro.obs import telemetry as obs
+
+if TYPE_CHECKING:  # pragma: no cover - keep_state's return type lives downstream
+    from repro.core.incremental import DynamicBC
 
 logger = logging.getLogger(__name__)
 
@@ -193,7 +197,9 @@ def turbo_bc(
     batch_size: int | str = 1,
     keep_forward: bool = False,
     direction: str = "auto",
-) -> BCResult:
+    keep_state: bool = False,
+    _capture=None,
+) -> "BCResult | DynamicBC":
     """Compute betweenness centrality with TurboBC on the simulated device.
 
     Parameters
@@ -234,6 +240,16 @@ def turbo_bc(
         level, ``"push"`` restricts it to the top-down kernels (PR 4
         behaviour) and ``"pull"`` to the bottom-up ones.  Results are
         bit-identical across all three -- only the modeled time moves.
+    keep_state:
+        Return a :class:`~repro.core.incremental.DynamicBC` handle instead
+        of a plain result: the run retains per-source depth/sigma vectors
+        and BC contributions so subsequent edge edits can be applied with
+        ``handle.update(edges_added, edges_removed)``, re-running only the
+        sources whose BFS DAG the edits touch (DESIGN.md §14).
+    _capture:
+        Internal -- a :class:`~repro.core.incremental.StateCapture` the
+        drivers fill with per-source state; used by the ``keep_state``
+        machinery and the conformance harness.
 
     Returns
     -------
@@ -251,6 +267,21 @@ def turbo_bc(
         reporting the largest ``n`` / ``batch_size`` / dtype configuration
         that *would* have fit.
     """
+    if keep_state:
+        if _capture is not None:
+            raise ValueError("keep_state=True manages its own state capture")
+        from repro.core.incremental import DynamicBC
+
+        return DynamicBC.create(
+            graph,
+            sources=sources,
+            algorithm=algorithm,
+            device=device,
+            forward_dtype=forward_dtype,
+            backward_dtype=backward_dtype,
+            batch_size=batch_size,
+            direction=direction,
+        )
     try:
         return _turbo_bc_impl(
             graph,
@@ -262,6 +293,7 @@ def turbo_bc(
             batch_size=batch_size,
             keep_forward=keep_forward,
             direction=direction,
+            capture=_capture,
         )
     except DeviceOutOfMemoryError as exc:
         if exc.advice is None:
@@ -282,6 +314,7 @@ def _turbo_bc_impl(
     batch_size: int | str = 1,
     keep_forward: bool = False,
     direction: str = "auto",
+    capture=None,
 ) -> BCResult:
     """The body of :func:`turbo_bc` (which adds the OOM-advice guarantee)."""
     if isinstance(algorithm, str):
@@ -355,6 +388,7 @@ def _turbo_bc_impl(
             batch=batch,
             keep_forward=keep_forward,
             direction=direction,
+            capture=capture,
         )
 
     if dtype_is_auto:
@@ -369,6 +403,7 @@ def _turbo_bc_impl(
                 batch_size=1,
                 keep_forward=keep_forward,
                 direction=direction,
+                _capture=capture,
             )
         except SigmaOverflowError:
             logger.warning(
@@ -389,6 +424,7 @@ def _turbo_bc_impl(
                 batch_size=1,
                 keep_forward=keep_forward,
                 direction=direction,
+                _capture=capture,
             )
 
     t0 = time.perf_counter()
@@ -418,6 +454,9 @@ def _turbo_bc_impl(
         bc_accum = ctx.bc_arr.data  # float32 device vector
         depths: list[int] = []
         last_forward = None
+        if capture is not None:
+            capture.begin(forward_dtype)
+        scale = 0.5 if not graph.directed else 1.0
         try:
             for s in src_list:
                 with obs.span("source", source=s):
@@ -431,11 +470,21 @@ def _turbo_bc_impl(
                             depth=fwd.depth,
                             frontier_sizes=list(fwd.frontier_sizes),
                         )
+                    delta = None
                     if fwd.depth > 1:
                         delta = accumulate_dependencies(ctx, fwd)
                         FK.bc_update_kernel(
                             device, bc_accum, delta, s, undirected=not graph.directed,
                             tag=f"s={s}",
+                        )
+                    if capture is not None:
+                        # `scale * delta` is bitwise the addend the fold
+                        # kernel just accumulated; copied before the arena
+                        # slots are released below.
+                        capture.record(
+                            s, fwd.levels, fwd.sigma,
+                            None if delta is None else scale * delta,
+                            fwd.depth,
                         )
                     ctx.release_source()
             bc = ctx.close().astype(np.float64)
@@ -471,6 +520,7 @@ def _turbo_bc_batched(
     batch: int,
     keep_forward: bool,
     direction: str = "auto",
+    capture=None,
 ) -> BCResult:
     """The ``batch_size > 1`` driver: sources in chunks of B SpMM lanes.
 
@@ -484,6 +534,9 @@ def _turbo_bc_batched(
     """
     dtype_is_auto = isinstance(forward_dtype, str) and forward_dtype == "auto"
     fdt = np.int32 if dtype_is_auto else np.dtype(forward_dtype)
+    scale = 0.5 if not graph.directed else 1.0
+    if capture is not None:
+        capture.begin(fdt)
 
     t0 = time.perf_counter()
     launches_before = device.profiler.total_launches()
@@ -544,6 +597,7 @@ def _turbo_bc_batched(
                         and not over[len(chunk) - 1]
                     ):
                         last_forward = fwd.lane(len(chunk) - 1)
+                    delta = None
                     if fwd.depth > 1:
                         delta = accumulate_dependencies_batch(ctx, fwd)
                         FK.bc_update_batch_kernel(
@@ -555,6 +609,19 @@ def _turbo_bc_batched(
                             skip=over if over.any() else None,
                             tag=f"s={chunk[0]}..{chunk[-1]}",
                         )
+                    if capture is not None:
+                        # Overflowed lanes are recorded by the float64
+                        # re-run below; folding a shallow lane's zero delta
+                        # column is an exact no-op, so contrib None and the
+                        # zero column are interchangeable.
+                        for j, s in enumerate(chunk):
+                            if over[j]:
+                                continue
+                            capture.record(
+                                s, fwd.levels[:, j], fwd.sigma[:, j],
+                                None if delta is None else scale * delta[:, j],
+                                fwd.depths[j],
+                            )
                     ctx.release_source()
             bc = ctx.close().astype(np.float64)
         except BaseException:
@@ -595,12 +662,20 @@ def _turbo_bc_batched(
                                     depth=rfwd.depth,
                                     frontier_sizes=list(rfwd.frontier_sizes),
                                 )
+                            rdelta = None
                             if rfwd.depth > 1:
                                 rdelta = accumulate_dependencies(rctx, rfwd)
                                 FK.bc_update_kernel(
                                     device, rbc, rdelta, s,
                                     undirected=not graph.directed,
                                     tag=f"s={s} f64",
+                                )
+                            if capture is not None:
+                                capture.record(
+                                    s, rfwd.levels, rfwd.sigma,
+                                    None if rdelta is None else scale * rdelta,
+                                    rfwd.depth,
+                                    overflowed=True,
                                 )
                             rctx.release_source()
                     bc += rctx.close().astype(np.float64)

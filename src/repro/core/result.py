@@ -115,6 +115,13 @@ class BCRunStats:
     batch_size: int = 1
     #: Sources whose sigma overflowed in a batch and were re-run in float64.
     rerun_sources: list[int] = field(default_factory=list)
+    #: ``"incremental"`` or ``"full"`` when this run was a ``DynamicBC.update``
+    #: (None for ordinary from-scratch runs).
+    update_mode: str | None = None
+    #: Sources the affected-region predicate re-ran (update runs only).
+    affected_sources: int | None = None
+    #: Sources whose stored contributions were reused (update runs only).
+    skipped_sources: int | None = None
 
     @property
     def max_depth(self) -> int:
@@ -153,6 +160,15 @@ class BCRunStats:
             "wall_time_s": self.wall_time_s,
             "batch_size": self.batch_size,
             "rerun_sources": list(self.rerun_sources),
+            **(
+                {
+                    "update_mode": self.update_mode,
+                    "affected_sources": self.affected_sources,
+                    "skipped_sources": self.skipped_sources,
+                }
+                if self.update_mode is not None
+                else {}
+            ),
         }
 
 

@@ -71,11 +71,21 @@ class COOCMatrix(BinaryMatrixBase):
       unique -- a binary matrix has no duplicates).
     """
 
-    def __init__(self, row, col, shape: tuple[int, int], *, _skip_checks: bool = False):
+    def __init__(
+        self,
+        row,
+        col,
+        shape: tuple[int, int],
+        *,
+        _skip_checks: bool = False,
+        version: int = 0,
+    ):
         self.row = as_index_array(row, name="row")
         self.col = as_index_array(col, name="col")
         n_rows, n_cols = int(shape[0]), int(shape[1])
         self.shape = (n_rows, n_cols)
+        # Edit generation; same identity-cache contract as CSCMatrix.version.
+        self.version = int(version)
         if self.row.size != self.col.size:
             raise ValueError(
                 f"row and col must have equal length, got {self.row.size} != {self.col.size}"

@@ -21,11 +21,25 @@ from repro.formats.base import BinaryMatrixBase, INDEX_DTYPE, as_index_array
 class CSCMatrix(BinaryMatrixBase):
     """Binary sparse matrix in CSC layout."""
 
-    def __init__(self, col_ptr, row, shape: tuple[int, int], *, _skip_checks: bool = False):
+    def __init__(
+        self,
+        col_ptr,
+        row,
+        shape: tuple[int, int],
+        *,
+        _skip_checks: bool = False,
+        version: int = 0,
+    ):
         self.col_ptr = as_index_array(col_ptr, name="col_ptr")
         self.row = as_index_array(row, name="row")
         n_rows, n_cols = int(shape[0]), int(shape[1])
         self.shape = (n_rows, n_cols)
+        # Edit generation of the structure this matrix was built from.  The
+        # derived traversal plans below are keyed on object identity, so an
+        # edit must never mutate an existing matrix in place -- it builds a
+        # new one with ``version + 1`` (see repro.formats.edits) and the old
+        # plans die with the old object.
+        self.version = int(version)
         self._col_of_nnz: np.ndarray | None = None
         self._col_counts: np.ndarray | None = None
         self._scatter_plan: tuple[np.ndarray, np.ndarray] | None = None

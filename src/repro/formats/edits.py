@@ -1,0 +1,119 @@
+"""Edge-edit application for the device storage formats (DESIGN.md §14).
+
+Dynamic graphs mutate by small edit scripts; the storage formats are
+column-major sorted and deduplicated, so every edit application must end in
+the same canonical entry order a from-scratch build would produce.  This
+module is the single place that discipline lives:
+
+* :func:`apply_edge_edits` -- arc-level edits on canonical edge arrays
+  (remove, then add, then re-canonicalise with the column-major re-sort);
+* :func:`csc_apply_edits` / :func:`cooc_apply_edits` -- the same edits on a
+  built CSC / COOC matrix, emitting a *new* matrix whose entry order is
+  bit-identical to rebuilding from the edited edge list.
+
+Edited matrices are always new objects with a bumped ``version``: consumers
+that memoize on object identity (tile plans, transaction caches, the scf
+metric) can never observe a stale plan after an edit, because the edited
+object never aliases the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.convert import canonical_edges
+from repro.formats.coo import COOCMatrix
+from repro.formats.csc import CSCMatrix
+
+
+def _as_pair_arrays(pairs) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise an iterable of ``(u, v)`` pairs to two int64 arrays."""
+    arr = np.asarray(list(pairs) if not isinstance(pairs, np.ndarray) else pairs,
+                     dtype=np.int64)
+    if arr.size == 0:
+        return (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"edits must be (k, 2) pairs, got shape {arr.shape}")
+    if arr.min() < 0:
+        raise ValueError("edit endpoints must be non-negative")
+    return arr[:, 0].copy(), arr[:, 1].copy()
+
+
+def apply_edge_edits(
+    src: np.ndarray,
+    dst: np.ndarray,
+    n: int,
+    added,
+    removed,
+    *,
+    drop_self_loops: bool = True,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Apply arc-level edits to canonical edge arrays.
+
+    ``added`` / ``removed`` are iterables of ``(u, v)`` *arcs* (callers
+    mirror pairs for undirected graphs before calling).  Semantics:
+
+    * removals apply first, then additions -- so an edit script carrying
+      both ``-e`` and ``+e`` ends with ``e`` present;
+    * removing an absent arc and re-adding a present one are no-ops
+      (canonicalisation deduplicates);
+    * ``n`` grows to cover added endpoints; removals referencing vertices
+      outside the current graph match nothing.
+
+    Returns ``(src, dst, n)`` re-canonicalised (column-major re-sort,
+    deduplicated), exactly as a from-scratch build of the edited edge list.
+    """
+    add_src, add_dst = _as_pair_arrays(added)
+    rem_src, rem_dst = _as_pair_arrays(removed)
+    new_n = int(n)
+    if add_src.size:
+        new_n = max(new_n, int(add_src.max()) + 1, int(add_dst.max()) + 1)
+
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if rem_src.size and src.size:
+        stride = max(new_n, 1)
+        in_range = (rem_src < stride) & (rem_dst < stride)
+        rkeys = rem_src[in_range] * stride + rem_dst[in_range]
+        if rkeys.size:
+            keep = ~np.isin(src * stride + dst, rkeys)
+            src, dst = src[keep], dst[keep]
+    if add_src.size:
+        src = np.concatenate([src, add_src])
+        dst = np.concatenate([dst, add_dst])
+    src, dst = canonical_edges(src, dst, new_n, drop_self_loops=drop_self_loops)
+    return src, dst, new_n
+
+
+def csc_apply_edits(mat: CSCMatrix, added, removed) -> CSCMatrix:
+    """Edited copy of a CSC matrix (square shapes only).
+
+    The stored entries minus ``removed`` plus ``added``, re-sorted
+    column-major -- a new :class:`CSCMatrix` with ``version`` bumped so any
+    identity-keyed consumer cache (tile plans, gather-transaction caches)
+    is invalidated by construction.
+    """
+    if mat.n_rows != mat.n_cols:
+        raise ValueError(f"csc_apply_edits needs a square matrix, got {mat.shape}")
+    src, dst, n = apply_edge_edits(
+        mat.row, mat.column_of_nnz(), mat.n_cols, added, removed,
+        drop_self_loops=False,
+    )
+    counts = np.bincount(dst, minlength=n)
+    col_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=col_ptr[1:])
+    return CSCMatrix(col_ptr, src, (n, n), _skip_checks=True,
+                     version=mat.version + 1)
+
+
+def cooc_apply_edits(mat: COOCMatrix, added, removed) -> COOCMatrix:
+    """Edited copy of a COOC matrix (square shapes only); see
+    :func:`csc_apply_edits` -- by construction the edited COOC ``row`` array
+    equals the edited CSC ``row`` array for the same edits."""
+    if mat.n_rows != mat.n_cols:
+        raise ValueError(f"cooc_apply_edits needs a square matrix, got {mat.shape}")
+    src, dst, n = apply_edge_edits(
+        mat.row, mat.col, mat.n_cols, added, removed, drop_self_loops=False,
+    )
+    return COOCMatrix(src, dst, (n, n), _skip_checks=True,
+                      version=mat.version + 1)

@@ -49,6 +49,12 @@ class Graph:
         self._csr: CSRMatrix | None = None
         self._out_degree: np.ndarray | None = None
         self._in_degree: np.ndarray | None = None
+        # Edit generation, bumped by apply_edits().  Graphs are immutable:
+        # downstream caches keyed on object identity (tile plans, gather
+        # transaction caches, the memoized scf metric) stay valid for this
+        # object's whole lifetime, and edited graphs are new objects carrying
+        # a higher version so stale plans are unreachable by construction.
+        self.cache_version = 0
 
     # -- construction helpers ------------------------------------------------
 
@@ -122,13 +128,19 @@ class Graph:
             counts = np.bincount(self._dst, minlength=self.n)
             col_ptr = np.zeros(self.n + 1, dtype=np.int64)
             np.cumsum(counts, out=col_ptr[1:])
-            self._csc = CSCMatrix(col_ptr, self._src, (self.n, self.n), _skip_checks=True)
+            self._csc = CSCMatrix(
+                col_ptr, self._src, (self.n, self.n),
+                _skip_checks=True, version=self.cache_version,
+            )
         return self._csc
 
     def to_cooc(self) -> COOCMatrix:
         """COOC view of the adjacency matrix (shared, do not mutate)."""
         if self._cooc is None:
-            self._cooc = COOCMatrix(self._src, self._dst, (self.n, self.n), _skip_checks=True)
+            self._cooc = COOCMatrix(
+                self._src, self._dst, (self.n, self.n),
+                _skip_checks=True, version=self.cache_version,
+            )
         return self._cooc
 
     def to_csr(self) -> CSRMatrix:
@@ -162,6 +174,45 @@ class Graph:
         g.name = f"{self.name}^T" if self.name else ""
         g._csc = g._cooc = g._csr = None
         g._out_degree = g._in_degree = None
+        g.cache_version = 0
+        return g
+
+    def apply_edits(self, added=(), removed=()) -> "Graph":
+        """New graph with ``removed`` edges deleted and ``added`` inserted.
+
+        ``added``/``removed`` are iterables of ``(u, v)`` pairs.  Within one
+        call removals apply before additions, so a script naming an edge in
+        both ends with the edge present.  For undirected graphs each pair
+        edits both stored arcs.  Removing an absent edge or re-adding a
+        present one is a no-op; adding endpoints ``>= n`` grows the graph.
+
+        Returns a *new* :class:`Graph` (this one is untouched) whose stored
+        edge order is bit-identical to building the edited edge list from
+        scratch, with ``cache_version`` bumped -- all sparse views and
+        degree caches are rebuilt lazily on the new object.
+        """
+        from repro.formats.edits import _as_pair_arrays, apply_edge_edits
+
+        add_src, add_dst = _as_pair_arrays(added)
+        rem_src, rem_dst = _as_pair_arrays(removed)
+        if not self.directed:
+            add_src, add_dst = (np.concatenate([add_src, add_dst]),
+                                np.concatenate([add_dst, add_src]))
+            rem_src, rem_dst = (np.concatenate([rem_src, rem_dst]),
+                                np.concatenate([rem_dst, rem_src]))
+        src, dst, n = apply_edge_edits(
+            self._src, self._dst, self.n,
+            np.column_stack([add_src, add_dst]),
+            np.column_stack([rem_src, rem_dst]),
+        )
+        g = Graph.__new__(Graph)
+        g._src, g._dst = src, dst
+        g.n = n
+        g.directed = self.directed
+        g.name = f"{self.name}+edit" if self.name else ""
+        g._csc = g._cooc = g._csr = None
+        g._out_degree = g._in_degree = None
+        g.cache_version = self.cache_version + 1
         return g
 
     def relabel(self, perm) -> "Graph":

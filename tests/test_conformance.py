@@ -392,14 +392,14 @@ class TestConformanceCLI:
                    "--config", "sequential", "--skip-golden",
                    "--report", str(out)])
         assert rc == 0
-        assert "conformance: 3 fuzz cases" in capsys.readouterr().out
+        assert "conformance[graphs]: 3 fuzz cases" in capsys.readouterr().out
         records = [json.loads(line) for line in out.read_text().splitlines()]
         assert records[0]["type"] == "conformance_run"
         assert records[-1] == {
             "type": "summary", "cases_run": 3,
             "checks_run": records[-1]["checks_run"], "divergences": 0,
             "elapsed_s": records[-1]["elapsed_s"], "stopped_early": False,
-            "ok": True,
+            "ok": True, "recipes": "graphs",
         }
 
     def test_bless_writes_corpus(self, tmp_path, capsys):
@@ -407,8 +407,10 @@ class TestConformanceCLI:
 
         rc = main(["conformance", "--bless", "--golden-dir", str(tmp_path)])
         assert rc == 0
-        assert "blessed 14 golden corpus files" in capsys.readouterr().out
+        assert "blessed 20 golden corpus files" in capsys.readouterr().out
         assert len(list(tmp_path.glob("*.json"))) == 14
+        # The edit-script corpus lands in the edits/ subdirectory.
+        assert len(list((tmp_path / "edits").glob("*.json"))) == 6
 
     def test_golden_check_uses_golden_dir(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,247 @@
+"""Edit-script conformance layer (DESIGN.md §14): fuzzer determinism, the
+dynamic config registry, zero-divergence runs, the two-dimensional shrink,
+the golden edit corpus, and the headline demonstration -- an injected
+off-by-one in the affected-source predicate is caught with a shrunk
+witness of <= 10 vertices and <= 3 edits."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.core.incremental as incremental
+from repro.cli import main
+from repro.conformance import (
+    EditScriptFuzzer,
+    bless_golden_edits,
+    check_golden_edits,
+    check_incremental_edit_identity,
+    dynamic_configs,
+    replay_edit_script,
+    run_edit_conformance,
+    shrink_edit_counterexample,
+)
+from repro.conformance.harness import counterexample_segments
+from repro.graphs import io
+from repro.graphs.graph import Graph
+from tests.conftest import random_graph
+
+
+def _n_edits(segments) -> int:
+    return sum(len(a) + len(r) for a, r in segments)
+
+
+class TestEditScriptFuzzer:
+    def test_deterministic_per_seed_and_index(self):
+        a, b = EditScriptFuzzer(3).case(7), EditScriptFuzzer(3).case(7)
+        assert a.recipe == b.recipe
+        assert np.array_equal(a.graph.src, b.graph.src)
+        assert a.segments == b.segments
+        assert a.sources == b.sources
+
+    def test_distinct_seeds_diverge(self):
+        cases_a = [c.segments for c in EditScriptFuzzer(0).cases(8)]
+        cases_b = [c.segments for c in EditScriptFuzzer(1).cases(8)]
+        assert cases_a != cases_b
+
+    def test_all_recipes_covered_and_nonempty(self):
+        from repro.conformance.fuzzer import _EDIT_RECIPES
+
+        cases = list(EditScriptFuzzer(0).cases(len(_EDIT_RECIPES)))
+        assert len({c.recipe for c in cases}) == len(_EDIT_RECIPES)
+        for c in cases:
+            assert c.segments, c.recipe
+            assert 1 <= _n_edits(c.segments) <= 32
+
+    def test_replay_reference_matches_apply_edits(self):
+        for case in EditScriptFuzzer(5).cases(16):
+            g = case.graph
+            for k in range(len(case.segments)):
+                g = g.apply_edits(added=case.segments[k][0],
+                                  removed=case.segments[k][1])
+                ref = replay_edit_script(case.graph, case.segments[: k + 1])
+                assert g.n == ref.n
+                np.testing.assert_array_equal(g.src, ref.src)
+                np.testing.assert_array_equal(g.dst, ref.dst)
+
+
+class TestDynamicConfigs:
+    def test_registry_spans_the_kernel_batch_grid(self):
+        configs = dynamic_configs()
+        assert len(configs) >= 8
+        kernels = {c.axes["kernel"] for c in configs}
+        assert {"sccooc", "sccsc", "veccsc", "adaptive", "pullcsc",
+                "tcspmm"} <= kernels
+        assert {c.axes["batch"] for c in configs} >= {1, 4, "auto"}
+        assert any(c.axes["telemetry"] for c in configs)
+        assert len({c.name for c in configs}) == len(configs)
+
+
+class TestRunEditConformance:
+    def test_clean_run_has_zero_divergences(self):
+        report = run_edit_conformance(seed=0, budget=8)
+        assert report.ok, [d.detail for d in report.divergences]
+        assert report.cases_run == 8
+        assert report.checks_run > 8
+
+    def test_identity_check_passes_on_well_formed_script(self):
+        g = random_graph(12, 0.2, directed=False, seed=9)
+        segments = ((((0, 5), (1, 7)), ((int(g.src[0]), int(g.dst[0])),)),)
+        assert check_incremental_edit_identity(g, segments) is None
+
+    def test_identity_check_raises_on_malformed_segments(self):
+        g = random_graph(12, 0.2, directed=False, seed=9)
+        with pytest.raises(Exception):
+            check_incremental_edit_identity(g, ((("bad",),),))
+
+
+class TestInjectedPredicateBug:
+    def test_off_by_one_is_caught_with_tiny_witness(self, monkeypatch):
+        orig = incremental.edit_affected_mask
+
+        def buggy(levels, sigma, op, u, v, *, directed):
+            if op == "add" and u < levels.shape[1] and v < levels.shape[1]:
+                ru, rv = sigma[:, u] > 0, sigma[:, v] > 0
+                # Off-by-one: misses inserts that tie the depth frontier.
+                return ru & (~rv | (levels[:, v] > levels[:, u] + 1))
+            return orig(levels, sigma, op, u, v, directed=directed)
+
+        monkeypatch.setattr(incremental, "edit_affected_mask", buggy)
+        configs = [c for c in dynamic_configs() if c.name == "dyn/adaptive/b1"]
+        report = run_edit_conformance(configs, seed=0, budget=30)
+        assert not report.ok
+        mismatches = [d for d in report.divergences
+                      if d.kind == "edit-mismatch"]
+        assert mismatches
+        for div in mismatches:
+            ce = div.counterexample
+            assert ce["n"] <= 10, ce
+            segments = counterexample_segments(ce)
+            assert _n_edits(segments) <= 3, ce
+
+
+class TestShrink:
+    def test_shrinks_both_edits_and_vertices(self):
+        g = random_graph(30, 0.15, directed=False, seed=11)
+        segments = (
+            (((0, 5), (1, 7), (2, 9)), ((3, 4),)),
+            (((5, 20),), ((6, 8), (9, 12))),
+        )
+
+        def predicate(graph, segs):
+            # "Fails" whenever any insertion survives (label-independent,
+            # so both shrink dimensions can bite).
+            return any(seg[0] for seg in segs)
+
+        sg, ssegs = shrink_edit_counterexample(g, segments, predicate)
+        assert _n_edits(ssegs) == 1
+        assert sg.n <= 2  # only the surviving edit's endpoints remain
+
+    def test_non_failing_input_is_returned_unchanged(self):
+        g = random_graph(10, 0.2, directed=False, seed=12)
+        segments = ((((0, 1),), ()),)
+        sg, ssegs = shrink_edit_counterexample(
+            g, segments, lambda graph, segs: False)
+        assert sg is g and ssegs == segments
+
+
+class TestGoldenEdits:
+    def test_bless_check_roundtrip(self, tmp_path):
+        written = bless_golden_edits(tmp_path)
+        assert len(written) == 6
+        rec = json.loads(written[0].read_text())
+        assert rec["schema"] == "repro/conformance/golden-edits/v1"
+        assert rec["segments"] and "affected_sources" in rec
+        divs = check_golden_edits(dynamic_configs()[:3], tmp_path)
+        assert divs == []
+
+    def test_missing_corpus_reports_golden_missing(self, tmp_path):
+        divs = check_golden_edits(dynamic_configs()[:1], tmp_path / "empty")
+        assert len(divs) == 1 and divs[0].kind == "golden-missing"
+
+    def test_tampered_vector_is_caught(self, tmp_path):
+        written = bless_golden_edits(tmp_path)
+        rec = json.loads(written[0].read_text())
+        rec["bc"][0] += 0.5
+        written[0].write_text(json.dumps(rec))
+        divs = check_golden_edits(dynamic_configs()[:1], tmp_path)
+        assert any(d.kind == "golden-mismatch" for d in divs)
+
+    def test_repo_corpus_is_blessed_and_reproducible(self):
+        # The checked-in corpus must verify against the live code.
+        divs = check_golden_edits(
+            [c for c in dynamic_configs() if c.name == "dyn/adaptive/b1"])
+        assert divs == [], [d.detail for d in divs]
+
+
+class TestCLI:
+    def test_update_subcommand(self, tmp_path, capsys):
+        g = random_graph(24, 0.12, directed=False, seed=13)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        stats = tmp_path / "stats.json"
+        assert main(["update", str(path), "--add", "0,5", "--remove",
+                     f"{int(g.src[0])},{int(g.dst[0])}",
+                     "--stats-json", str(stats)]) == 0
+        out = capsys.readouterr().out
+        assert "mode=" in out and "affected" in out
+        rec = json.loads(stats.read_text())
+        assert rec["update_mode"] in ("incremental", "full")
+        assert rec["affected_sources"] + rec["skipped_sources"] == rec["sources"]
+
+    def test_update_requires_an_edit(self, tmp_path, capsys):
+        g = random_graph(10, 0.2, directed=False, seed=14)
+        path = tmp_path / "g.mtx"
+        io.write_matrix_market(g, path)
+        assert main(["update", str(path)]) == 2
+        assert "--add" in capsys.readouterr().err
+
+    def test_update_rejects_malformed_edge(self):
+        with pytest.raises(SystemExit):
+            main(["update", "whatever.mtx", "--add", "0:5"])
+
+    def test_conformance_recipes_edits(self, tmp_path, capsys):
+        report = tmp_path / "edits.jsonl"
+        assert main(["conformance", "--recipes", "edits", "--seed", "0",
+                     "--budget", "4", "--config", "dyn/adaptive/b1",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "conformance[edits]" in out
+        assert "bit-identical" in out
+        records = [json.loads(line) for line in report.read_text().splitlines()]
+        assert records[0]["recipes"] == "edits"
+        assert records[-1]["ok"] is True
+
+    def test_conformance_recipes_all_runs_both_layers(self, capsys):
+        assert main(["conformance", "--recipes", "all", "--seed", "0",
+                     "--budget", "2", "--config", "adaptive/b1",
+                     "--skip-golden"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance[graphs]" in out and "conformance[edits]" in out
+
+
+def _final_graph(case) -> Graph:
+    return replay_edit_script(case.graph, case.segments)
+
+
+class TestRecipeShapes:
+    """Every targeted recipe actually produces the structure it claims."""
+
+    def _cases_by_recipe(self, prefix: str, budget: int = 32):
+        return [c for c in EditScriptFuzzer(0).cases(budget)
+                if c.recipe.startswith(prefix)]
+
+    def test_growth_recipe_grows(self):
+        for case in self._cases_by_recipe("edits-growth"):
+            assert _final_graph(case).n > case.graph.n
+
+    def test_noop_recipe_preserves_edge_set(self):
+        for case in self._cases_by_recipe("edits-noop"):
+            final = replay_edit_script(case.graph, case.segments[:1])
+            assert final.m == case.graph.m
+
+    def test_delete_recipes_only_delete(self):
+        for case in self._cases_by_recipe("edits-delete"):
+            assert all(not added for added, _ in case.segments)
