@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-slow test-dynamic lint conformance-smoke bench-adaptive-smoke bench-kernels-smoke bless perf-gate mem-report-smoke
+.PHONY: test test-fast test-slow test-dynamic lint conformance-smoke bench-adaptive-smoke bench-kernels-smoke bench-multigpu-smoke bless perf-gate mem-report-smoke
 
 test:  ## tier-1: the full suite (the ROADMAP verify command)
 	$(PYTEST) -x -q
@@ -35,6 +35,10 @@ bench-adaptive-smoke:  ## adaptive-dispatch bench on a tiny graph (CI artifact)
 
 bench-kernels-smoke:  ## kernel-class sweep (direction + tensor-core) on a tiny graph
 	BENCH_KERNELS_SMOKE=1 $(PYTEST) -q benchmarks/bench_kernels.py \
+		--benchmark-disable
+
+bench-multigpu-smoke:  ## cost-model vs round-robin multi-GPU scheduling on a tiny skewed graph
+	BENCH_MULTIGPU_SMOKE=1 $(PYTEST) -q benchmarks/bench_multigpu.py \
 		--benchmark-disable
 
 perf-gate:  ## run the adaptive smoke bench twice and fail on significant regressions

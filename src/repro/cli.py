@@ -134,16 +134,30 @@ def cmd_bc(args) -> int:
     tel = obs.RunTelemetry(trace=bool(args.trace_out)) if want_telemetry else None
     if tel is not None:
         obs.activate(tel)
+    mg = None
     try:
-        result = turbo_bc(
-            graph,
-            sources=sources,
-            algorithm=args.algorithm,
-            device=device,
-            forward_dtype="auto",
-            batch_size=args.batch_size,
-            direction=args.direction,
-        )
+        if args.n_devices > 1:
+            from repro import multi_gpu_bc
+
+            result, mg = multi_gpu_bc(
+                graph,
+                n_devices=args.n_devices,
+                sources=sources,
+                algorithm=args.algorithm,
+                forward_dtype="auto",
+                batch_size=args.batch_size,
+                scheduler=args.scheduler,
+            )
+        else:
+            result = turbo_bc(
+                graph,
+                sources=sources,
+                algorithm=args.algorithm,
+                device=device,
+                forward_dtype="auto",
+                batch_size=args.batch_size,
+                direction=args.direction,
+            )
     finally:
         if tel is not None:
             if tel.tracer is not None:
@@ -154,12 +168,27 @@ def cmd_bc(args) -> int:
     print(f"{st.algorithm} on {graph}: modeled {st.runtime_ms:.3f} ms, "
           f"{st.mteps():.1f} MTEPs, {st.kernel_launches} launches, "
           f"peak {st.peak_memory_bytes / 2**20:.2f} MiB{batched}")
+    if mg is not None:
+        a = mg.audit
+        print(f"scheduler={mg.scheduler}: {len(mg.placements)} tasks on "
+              f"{mg.active_devices} device(s) ({mg.idle_devices} idle), "
+              f"efficiency {mg.parallel_efficiency:.2f}, "
+              f"reduction {mg.reduction_time_s * 1e3:.3f} ms, "
+              f"{a.speedup:.2f}x vs round-robin "
+              f"(regret {a.regret_s * 1e3:.3f} ms)")
     print(f"top-{args.top} vertices by betweenness:")
     for v, score in result.top(args.top):
         print(f"  {v:10d}  {score:.4f}")
     if args.profile:
         print()
-        print(device.profiler.report())
+        if mg is not None:
+            for d, dev in enumerate(mg.devices):
+                if dev is None:
+                    continue
+                print(f"-- device {d} --")
+                print(dev.profiler.report())
+        else:
+            print(device.profiler.report())
     if args.output:
         np.savetxt(args.output, result.bc)
         logger.info("bc vector written to %s", args.output)
@@ -446,15 +475,38 @@ def cmd_perf_report(args) -> int:
     sources = list(range(args.sources)) if args.sources is not None else None
     device = Device()
     with obs.session(trace=True, audit_dispatch=not args.no_audit) as tel:
-        turbo_bc(
-            graph,
-            sources=sources,
-            algorithm=args.algorithm,
-            device=device,
-            forward_dtype="auto",
-            batch_size=args.batch_size,
-            direction=args.direction,
-        )
+        if args.n_devices > 1:
+            from types import SimpleNamespace
+
+            from repro import multi_gpu_bc
+
+            _, mg = multi_gpu_bc(
+                graph,
+                n_devices=args.n_devices,
+                sources=sources,
+                algorithm=args.algorithm,
+                forward_dtype="auto",
+                batch_size=args.batch_size,
+                scheduler=args.scheduler,
+            )
+            # The report reads .profiler.launches / .spec; merge the active
+            # devices' launch streams (includes each link_transfer) so the
+            # roofline sees the whole fleet.
+            launches = [ln for dev in mg.devices if dev is not None
+                        for ln in dev.profiler.launches]
+            device = SimpleNamespace(
+                profiler=SimpleNamespace(launches=launches), spec=device.spec
+            )
+        else:
+            turbo_bc(
+                graph,
+                sources=sources,
+                algorithm=args.algorithm,
+                device=device,
+                forward_dtype="auto",
+                batch_size=args.batch_size,
+                direction=args.direction,
+            )
     title = f"perf-report: {args.graph} ({args.algorithm or 'auto'})"
     text = obs.perf_report_for_run(device, tel, title=title)
     print(text)
@@ -598,6 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="B|auto",
                       help="sources per SpMM batch: a positive int, or 'auto' "
                            "to size from device memory (default: 1)")
+    p_bc.add_argument("--n-devices", type=int, default=1, metavar="K",
+                      help="partition sources over K simulated GPUs "
+                           "(default: 1, single device)")
+    p_bc.add_argument("--scheduler", choices=("cost", "roundrobin"),
+                      default="cost",
+                      help="multi-GPU task placement: cost-model list "
+                           "scheduler, or the static round-robin deal "
+                           "(default: cost; only with --n-devices > 1)")
     p_bc.add_argument("--top", type=int, default=10)
     p_bc.add_argument("--profile", action="store_true", help="print the kernel profile")
     p_bc.add_argument("--output", help="write the bc vector to a file")
@@ -662,6 +722,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "or bottom-up (pull) kernels (default: auto)")
     p_perf.add_argument("--batch-size", type=_batch_size_arg, default=1,
                         metavar="B|auto")
+    p_perf.add_argument("--n-devices", type=int, default=1, metavar="K",
+                        help="run multi-GPU over K simulated devices; the "
+                             "roofline merges all device launch streams and "
+                             "the schedule-audit section appears "
+                             "(default: 1)")
+    p_perf.add_argument("--scheduler", choices=("cost", "roundrobin"),
+                        default="cost",
+                        help="multi-GPU task placement (default: cost; only "
+                             "with --n-devices > 1)")
     p_perf.add_argument("--no-audit", action="store_true",
                         help="skip the shadow replays of unchosen strategies "
                              "(regret degrades to estimate-only)")

@@ -60,7 +60,9 @@ def _turbo_runner(kernel: str, batch: int | str) -> Runner:
     return run
 
 
-def _multigpu_runner(kernel: str, n_devices: int, batch: int | str) -> Runner:
+def _multigpu_runner(
+    kernel: str, n_devices: int, batch: int | str, scheduler: str = "cost"
+) -> Runner:
     def run(graph: Graph, sources=None) -> np.ndarray:
         result, _ = multi_gpu_bc(
             graph,
@@ -69,6 +71,7 @@ def _multigpu_runner(kernel: str, n_devices: int, batch: int | str) -> Runner:
             algorithm=kernel,
             forward_dtype="auto",
             batch_size=batch,
+            scheduler=scheduler,
         )
         return result.bc
 
@@ -129,17 +132,36 @@ def default_configs() -> list[ExecutionConfig]:
                 axes={"kernel": kernel, "batch": batch, "gpus": 1,
                       "telemetry": False},
             ))
+    # Multi-GPU: the scheduler axis must be invisible in the results --
+    # cost-model placement, the static round-robin deal, and any device
+    # count all fold the same per-task partials in canonical order.
     configs.append(ExecutionConfig(
         name="sccsc/b1/gpus2",
         runner=_multigpu_runner("sccsc", 2, 1),
-        description="multi_gpu_bc sccsc, 2 devices, per-source pipeline",
-        axes={"kernel": "sccsc", "batch": 1, "gpus": 2, "telemetry": False},
+        description="multi_gpu_bc sccsc, 2 devices, cost-model scheduler",
+        axes={"kernel": "sccsc", "batch": 1, "gpus": 2,
+              "scheduler": "cost", "telemetry": False},
+    ))
+    configs.append(ExecutionConfig(
+        name="sccsc/b1/gpus2/rr",
+        runner=_multigpu_runner("sccsc", 2, 1, scheduler="roundrobin"),
+        description="multi_gpu_bc sccsc, 2 devices, static round-robin deal",
+        axes={"kernel": "sccsc", "batch": 1, "gpus": 2,
+              "scheduler": "roundrobin", "telemetry": False},
     ))
     configs.append(ExecutionConfig(
         name="veccsc/b4/gpus3",
         runner=_multigpu_runner("veccsc", 3, 4),
         description="multi_gpu_bc veccsc, 3 devices, SpMM batch of 4",
-        axes={"kernel": "veccsc", "batch": 4, "gpus": 3, "telemetry": False},
+        axes={"kernel": "veccsc", "batch": 4, "gpus": 3,
+              "scheduler": "cost", "telemetry": False},
+    ))
+    configs.append(ExecutionConfig(
+        name="adaptive/b4/gpus4",
+        runner=_multigpu_runner("adaptive", 4, 4),
+        description="multi_gpu_bc adaptive dispatch, 4 devices, scheduled",
+        axes={"kernel": "adaptive", "batch": 4, "gpus": 4,
+              "scheduler": "cost", "telemetry": False},
     ))
     configs.append(ExecutionConfig(
         name="sccooc/b1/telemetry",

@@ -93,24 +93,13 @@ def _resolve_sources(graph: Graph, sources) -> list[int]:
 
     Out-of-range and duplicate sources are rejected up front with a clear
     ``ValueError`` -- not N passes deep inside ``bfs_forward`` (a duplicate
-    would silently double-count its dependencies).
+    would silently double-count its dependencies).  The check itself lives
+    in :func:`repro.core.validate.resolve_sources` so the multi-GPU driver
+    can apply it to the full source list before partitioning.
     """
-    if sources is None:
-        return list(range(graph.n))
-    if isinstance(sources, (int, np.integer)):
-        src = [int(sources)]
-    else:
-        src = [int(s) for s in sources]
-    bad = [s for s in src if not 0 <= s < graph.n]
-    if bad:
-        raise ValueError(
-            f"source(s) {bad} out of range for a graph with n = {graph.n}"
-        )
-    if len(set(src)) != len(src):
-        seen: set[int] = set()
-        dups = sorted({s for s in src if s in seen or seen.add(s)})
-        raise ValueError(f"duplicate source(s) {dups}: each source may appear once")
-    return src
+    from repro.core.validate import resolve_sources
+
+    return resolve_sources(graph, sources)
 
 
 #: Cap on the auto-sized batch: past ~64 lanes the per-launch savings have

@@ -50,6 +50,35 @@ class ValidationReport:
             raise AssertionError("validation failed:\n  " + "\n  ".join(self.errors))
 
 
+def resolve_sources(graph: Graph, sources) -> list[int]:
+    """Normalise ``sources`` to a validated list of vertex indices.
+
+    Accepts ``None`` (all vertices), a single int, or an iterable; rejects
+    out-of-range and duplicate sources up front with a clear ``ValueError``.
+    This is the single validation point for every driver: ``turbo_bc``
+    resolves each call through it, and ``multi_gpu_bc`` validates the *full*
+    source list here before partitioning -- a duplicate dealt to two
+    different devices would evade every per-device check and silently
+    double-count its contributions.
+    """
+    if sources is None:
+        return list(range(graph.n))
+    if isinstance(sources, (int, np.integer)):
+        src = [int(sources)]
+    else:
+        src = [int(s) for s in sources]
+    bad = [s for s in src if not 0 <= s < graph.n]
+    if bad:
+        raise ValueError(
+            f"source(s) {bad} out of range for a graph with n = {graph.n}"
+        )
+    if len(set(src)) != len(src):
+        seen: set[int] = set()
+        dups = sorted({s for s in src if s in seen or seen.add(s)})
+        raise ValueError(f"duplicate source(s) {dups}: each source may appear once")
+    return src
+
+
 def validate_bfs(graph: Graph, result: BFSResult) -> ValidationReport:
     """Check the five structural BFS invariants (O(n + m))."""
     report = ValidationReport()

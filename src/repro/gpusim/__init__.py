@@ -26,6 +26,7 @@ a behavioural simulation of that device with three faithful pieces:
 from repro.gpusim.device import Device, DeviceSpec, TITAN_XP
 from repro.gpusim.errors import DeviceOutOfMemoryError, GpuSimError, InvalidKernelError
 from repro.gpusim.kernel import KernelLaunch, KernelStats
+from repro.gpusim.link import Link, TransferEvent
 from repro.gpusim.memory import ArenaBlock, DeviceArena, DeviceArray, DeviceMemory
 from repro.gpusim.profiler import Profiler
 
@@ -42,5 +43,7 @@ __all__ = [
     "InvalidKernelError",
     "KernelLaunch",
     "KernelStats",
+    "Link",
     "Profiler",
+    "TransferEvent",
 ]

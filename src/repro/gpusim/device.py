@@ -40,6 +40,13 @@ class DeviceSpec:
     #: Same-address atomic updates serialise at the L2; ~2.5 ns per update
     #: on Pascal-class parts.
     atomic_serialization_s: float = 2.5e-9
+    #: Inter-device interconnect of the multi-GPU extension: the bandwidth
+    #: and latency a :class:`~repro.gpusim.link.Link` charges per transfer.
+    #: The default models the paper server's PCIe-attached peers (matching
+    #: the 11 GB/s effective host-transfer rate the memory model uses);
+    #: NVLink-class parts raise ``link_bandwidth_gbs`` to 25+ GB/s.
+    link_bandwidth_gbs: float = 11.0
+    link_latency_s: float = 10e-6
     #: Peak MMA-pipe throughput in TFLOP/s for the blocked tensor-core
     #: kernels.  The TITAN Xp (Pascal) has no tensor cores; this is a
     #: *simulated* Volta-class extension (V100 tensor peak ~112 TFLOP/s,

@@ -121,6 +121,11 @@ class KernelLaunch:
     #: against the spec's ``mma_tflops`` ceiling.  A fourth roofline arm --
     #: tensor-core kernels can be MMA-bound while the CUDA cores idle.
     mma_time_s: float = 0.0
+    #: Time the inter-device link is busy moving this launch's payload (the
+    #: pseudo-launches :class:`~repro.gpusim.link.Link` records).  A fifth
+    #: roofline arm: bulk transfers are link-bound, tiny ones latency-bound
+    #: (their fixed link latency lands in ``overhead_s``).
+    link_time_s: float = 0.0
     tag: str = field(default="", compare=False)
 
     @property
@@ -131,7 +136,7 @@ class KernelLaunch:
     def exec_time_s(self) -> float:
         """In-kernel time (excludes launch overhead)."""
         return max(self.compute_time_s, self.memory_time_s, self.serial_time_s,
-                   self.mma_time_s)
+                   self.mma_time_s, self.link_time_s)
 
     @property
     def time_s(self) -> float:

@@ -15,6 +15,8 @@ Performance attribution (DESIGN.md §11) builds on those:
 * :mod:`repro.obs.roofline` -- bound classification against the DeviceSpec
   roofline;
 * :mod:`repro.obs.audit` -- dispatch regret and estimator calibration drift;
+* :mod:`repro.obs.schedaudit` -- multi-GPU placement regret vs the static
+  round-robin source deal;
 * :mod:`repro.obs.regress` -- the bootstrap-CI perf-regression comparator
   behind ``repro perf-diff`` / ``make perf-gate``;
 * :mod:`repro.obs.report` -- the ``repro perf-report`` markdown renderer.
@@ -76,6 +78,7 @@ from repro.obs.roofline import (
     roofline_for_launch,
     roofline_report,
 )
+from repro.obs.schedaudit import ScheduleAudit, audit_schedule
 from repro.obs.telemetry import (
     RunTelemetry,
     activate,
@@ -101,10 +104,12 @@ __all__ = [
     "RegressionReport",
     "RooflineReport",
     "RunTelemetry",
+    "ScheduleAudit",
     "Span",
     "Tracer",
     "activate",
     "audit_dispatch",
+    "audit_schedule",
     "bootstrap_ratio_ci",
     "build_mem_report",
     "classify_launch",

@@ -219,10 +219,13 @@ def launch_drift(launches) -> list:
     for launch in launches:
         if launch.exec_time_s <= 0.0:
             continue  # pure-overhead pseudo-launch; nothing to predict
-        # The MMA pipe is a throughput ceiling like compute/memory, not a
-        # serial floor, so it belongs in the roofline bound.
+        # The MMA pipe and the inter-device link are throughput ceilings like
+        # compute/memory, not serial floors, so both belong in the roofline
+        # bound -- without the link arm every bulk transfer would read as
+        # mysteriously serial-floor-bound.
         roofline = max(
-            launch.compute_time_s, launch.memory_time_s, launch.mma_time_s
+            launch.compute_time_s, launch.memory_time_s, launch.mma_time_s,
+            launch.link_time_s,
         ) + launch.overhead_s
         rows.append(
             LaunchDrift(

@@ -18,7 +18,11 @@ the :class:`~repro.gpusim.device.DeviceSpec` ceilings:
 * ``mma``       -- the tensor-core issue pipe won: the blocked SpMM pushed
   enough 16x16 MMA ops that the ``mma_tflops`` ceiling was the wall (only
   the ``tcspmm`` kernel can land here; its ceiling is the MMA roof, not
-  the scalar-issue roof).
+  the scalar-issue roof);
+* ``link``      -- the inter-device interconnect won: a multi-GPU partial
+  ``bc`` reduction moved its payload at ``link_bandwidth_gbs`` and that was
+  the wall (tiny transfers classify as ``overhead`` instead -- their fixed
+  link latency dominates the payload).
 
 Arithmetic intensity is flops over DRAM bytes, and the attainable ceiling
 at that intensity is ``min(peak_flops, AI * peak_bandwidth)`` -- the
@@ -37,7 +41,7 @@ from repro.gpusim.kernel import KernelLaunch
 from repro.obs.counters import LaunchCounters, counters_for_launch
 
 #: Attribution classes, in display order.
-BOUND_CLASSES = ("bandwidth", "compute", "latency", "overhead", "mma")
+BOUND_CLASSES = ("bandwidth", "compute", "latency", "overhead", "mma", "link")
 
 
 def peak_gflops(spec) -> float:
@@ -55,6 +59,11 @@ def classify_launch(launch: KernelLaunch) -> str:
     exec_s = launch.exec_time_s
     if launch.overhead_s > exec_s or exec_s == 0.0:
         return "overhead"
+    if launch.link_time_s > max(
+        launch.compute_time_s, launch.memory_time_s, launch.serial_time_s,
+        launch.mma_time_s,
+    ):
+        return "link"
     if launch.mma_time_s > max(
         launch.compute_time_s, launch.memory_time_s, launch.serial_time_s
     ):

@@ -47,6 +47,9 @@ class RunTelemetry:
         self.audit_dispatch = audit_dispatch
         #: DispatchDecision lists pushed by finished adaptive runs.
         self.dispatch_decisions: list = []
+        #: ScheduleAudit records pushed by finished multi-GPU runs (one per
+        #: ``multi_gpu_bc`` call; see obs/schedaudit.py).
+        self.schedule_audits: list = []
         #: The spec of the last device whose launches were observed; lets
         #: report code roofline the run without re-plumbing the device.
         self.device_spec = None

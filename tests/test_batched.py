@@ -265,10 +265,15 @@ class TestBatchedWiring:
         assert_bc_close(bat.bc, seq.bc)
 
     def test_multi_gpu_batched(self):
+        # batch_size sets the task granularity, i.e. how many sources share
+        # one float32 device accumulator before the host's float64 fold --
+        # so different batches agree to accumulation order (same tolerance
+        # as multi-device vs single-device); bit-identity is only promised
+        # across device counts/schedulers at a fixed batch (test_multigpu).
         g = random_graph(60, 0.06, directed=True, seed=8)
         seq, _ = multi_gpu_bc(g, n_devices=2)
         bat, _ = multi_gpu_bc(g, n_devices=2, batch_size=8)
-        assert_bc_close(bat.bc, seq.bc)
+        assert_bc_close(bat.bc, seq.bc, rtol=1e-6, atol=1e-6)
 
     def test_cli_batch_size(self, tmp_path, capsys):
         from repro.cli import main

@@ -92,7 +92,12 @@ class TestConfigRegistry:
     def test_covers_every_execution_axis(self):
         configs = default_configs()
         names = {c.name for c in configs}
-        assert len(names) == len(configs) == 21
+        assert len(names) == len(configs) == 23
+        # the scheduler axis: cost-model and round-robin placements both
+        # present among the multi-GPU entries
+        scheds = {c.axes.get("scheduler") for c in configs
+                  if c.axes.get("gpus", 1) > 1}
+        assert scheds == {"cost", "roundrobin"}
         for kernel in (*KERNEL_NAMES, "adaptive"):
             for batch in (1, 4, "auto"):
                 assert f"{kernel}/b{batch}" in names
@@ -121,7 +126,8 @@ class TestConfigRegistry:
             "sccooc/b1", "sccsc/b1", "veccsc/b1", "adaptive/b1",
             "pullcsc/b1", "tcspmm/b1"]
         assert [c.name for c in filter_configs(configs, ["adaptive*"])] == [
-            "adaptive/b1", "adaptive/b4", "adaptive/bauto"]
+            "adaptive/b1", "adaptive/b4", "adaptive/bauto",
+            "adaptive/b4/gpus4"]
         assert filter_configs(configs, None) == list(configs)
         assert filter_configs(configs, ["nosuchconfig"]) == []
 

@@ -221,7 +221,7 @@ class TestRunTelemetrySchema:
             multi_gpu_bc(small_undirected, n_devices=2, sources=[0, 1, 2])
         devices = [r for r in tel.roots if r.name == "device"]
         assert len(devices) == 2
-        assert devices[0].attrs["sources"] == 2  # round-robin: 0, 2
+        assert devices[0].attrs["sources"] == 2  # LPT on equal costs: 0, 2
         assert devices[1].attrs["sources"] == 1
         assert all(d.children[0].name == "bc_run" for d in devices)
 
