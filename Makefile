@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-fast test-slow test-dynamic lint conformance-smoke bench-adaptive-smoke bench-kernels-smoke bench-multigpu-smoke bless perf-gate mem-report-smoke
+.PHONY: test test-fast test-slow test-dynamic lint conformance-smoke bench-adaptive-smoke bench-kernels-smoke bench-multigpu-smoke bless perf-gate mem-report-smoke canary-smoke bless-canary
 
 test:  ## tier-1: the full suite (the ROADMAP verify command)
 	$(PYTEST) -x -q
@@ -49,6 +49,21 @@ perf-gate:  ## run the adaptive smoke bench twice and fail on significant regres
 		--benchmark-disable
 	PYTHONPATH=src python -m repro perf-diff perf-gate-base.json \
 		BENCH_adaptive.json --report perf-gate-report.md
+	# same verdict, gated against history: ingest the baseline artifact
+	# into a ledger and diff the candidate against it
+	rm -f perf-gate-ledger.jsonl
+	PYTHONPATH=src python -m repro history --ledger perf-gate-ledger.jsonl \
+		--ingest perf-gate-base.json
+	PYTHONPATH=src python -m repro perf-diff \
+		--baseline-ledger perf-gate-ledger.jsonl BENCH_adaptive.json
+
+canary-smoke:  ## seconds-scale probe matrix: golden bit-identity + budget ceilings
+	rm -f ledger.jsonl
+	PYTHONPATH=src python -m repro canary --seed 0 --ledger ledger.jsonl \
+		--report canary-report.md
+
+bless-canary:  ## regenerate tests/golden/canary-budgets.json (review the diff)
+	PYTHONPATH=src python -m repro canary --bless-budgets
 
 mem-report-smoke:  ## allocation-profiler report on the mawi trace (CI artifact)
 	PYTHONPATH=src python -m repro mem-report mawi_201512012345 \

@@ -12,14 +12,39 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_SCHEMA = "repro.bench/result/v1"
 
 
-def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+def write_bench_json(name: str, payload: dict, *, graphs=None,
+                     config: dict | None = None) -> pathlib.Path:
     """Write ``BENCH_<name>.json`` at the repo root (the one bench format).
 
     Schema-versioned, sorted keys, trailing newline -- the stable shape
     ``repro perf-diff`` pairs across runs.  ``payload`` must be plain
     JSON-able types; the ``schema`` key is stamped here, not by callers.
+
+    Every file also carries a ``meta`` block -- bench name, a config
+    fingerprint over ``config`` (the knobs that shape the run: smoke flag,
+    case list), and the canonical graph hashes of ``graphs`` (a dict
+    ``name -> Graph`` or an iterable of named graphs).  ``repro history
+    --ingest`` lifts the block into the ledger record's identity;
+    ``flatten_metrics`` skips it, so the perf gate's metric paths are
+    unchanged.
     """
-    doc = {"schema": BENCH_SCHEMA, **payload}
+    from repro.obs.ledger import config_fingerprint, graph_fingerprint
+
+    meta: dict = {
+        "bench": name,
+        "config_fingerprint": config_fingerprint(
+            {"bench": name, **(config or {})}
+        ),
+    }
+    if graphs:
+        items = (
+            graphs.items() if isinstance(graphs, dict)
+            else [(g.name or str(i), g) for i, g in enumerate(graphs)]
+        )
+        meta["graph_hashes"] = {
+            str(k): graph_fingerprint(g) for k, g in items
+        }
+    doc = {"schema": BENCH_SCHEMA, "meta": meta, **payload}
     path = REPO_ROOT / f"BENCH_{name}.json"
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return path

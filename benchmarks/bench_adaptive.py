@@ -152,7 +152,11 @@ def test_adaptive_dispatch(report, benchmark):
         "achieved": max(best.values()),
         "graph": max(best, key=best.get),
     }
-    write_bench_json("adaptive", payload)
+    write_bench_json(
+        "adaptive", payload,
+        graphs={name: suite.get(name).build() for name, _ in CASES},
+        config={"smoke": SMOKE, "cases": [list(c) for c in CASES]},
+    )
 
     lines.append(f"best speedup: {payload['criterion']['achieved']:.2f}x "
                  f"on {payload['criterion']['graph']} "

@@ -101,7 +101,11 @@ def test_batched_speedup(report, benchmark):
         "achieved": max(best.values()),
         "graph": max(best, key=best.get),
     }
-    write_bench_json("batched", payload)
+    write_bench_json(
+        "batched", payload,
+        graphs={name: suite.get(name).build() for name, _ in CASES},
+        config={"cases": [list(c) for c in CASES], "batches": list(BATCHES)},
+    )
 
     lines.append(f"best speedup: {payload['criterion']['achieved']:.2f}x "
                  f"on {payload['criterion']['graph']} (criterion: >= 3x)")

@@ -75,7 +75,10 @@ def test_conformance_throughput(report, benchmark):
         "achieved": full["cases_per_s"],
         "ci_slot_cases": full["cases_per_s"] * 60,
     }
-    write_bench_json("conformance", payload)
+    write_bench_json(
+        "conformance", payload,
+        config={"budget": BUDGET, "subsets": [s[0] for s in SUBSETS]},
+    )
 
     lines.append("")
     lines.append(f"full grid: {full['cases_per_s']:.1f} cases/s -> "

@@ -154,7 +154,11 @@ def test_kernel_class_sweep(report, benchmark):
         "achieved": max(speedups.values()),
         "graph": max(speedups, key=speedups.get),
     }
-    write_bench_json("kernels", payload)
+    write_bench_json(
+        "kernels", payload,
+        graphs={name: suite.get(name).build() for name, _, _ in CASES},
+        config={"smoke": SMOKE, "cases": [list(c) for c in CASES]},
+    )
 
     lines.append(f"best speedup: {payload['criterion']['achieved']:.2f}x "
                  f"on {payload['criterion']['graph']} "

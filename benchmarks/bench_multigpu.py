@@ -141,7 +141,12 @@ def test_multigpu_scheduler(report, benchmark):
         "achieved": speedups[best_k],
         "n_devices": best_k,
     }
-    write_bench_json("multigpu", payload)
+    write_bench_json(
+        "multigpu", payload,
+        graphs={"mycielski_core+fragments": graph},
+        config={"smoke": SMOKE, "n_devices": list(N_DEVICES),
+                "core_sources": CORE_SOURCES},
+    )
 
     lines.append("")
     lines.append(

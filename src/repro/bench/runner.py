@@ -68,6 +68,17 @@ def scaled_device_spec(entry: BenchmarkGraph, base: DeviceSpec = TITAN_XP) -> De
     return _dc_replace(base, l2_bytes=max(4096, int(base.l2_bytes * scale)))
 
 
+def _ambient_ledger():
+    """The enclosing telemetry session's ledger (or ``None``).
+
+    The ``collect_telemetry`` paths open their own metrics-only session,
+    which shadows whatever session the caller holds; threading the ambient
+    ledger into the inner session keeps run-ledger appends flowing.
+    """
+    ambient = obs.get_telemetry()
+    return ambient.ledger if ambient is not None else None
+
+
 def run_bc_per_vertex(
     entry: BenchmarkGraph,
     *,
@@ -95,8 +106,12 @@ def run_bc_per_vertex(
     if collect_telemetry:
         # trace off (span trees are bulky), memtrace on: the snapshot then
         # carries the mem_* gauges (mem_peak_bytes above all) the perf gate
-        # treats as lower-is-better (DESIGN.md §13).
-        with obs.session(trace=False, memtrace=True) as tel:
+        # treats as lower-is-better (DESIGN.md §13).  The inner session
+        # shadows any ambient one, so it inherits the ambient ledger -- a
+        # bench sweep under ``obs.session(ledger=...)`` still appends its
+        # per-run records.
+        with obs.session(trace=False, memtrace=True,
+                         ledger=_ambient_ledger()) as tel:
             result = turbo_bc(
                 graph, sources=entry.source, algorithm=entry.algorithm, device=device
             )
@@ -169,7 +184,8 @@ def run_exact_bc(
     logger.debug("exact bc %s: sampling %d of %d sources", entry.name, k, n)
     telemetry = None
     if collect_telemetry:
-        with obs.session(trace=False, memtrace=True) as tel:
+        with obs.session(trace=False, memtrace=True,
+                         ledger=_ambient_ledger()) as tel:
             result = turbo_bc(graph, sources=sources, algorithm=entry.algorithm)
         telemetry = tel.snapshot()
     else:

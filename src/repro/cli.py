@@ -21,7 +21,17 @@ Three subcommands cover the workflows a user reaches for first:
   the update mode and affected/skipped source counts (see DESIGN.md §14);
 * ``mem-report`` -- run TurboBC under the allocation-timeline profiler and
   render the memory report: watermark attribution (100%% of peak named),
-  arena fragmentation, OOM forensics (see DESIGN.md §13).
+  arena fragmentation, OOM forensics (see DESIGN.md §13);
+* ``history`` -- tail/filter/ingest the persistent run ledger (DESIGN.md
+  §16); ``--ingest`` converts existing ``BENCH_*.json`` artifacts into
+  lossless ledger records;
+* ``slo-check`` -- evaluate a declarative budget spec (TOML/JSON) against
+  a ledger window; exit 1 on any breach, 2 on usage errors;
+* ``canary`` -- run the pinned probe matrix against the golden corpus and
+  the canary budgets; the seconds-scale health check CI runs on every push;
+* ``trend`` -- drift detection over ledger windows (newest record vs its
+  trailing-N baseline, bootstrap CIs); flags regressions *and* silent
+  improvements.
 
 ``--log-level`` configures structured :mod:`logging` for every subcommand
 (progress and diagnostics go to the log, results to stdout).  Usage errors
@@ -90,6 +100,22 @@ def _check_distinct_outputs(args, flags: dict[str, str | None]) -> None:
         seen[key] = flag
 
 
+def _read_ledger_arg(path):
+    """Read a ledger for a consumer command; usage errors become CLIError."""
+    from repro import obs
+
+    if not os.path.exists(path):
+        raise CLIError(
+            f"ledger not found: {path}; produce one with `repro bc ... "
+            f"--ledger {path}`, `repro canary --ledger {path}`, or "
+            f"`repro history --ledger {path} --ingest BENCH_file.json`"
+        )
+    try:
+        return obs.read_ledger(path)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+
 def cmd_info(args) -> int:
     from repro.graphs import suite
     from repro.graphs.metrics import bfs_depth, degree_stats, scale_free_metric
@@ -130,8 +156,11 @@ def cmd_bc(args) -> int:
     graph = _load_graph(args.graph)
     device = Device()
     sources = args.source if args.source is not None else None
-    want_telemetry = bool(args.trace_out or args.metrics_json)
-    tel = obs.RunTelemetry(trace=bool(args.trace_out)) if want_telemetry else None
+    want_telemetry = bool(args.trace_out or args.metrics_json or args.ledger)
+    tel = (
+        obs.RunTelemetry(trace=bool(args.trace_out), ledger=args.ledger)
+        if want_telemetry else None
+    )
     if tel is not None:
         obs.activate(tel)
     mg = None
@@ -206,6 +235,8 @@ def cmd_bc(args) -> int:
         with open(args.stats_json, "w") as fh:
             json.dump(st.to_dict(), fh, indent=2)
         logger.info("run stats written to %s", args.stats_json)
+    if args.ledger:
+        logger.info("run record appended to ledger %s", args.ledger)
     return 0
 
 
@@ -426,22 +457,54 @@ def cmd_conformance(args) -> int:
 def cmd_perf_diff(args) -> int:
     from repro.bench.baseline import flatten_metrics, load_bench_json
     from repro.obs.regress import compare_metrics, format_report
+    from repro.obs.trend import baseline_from_ledger
 
     _check_distinct_outputs(args, {
         "--report": args.report,
         "--json": args.json_out,
     })
-    for path in (args.old, args.new):
-        if not os.path.exists(path):
-            raise CLIError(f"bench file not found: {path}")
+    if args.baseline_ledger and args.old:
+        raise CLIError(
+            "pass either a baseline bench file or --baseline-ledger, not both"
+        )
+    if not args.baseline_ledger and not args.old:
+        raise CLIError(
+            "missing baseline: pass a bench/BENCH_*.json file or "
+            "--baseline-ledger ledger.jsonl"
+        )
+    if not os.path.exists(args.new):
+        raise CLIError(f"bench file not found: {args.new}")
+    if args.baseline_ledger:
+        records = _read_ledger_arg(args.baseline_ledger)
+        old = baseline_from_ledger(
+            records, name=args.baseline_bench, window=args.baseline_window
+        )
+        if not old:
+            named = (
+                f" named {args.baseline_bench!r}" if args.baseline_bench else ""
+            )
+            raise CLIError(
+                f"{args.baseline_ledger} holds no kind=\"bench\" "
+                f"records{named}; ingest bench artifacts with "
+                f"`repro history --ledger {args.baseline_ledger} "
+                f"--ingest BENCH_file.json`"
+            )
+        old_name = f"{args.baseline_ledger} (ledger baseline)"
+    else:
+        if not os.path.exists(args.old):
+            raise CLIError(f"bench file not found: {args.old}")
+        try:
+            old = flatten_metrics(load_bench_json(args.old))
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise CLIError(f"could not parse bench JSON: {exc}") from None
+        old_name = args.old
     try:
-        old = flatten_metrics(load_bench_json(args.old))
         new = flatten_metrics(load_bench_json(args.new))
     except (ValueError, json.JSONDecodeError) as exc:
         raise CLIError(f"could not parse bench JSON: {exc}") from None
     if not set(old) & set(new):
         raise CLIError(
-            f"{args.old} and {args.new} share no numeric metrics; "
+            f"{old_name} and {args.new} share no numeric metrics; "
             "are these the same kind of bench file?"
         )
     report = compare_metrics(
@@ -451,7 +514,7 @@ def cmd_perf_diff(args) -> int:
         n_boot=args.bootstrap,
         seed=args.seed,
     )
-    text = format_report(report, old_name=args.old, new_name=args.new)
+    text = format_report(report, old_name=old_name, new_name=args.new)
     print(text)
     if args.report:
         with open(args.report, "w") as fh:
@@ -474,7 +537,20 @@ def cmd_perf_report(args) -> int:
     graph = _load_graph(args.graph)
     sources = list(range(args.sources)) if args.sources is not None else None
     device = Device()
-    with obs.session(trace=True, audit_dispatch=not args.no_audit) as tel:
+
+    class _MemoryLedger:
+        """List-backed ledger stand-in: captures this run's record(s)."""
+
+        def __init__(self):
+            self.records = []
+
+        def append(self, rec):
+            self.records.append(rec)
+            return rec
+
+    mem_ledger = _MemoryLedger() if args.budgets else None
+    with obs.session(trace=True, audit_dispatch=not args.no_audit,
+                     ledger=mem_ledger) as tel:
         if args.n_devices > 1:
             from types import SimpleNamespace
 
@@ -509,6 +585,16 @@ def cmd_perf_report(args) -> int:
             )
     title = f"perf-report: {args.graph} ({args.algorithm or 'auto'})"
     text = obs.perf_report_for_run(device, tel, title=title)
+    slo = None
+    if args.budgets:
+        try:
+            budgets = obs.load_budget_spec(args.budgets)
+        except obs.BudgetSpecError as exc:
+            raise CLIError(str(exc)) from None
+        slo = obs.evaluate_budgets(budgets, mem_ledger.records)
+        text += "\n" + obs.format_slo_report(
+            slo, title=f"Budgets ({args.budgets})"
+        )
     print(text)
     if args.out:
         with open(args.out, "w") as fh:
@@ -530,10 +616,137 @@ def cmd_perf_report(args) -> int:
                 for d in launch_drift(device.profiler.launches)[:20]
             ],
         }
+        if slo is not None:
+            doc["slo"] = slo.to_dict()
         with open(args.json_out, "w") as fh:
             json.dump(doc, fh, indent=2)
         logger.info("perf report JSON written to %s", args.json_out)
+    return 1 if slo is not None and not slo.passed else 0
+
+
+def cmd_history(args) -> int:
+    from repro import obs
+
+    if args.ingest:
+        ledger = obs.Ledger(args.ledger)
+        for path in args.ingest:
+            if not os.path.exists(path):
+                raise CLIError(f"bench file not found: {path}")
+            try:
+                rec = ledger.ingest_bench(path)
+            except (ValueError, json.JSONDecodeError) as exc:
+                raise CLIError(f"could not ingest {path}: {exc}") from None
+            logger.info("ingested %s as bench record %s (fingerprint %s)",
+                        path, rec["bench"], rec["fingerprint"])
+        print(f"ingested {len(args.ingest)} bench file(s) into {args.ledger}")
+    records = _read_ledger_arg(args.ledger)
+    total = len(records)
+    records = obs.filter_records(
+        records, kind=args.kind, graph=args.graph,
+        fingerprint=args.fingerprint, last=args.last,
+    )
+    if not records:
+        print(f"no matching records ({total} total in {args.ledger})")
+        return 0
+    if args.format == "jsonl":
+        for rec in records:
+            print(json.dumps(rec, sort_keys=True, separators=(",", ":")))
+    else:
+        print(obs.format_history(records, limit=args.last or 40))
     return 0
+
+
+def cmd_slo_check(args) -> int:
+    from repro import obs
+
+    records = _read_ledger_arg(args.ledger)
+    if args.last is not None:
+        records = records[-args.last:]
+    if not records:
+        raise CLIError(
+            f"ledger {args.ledger} holds no records in the evaluation "
+            f"window; append runs first (`repro bc ... --ledger`, "
+            f"`repro canary --ledger`)"
+        )
+    try:
+        budgets = obs.load_budget_spec(args.budgets)
+    except obs.BudgetSpecError as exc:
+        raise CLIError(str(exc)) from None
+    report = obs.evaluate_budgets(budgets, records)
+    text = obs.format_slo_report(
+        report, title=f"slo-check: {args.budgets} over {args.ledger}"
+    )
+    print(text)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        logger.info("slo verdicts written to %s", args.json_out)
+    return 0 if report.passed else 1
+
+
+def cmd_canary(args) -> int:
+    from repro import obs
+
+    try:
+        run = obs.run_canary(seed=args.seed, golden_directory=args.golden_dir)
+    except FileNotFoundError as exc:
+        raise CLIError(str(exc)) from None
+    if args.ledger:
+        ledger = obs.Ledger(args.ledger)
+        for rec in run.records:
+            ledger.append(rec)
+        logger.info("%d probe records appended to %s",
+                    len(run.records), args.ledger)
+    if args.bless_budgets:
+        if run.golden_failures:
+            bad = ", ".join(r.probe.id for r in run.golden_failures)
+            print(f"refusing to bless budgets: {len(run.golden_failures)} "
+                  f"golden failure(s): {bad}")
+            return 1
+        path = obs.bless_canary_budgets(run, path=args.budgets)
+        print(f"blessed {3 * len(run.results)} budgets for "
+              f"{len(run.results)} probes -> {path} (review the diff!)")
+        return 0
+    try:
+        slo = obs.check_canary_budgets(run, path=args.budgets)
+    except obs.BudgetSpecError as exc:
+        raise CLIError(
+            f"{exc} (regenerate with `repro canary --bless-budgets`)"
+        ) from None
+    text = obs.render_canary_report(run, slo)
+    print(text)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(text + "\n")
+        logger.info("canary report written to %s", args.report)
+    return 1 if run.golden_failures or slo.breaches else 0
+
+
+def cmd_trend(args) -> int:
+    from repro import obs
+
+    if args.window < 1:
+        raise CLIError(f"--window must be >= 1, got {args.window}")
+    records = _read_ledger_arg(args.ledger)
+    if args.last is not None:
+        records = records[-args.last:]
+    if not records:
+        raise CLIError(
+            f"ledger {args.ledger} holds no records in the analysis window; "
+            f"append runs first (`repro bc ... --ledger`, `repro canary "
+            f"--ledger`)"
+        )
+    trend = obs.trend_report(
+        records, window=args.window,
+        noise_floor=args.noise_floor, confidence=args.confidence,
+    )
+    text = obs.format_trend_report(trend)
+    print(text)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(text)
+        logger.info("trend report written to %s", args.report)
+    return 0 if trend.passed else 1
 
 
 def cmd_mem_report(args) -> int:
@@ -671,6 +884,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "peak memory) as JSON")
     p_bc.add_argument("--stats-json", metavar="FILE",
                       help="write the BCRunStats summary as JSON")
+    p_bc.add_argument("--ledger", metavar="FILE",
+                      help="append this run's identity-keyed record to the "
+                           "JSONL run ledger (see `repro history`)")
     p_bc.set_defaults(func=cmd_bc)
 
     p_table = sub.add_parser("table", help="regenerate a paper table")
@@ -684,8 +900,21 @@ def build_parser() -> argparse.ArgumentParser:
         "perf-diff",
         help="statistical perf comparison of two bench JSON files",
     )
-    p_diff.add_argument("old", help="baseline bench/BENCH_*.json file")
+    p_diff.add_argument("old", nargs="?", default=None,
+                        help="baseline bench/BENCH_*.json file (omit when "
+                             "gating against --baseline-ledger)")
     p_diff.add_argument("new", help="candidate bench/BENCH_*.json file")
+    p_diff.add_argument("--baseline-ledger", metavar="FILE",
+                        help="take the baseline from a run ledger's ingested "
+                             "bench records instead of a paired old-commit "
+                             "bench file (see `repro history --ingest`)")
+    p_diff.add_argument("--baseline-bench", metavar="NAME",
+                        help="only use ledger bench records with this bench "
+                             "name (default: all)")
+    p_diff.add_argument("--baseline-window", type=int, default=None,
+                        metavar="N",
+                        help="only use the trailing N matching ledger bench "
+                             "records (default: all)")
     p_diff.add_argument("--noise-floor", type=float, default=0.05,
                         metavar="FRAC",
                         help="ratio band treated as noise (default: 0.05 "
@@ -738,7 +967,97 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the markdown report to FILE")
     p_perf.add_argument("--json", dest="json_out", metavar="FILE",
                         help="write roofline/audit/drift as JSON")
+    p_perf.add_argument("--budgets", metavar="FILE",
+                        help="evaluate a repro.obs/slo/v1 budget spec "
+                             "(TOML/JSON) against this run and append the "
+                             "verdict section; exit 1 on breach")
     p_perf.set_defaults(func=cmd_perf_report)
+
+    p_hist = sub.add_parser(
+        "history",
+        help="tail/filter the persistent run ledger; ingest bench artifacts",
+    )
+    p_hist.add_argument("--ledger", default="ledger.jsonl", metavar="FILE",
+                        help="ledger path (default: ledger.jsonl)")
+    p_hist.add_argument("--ingest", action="append", metavar="BENCH.json",
+                        help="convert a BENCH_*.json artifact into a lossless "
+                             "kind=\"bench\" ledger record first (repeatable)")
+    p_hist.add_argument("--kind", choices=("bc", "multigpu", "canary", "bench"),
+                        default=None, help="only records of this kind")
+    p_hist.add_argument("--graph", metavar="NAME", default=None,
+                        help="only records for this graph name")
+    p_hist.add_argument("--fingerprint", metavar="PREFIX", default=None,
+                        help="only records whose fingerprint starts with this")
+    p_hist.add_argument("--last", type=int, default=None, metavar="N",
+                        help="only the newest N matching records")
+    p_hist.add_argument("--format", choices=("table", "jsonl"),
+                        default="table",
+                        help="aligned table (default) or raw JSONL for jq")
+    p_hist.set_defaults(func=cmd_history)
+
+    p_slo = sub.add_parser(
+        "slo-check",
+        help="evaluate a declarative budget spec against a ledger window "
+             "(exit 1 on breach)",
+    )
+    p_slo.add_argument("--ledger", default="ledger.jsonl", metavar="FILE",
+                       help="ledger path (default: ledger.jsonl)")
+    p_slo.add_argument("--budgets", required=True, metavar="FILE",
+                       help="repro.obs/slo/v1 budget spec (TOML on 3.11+, "
+                            "or JSON)")
+    p_slo.add_argument("--last", type=int, default=None, metavar="N",
+                       help="evaluate only the newest N ledger records "
+                            "(default: all; per-budget 'window' still "
+                            "applies)")
+    p_slo.add_argument("--json", dest="json_out", metavar="FILE",
+                       help="write the machine-readable verdicts as JSON")
+    p_slo.set_defaults(func=cmd_slo_check)
+
+    p_can = sub.add_parser(
+        "canary",
+        help="run the pinned probe matrix: golden bit-identity + budget "
+             "ceilings, in seconds",
+    )
+    p_can.add_argument("--seed", type=int, default=0,
+                       help="probe seed recorded in each record's identity "
+                            "(default: 0)")
+    p_can.add_argument("--ledger", metavar="FILE", default=None,
+                       help="append one kind=\"canary\" record per probe to "
+                            "this ledger")
+    p_can.add_argument("--report", metavar="FILE", default=None,
+                       help="write the markdown health report (canary-report.md)")
+    p_can.add_argument("--budgets", metavar="FILE", default=None,
+                       help="budget spec to check (default: "
+                            "tests/golden/canary-budgets.json)")
+    p_can.add_argument("--bless-budgets", action="store_true",
+                       help="rewrite the budget spec from this run's "
+                            "measurements at 1.5x headroom and exit "
+                            "(review the diff!)")
+    p_can.add_argument("--golden-dir", metavar="DIR", default=None,
+                       help="golden corpus directory (default: tests/golden)")
+    p_can.set_defaults(func=cmd_canary)
+
+    p_trend = sub.add_parser(
+        "trend",
+        help="drift detection over ledger windows: newest run vs its "
+             "trailing-N baseline",
+    )
+    p_trend.add_argument("--ledger", default="ledger.jsonl", metavar="FILE",
+                         help="ledger path (default: ledger.jsonl)")
+    p_trend.add_argument("--window", type=int, default=5, metavar="N",
+                         help="trailing records forming each baseline "
+                              "(default: 5)")
+    p_trend.add_argument("--last", type=int, default=None, metavar="N",
+                         help="analyse only the newest N ledger records "
+                              "(default: all)")
+    p_trend.add_argument("--noise-floor", type=float, default=0.05,
+                         metavar="FRAC",
+                         help="ratio band treated as noise (default: 0.05)")
+    p_trend.add_argument("--confidence", type=float, default=0.95,
+                         help="bootstrap CI level (default: 0.95)")
+    p_trend.add_argument("--report", metavar="FILE", default=None,
+                         help="also write the markdown report to FILE")
+    p_trend.set_defaults(func=cmd_trend)
 
     p_mem = sub.add_parser(
         "mem-report",
@@ -852,6 +1171,11 @@ def main(argv=None) -> int:
     except CLIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # `repro history | head` closes our stdout mid-print; mute the
+        # interpreter-shutdown flush instead of tracebacking.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

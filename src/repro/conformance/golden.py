@@ -194,9 +194,16 @@ def load_golden_case(path: pathlib.Path | str) -> tuple[Graph, np.ndarray, dict]
 
 
 def iter_golden(directory: pathlib.Path | str | None = None):
-    """Yield ``(name, graph, expected_bc)`` for every corpus file."""
+    """Yield ``(name, graph, expected_bc)`` for every corpus file.
+
+    Other golden artifacts share the directory (the canary budget spec),
+    so files carrying a different schema are skipped, not rejected.
+    """
     directory = pathlib.Path(directory) if directory else golden_dir()
     for path in sorted(directory.glob("*.json")):
+        with open(path) as fh:
+            if json.load(fh).get("schema") != SCHEMA:
+                continue
         graph, bc, rec = load_golden_case(path)
         yield rec["name"], graph, bc
 

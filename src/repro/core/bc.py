@@ -422,6 +422,9 @@ def _turbo_bc_impl(
     tel = obs.get_telemetry()
     if tel is not None:
         tel.bind_device(device)
+    ledger_mark = (
+        tel.ledger_mark() if tel is not None and tel.ledger is not None else None
+    )
     device.memory.reset_run_peak()
 
     with obs.span(
@@ -495,6 +498,11 @@ def _turbo_bc_impl(
         depth_per_source=depths,
         wall_time_s=time.perf_counter() - t0,
     )
+    if tel is not None and tel.ledger_active:
+        _append_ledger_record(
+            tel, ledger_mark, graph, algorithm, direction, 1, forward_dtype,
+            backward_dtype, src_list, stats, device, launches_before,
+        )
     return BCResult(bc=bc, stats=stats, forward=last_forward, telemetry=tel)
 
 
@@ -533,6 +541,9 @@ def _turbo_bc_batched(
     tel = obs.get_telemetry()
     if tel is not None:
         tel.bind_device(device)
+    ledger_mark = (
+        tel.ledger_mark() if tel is not None and tel.ledger is not None else None
+    )
     device.memory.reset_run_peak()
 
     with obs.span(
@@ -688,4 +699,48 @@ def _turbo_bc_batched(
         batch_size=batch,
         rerun_sources=rerun_sources,
     )
+    if tel is not None and tel.ledger_active:
+        _append_ledger_record(
+            tel, ledger_mark, graph, algorithm, direction, batch, fdt,
+            backward_dtype, src_list, stats, device, launches_before,
+        )
     return BCResult(bc=bc, stats=stats, forward=last_forward, telemetry=tel)
+
+
+def _append_ledger_record(
+    tel, ledger_mark, graph, algorithm, direction, batch, forward_dtype,
+    backward_dtype, src_list, stats, device, launches_before,
+):
+    """One identity-keyed ledger record for a finished single-device run.
+
+    The config fingerprint hashes the *resolved* execution shape (concrete
+    dtypes, effective batch), so two sessions over the same graph/config
+    produce byte-identical fingerprints regardless of how the caller spelled
+    ``"auto"`` arguments.  Purely observational: reads the stats, the run's
+    launch slice and the telemetry -- never the result vectors.
+    """
+    from repro.obs.ledger import build_run_record, sources_fingerprint
+
+    config = {
+        "driver": "turbo_bc",
+        "algorithm": algorithm.name,
+        "direction": direction,
+        "batch_size": int(batch),
+        "forward_dtype": str(np.dtype(forward_dtype)),
+        "backward_dtype": str(np.dtype(backward_dtype)),
+        "n_devices": 1,
+        "scheduler": None,
+        "sources": len(src_list),
+        "sources_hash": sources_fingerprint(src_list),
+    }
+    phase, counters = tel.ledger_delta(ledger_mark)
+    tel.record_run(build_run_record(
+        kind="bc",
+        graph=graph,
+        config=config,
+        stats=stats,
+        phase_time_s=phase,
+        counters=counters,
+        launches=device.profiler.launches[launches_before:],
+        spec=device.spec,
+    ))

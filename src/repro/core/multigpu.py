@@ -31,6 +31,7 @@ of (not) trusting the cost model is always visible.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -185,47 +186,56 @@ def multi_gpu_bc(
     launches = 0
     peak = 0
     depth_map: dict[int, int] = {}
-    for d in range(n_devices):
-        task_ids = [i for i, p in enumerate(placements) if p == d]
-        if not task_ids:
-            mg.device_times_s.append(0.0)
-            mg.transfer_times_s.append(0.0)
-            mg.devices.append(None)
-            continue
-        device = Device(spec)
-        n_src = sum(len(chunks[i]) for i in task_ids)
-        with obs.span(
-            "device", index=d, sources=n_src, tasks=len(task_ids),
-            scheduler=scheduler,
-        ) as sp:
-            for i in task_ids:
-                part = turbo_bc(
-                    graph,
-                    sources=list(chunks[i]),
-                    algorithm=algorithm,
-                    device=device,
-                    forward_dtype=forward_dtype,
-                    batch_size=batch,
-                )
-                partials[i] = part.bc
-                measured[i] = part.stats.gpu_time_s
-                launches += part.stats.kernel_launches
-                peak = max(peak, part.stats.peak_memory_bytes)
-                for s, dep in zip(chunks[i], part.stats.depth_per_source):
-                    depth_map[s] = dep
-            # Per-task gpu times, not the profiler total: a sigma-overflow
-            # float64 re-run resets the device mid-stream, and the per-call
-            # deltas are the placement-independent quantity the audit needs.
-            compute_s = sum(measured[i] for i in task_ids)
-            sp.set(gpu_time_s=compute_s)
-        mg.device_times_s.append(compute_s)
-        # One partial-bc vector (n float64) back over this device's link.
-        link = Link(device)
-        launch = link.transfer(
-            graph.n * 8, src=f"gpu{d}", dst="host", tag=f"bc_partial d{d}"
-        )
-        mg.transfer_times_s.append(launch.time_s)
-        mg.devices.append(device)
+    tel = obs.get_telemetry()
+    ledger_mark = (
+        tel.ledger_mark() if tel is not None and tel.ledger is not None else None
+    )
+    # The per-task turbo_bc calls below are internal plumbing: suspend the
+    # ledger around them so a multi-GPU run lands as *one* record (appended
+    # after the fold), not one per task.
+    suspend = tel.suspend_ledger() if tel is not None else nullcontext()
+    with suspend:
+        for d in range(n_devices):
+            task_ids = [i for i, p in enumerate(placements) if p == d]
+            if not task_ids:
+                mg.device_times_s.append(0.0)
+                mg.transfer_times_s.append(0.0)
+                mg.devices.append(None)
+                continue
+            device = Device(spec)
+            n_src = sum(len(chunks[i]) for i in task_ids)
+            with obs.span(
+                "device", index=d, sources=n_src, tasks=len(task_ids),
+                scheduler=scheduler,
+            ) as sp:
+                for i in task_ids:
+                    part = turbo_bc(
+                        graph,
+                        sources=list(chunks[i]),
+                        algorithm=algorithm,
+                        device=device,
+                        forward_dtype=forward_dtype,
+                        batch_size=batch,
+                    )
+                    partials[i] = part.bc
+                    measured[i] = part.stats.gpu_time_s
+                    launches += part.stats.kernel_launches
+                    peak = max(peak, part.stats.peak_memory_bytes)
+                    for s, dep in zip(chunks[i], part.stats.depth_per_source):
+                        depth_map[s] = dep
+                # Per-task gpu times, not the profiler total: a sigma-overflow
+                # float64 re-run resets the device mid-stream, and the per-call
+                # deltas are the placement-independent quantity the audit needs.
+                compute_s = sum(measured[i] for i in task_ids)
+                sp.set(gpu_time_s=compute_s)
+            mg.device_times_s.append(compute_s)
+            # One partial-bc vector (n float64) back over this device's link.
+            link = Link(device)
+            launch = link.transfer(
+                graph.n * 8, src=f"gpu{d}", dst="host", tag=f"bc_partial d{d}"
+            )
+            mg.transfer_times_s.append(launch.time_s)
+            mg.devices.append(device)
     # Only devices that produced a partial vector transfer one; the host
     # drains their links serially.
     mg.reduction_time_s = sum(mg.transfer_times_s)
@@ -247,7 +257,6 @@ def multi_gpu_bc(
         task_sizes=[len(t.sources) for t in tasks],
         transfer_s=transfer_s,
     )
-    tel = obs.get_telemetry()
     if tel is not None:
         tel.schedule_audits.append(mg.audit)
 
@@ -263,4 +272,39 @@ def multi_gpu_bc(
         depth_per_source=[depth_map[s] for s in src_list if s in depth_map],
         batch_size=batch,
     )
+    if tel is not None and tel.ledger_active:
+        from repro.obs.ledger import build_run_record, sources_fingerprint
+
+        phase, run_counters = tel.ledger_delta(ledger_mark)
+        all_launches = [
+            launch for dev in mg.devices if dev is not None
+            for launch in dev.profiler.launches
+        ]
+        tel.record_run(build_run_record(
+            kind="multigpu",
+            graph=graph,
+            config={
+                "driver": "multi_gpu_bc",
+                "algorithm": algorithm.name,
+                "batch_size": int(batch),
+                "forward_dtype": (
+                    forward_dtype if isinstance(forward_dtype, str)
+                    else str(np.dtype(forward_dtype))
+                ),
+                "n_devices": int(n_devices),
+                "scheduler": scheduler,
+                "sources": len(src_list),
+                "sources_hash": sources_fingerprint(src_list),
+            },
+            stats=stats,
+            phase_time_s=phase,
+            counters=run_counters,
+            audit=mg.audit,
+            launches=all_launches,
+            spec=spec,
+            extra={
+                "parallel_efficiency": float(mg.parallel_efficiency),
+                "reduction_time_s": float(mg.reduction_time_s),
+            },
+        ))
     return BCResult(bc=bc, stats=stats), mg

@@ -49,7 +49,31 @@ from repro.obs.audit import (
     audit_dispatch,
     launch_drift,
 )
+from repro.obs.canary import (
+    CanaryProbe,
+    CanaryRun,
+    ProbeResult,
+    bless_canary_budgets,
+    canary_budget_path,
+    canary_probes,
+    check_canary_budgets,
+    render_canary_report,
+    run_canary,
+)
 from repro.obs.counters import LaunchCounters, counters_for_launch
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    Ledger,
+    build_run_record,
+    config_fingerprint,
+    config_summary,
+    filter_records,
+    format_history,
+    graph_fingerprint,
+    read_ledger,
+    run_fingerprint,
+    sources_fingerprint,
+)
 from repro.obs.export import (
     jsonl_records,
     to_chrome_trace,
@@ -79,6 +103,18 @@ from repro.obs.roofline import (
     roofline_report,
 )
 from repro.obs.schedaudit import ScheduleAudit, audit_schedule
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    Budget,
+    BudgetSpecError,
+    BudgetVerdict,
+    SLOReport,
+    evaluate_budgets,
+    format_slo_report,
+    load_budget_spec,
+    metric_value,
+    parse_budget_spec,
+)
 from repro.obs.telemetry import (
     RunTelemetry,
     activate,
@@ -88,45 +124,88 @@ from repro.obs.telemetry import (
     span,
 )
 from repro.obs.trace import NOOP_SPAN, Span, Tracer
+from repro.obs.trend import (
+    GroupTrend,
+    TrendReport,
+    baseline_from_ledger,
+    format_trend_report,
+    record_metrics,
+    trend_report,
+)
 
 __all__ = [
+    "Budget",
+    "BudgetSpecError",
+    "BudgetVerdict",
+    "CanaryProbe",
+    "CanaryRun",
     "Counter",
     "DispatchAudit",
     "Gauge",
+    "GroupTrend",
     "Histogram",
+    "LEDGER_SCHEMA",
     "LaunchCounters",
+    "Ledger",
     "MemEvent",
     "MemLifetime",
     "MemReport",
     "MemTrace",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "ProbeResult",
     "RegressionReport",
     "RooflineReport",
     "RunTelemetry",
+    "SLOReport",
+    "SLO_SCHEMA",
     "ScheduleAudit",
     "Span",
     "Tracer",
+    "TrendReport",
     "activate",
     "audit_dispatch",
     "audit_schedule",
+    "baseline_from_ledger",
+    "bless_canary_budgets",
     "bootstrap_ratio_ci",
     "build_mem_report",
+    "build_run_record",
+    "canary_budget_path",
+    "canary_probes",
+    "check_canary_budgets",
     "classify_launch",
     "compare_metrics",
+    "config_fingerprint",
+    "config_summary",
     "counters_for_launch",
     "deactivate",
+    "evaluate_budgets",
+    "filter_records",
+    "format_history",
     "format_report",
+    "format_slo_report",
+    "format_trend_report",
     "get_telemetry",
+    "graph_fingerprint",
     "jsonl_records",
     "launch_drift",
+    "load_budget_spec",
     "mem_report_records",
+    "metric_value",
+    "parse_budget_spec",
     "perf_report_for_run",
+    "read_ledger",
+    "record_metrics",
+    "render_canary_report",
     "render_mem_report",
     "render_perf_report",
     "roofline_for_launch",
     "roofline_report",
+    "run_canary",
+    "run_fingerprint",
     "session",
+    "sources_fingerprint",
     "span",
     "to_chrome_trace",
     "write_chrome_trace",

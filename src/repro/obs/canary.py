@@ -1,0 +1,328 @@
+"""The canary probe suite: seconds-scale end-to-end health checks.
+
+A *canary probe* is one pinned (graph, config) cell: a golden-corpus graph
+(:mod:`repro.conformance.golden`) run through a representative execution
+config -- static kernel, adaptive dispatch with auto direction, a batched
+SpMM run, and a 2-device cost-scheduled run -- under full telemetry.
+Every probe asserts two things:
+
+* **bit-identity**: the computed BC vector matches the pinned golden
+  vector (same tolerances as the conformance harness -- the vectors are
+  deterministic on the simulator, so any drift is a bug);
+* **its budgets**: the probe's modeled latency and peak memory sit inside
+  the pinned ceilings of ``tests/golden/canary-budgets.json``
+  (a ``repro.obs/slo/v1`` spec, blessed with ~1.5x headroom so genuine
+  slowdowns -- e.g. the ``REPRO_INJECT_SLOWDOWN=2.0`` CI drill -- breach
+  while model noise does not).
+
+The matrix is deliberately tiny (seconds wall-clock for the whole run) so
+it can gate every CI push and, later, every service deploy: ``repro
+canary`` runs the matrix, appends one ``kind="canary"`` ledger record per
+probe, evaluates the budget spec, and renders a one-page markdown health
+report.  Budget regeneration follows the golden-corpus idiom: ``repro
+canary --bless-budgets`` rewrites the spec from fresh measurements and the
+diff goes through review.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import telemetry as obs
+from repro.obs.ledger import build_run_record, config_summary
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    evaluate_budgets,
+    format_slo_report,
+    load_budget_spec,
+)
+
+#: Golden graphs in the matrix: two undirected meshes, a tree, and a
+#: directed graph with partial reachability (the backward stage's hard case).
+CANARY_GRAPHS = ("petersen", "btree-15", "grid-3x3", "asym-digraph")
+
+#: Execution configs in the matrix, spanning the dispatch surface: a static
+#: kernel, adaptive with per-level direction switching, a batched SpMM run,
+#: and a 2-device run under the cost-model scheduler.
+CANARY_CONFIGS = (
+    {"key": "sccsc-b1", "algorithm": "sccsc", "batch_size": 1},
+    {"key": "adaptive-auto-b1", "algorithm": "adaptive", "batch_size": 1,
+     "direction": "auto"},
+    {"key": "adaptive-b4", "algorithm": "adaptive", "batch_size": 4},
+    {"key": "mg2-cost", "algorithm": "sccsc", "batch_size": 1,
+     "n_devices": 2, "scheduler": "cost"},
+)
+
+#: Headroom multiplier blessed budgets get over the measured value: wide
+#: enough that model refactors moving times a few percent stay green,
+#: tight enough that a 2x slowdown (the CI drill) breaches.
+BUDGET_HEADROOM = 1.5
+
+
+def canary_budget_path() -> pathlib.Path:
+    """The pinned budget spec: ``tests/golden/canary-budgets.json``."""
+    # Lazy: the conformance package pulls in the core drivers, which import
+    # back into obs -- resolving it at call time keeps the import DAG clean.
+    from repro.conformance.golden import golden_dir
+
+    return golden_dir() / "canary-budgets.json"
+
+
+@dataclass(frozen=True)
+class CanaryProbe:
+    """One cell of the matrix: a golden graph under one execution config."""
+
+    graph: str
+    config: dict
+
+    @property
+    def id(self) -> str:
+        return f"{self.graph}:{self.config['key']}"
+
+
+@dataclass
+class ProbeResult:
+    """One probe's outcome: golden verdict plus its ledger record."""
+
+    probe: CanaryProbe
+    golden_ok: bool
+    max_abs_err: float
+    gpu_time_s: float
+    record: dict
+
+
+@dataclass
+class CanaryRun:
+    """The whole matrix's outcome (budget verdicts attached by the caller)."""
+
+    seed: int
+    results: list = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def golden_failures(self) -> list:
+        return [r for r in self.results if not r.golden_ok]
+
+    @property
+    def records(self) -> list:
+        return [r.record for r in self.results]
+
+
+def canary_probes() -> list[CanaryProbe]:
+    """The pinned probe matrix (graphs x configs, stable order)."""
+    return [
+        CanaryProbe(graph=g, config=c)
+        for g in CANARY_GRAPHS
+        for c in CANARY_CONFIGS
+    ]
+
+
+def _run_probe(probe: CanaryProbe, graph, expected, *, seed: int) -> ProbeResult:
+    """Run one probe under a fresh telemetry session; returns its result.
+
+    Single-device configs run through :func:`~repro.core.bc.turbo_bc` on an
+    explicit device (so the run's launch slice feeds the roofline digest);
+    multi-device configs through :func:`~repro.core.multigpu.multi_gpu_bc`.
+    The session carries *no* ledger -- the probe builds its own
+    ``kind="canary"`` record so driver records never double up.
+    """
+    from repro.conformance.golden import ATOL, RTOL
+    from repro.core.bc import turbo_bc
+    from repro.core.multigpu import multi_gpu_bc
+    from repro.gpusim.device import Device, TITAN_XP
+
+    cfg = probe.config
+    n_devices = cfg.get("n_devices", 1)
+    with obs.session(trace=True, metrics=True) as tel:
+        mark = tel.ledger_mark()
+        if n_devices > 1:
+            result, mg = multi_gpu_bc(
+                graph,
+                n_devices=n_devices,
+                algorithm=cfg["algorithm"],
+                batch_size=cfg["batch_size"],
+                scheduler=cfg["scheduler"],
+            )
+            launches = [
+                launch for dev in mg.devices if dev is not None
+                for launch in dev.profiler.launches
+            ]
+            spec = TITAN_XP
+            audit = mg.audit
+            extra = {
+                "parallel_efficiency": float(mg.parallel_efficiency),
+                "reduction_time_s": float(mg.reduction_time_s),
+            }
+        else:
+            device = Device(TITAN_XP)
+            result = turbo_bc(
+                graph,
+                algorithm=cfg["algorithm"],
+                batch_size=cfg["batch_size"],
+                direction=cfg.get("direction", "auto"),
+                device=device,
+            )
+            launches = device.profiler.launches
+            spec = device.spec
+            audit = None
+            extra = None
+        phase, counters = tel.ledger_delta(mark)
+
+    config = {
+        "driver": "canary",
+        "probe": probe.id,
+        "algorithm": cfg["algorithm"],
+        "direction": cfg.get("direction", "auto"),
+        "batch_size": cfg["batch_size"],
+        "n_devices": n_devices,
+        "scheduler": cfg.get("scheduler"),
+        "seed": int(seed),
+        "sources": result.stats.sources,
+    }
+    record = build_run_record(
+        kind="canary",
+        graph=graph,
+        config=config,
+        stats=result.stats,
+        phase_time_s=phase,
+        counters=counters,
+        audit=audit,
+        launches=launches,
+        spec=spec,
+        extra=extra,
+    )
+    err = float(np.abs(result.bc - expected).max()) if graph.n else 0.0
+    ok = bool(np.allclose(result.bc, expected, rtol=RTOL, atol=ATOL))
+    record["metrics"]["golden_max_abs_err"] = err
+    return ProbeResult(
+        probe=probe,
+        golden_ok=ok,
+        max_abs_err=err,
+        gpu_time_s=float(result.stats.gpu_time_s),
+        record=record,
+    )
+
+
+def run_canary(*, seed: int = 0,
+               golden_directory: pathlib.Path | str | None = None) -> CanaryRun:
+    """Run the full probe matrix against the pinned golden corpus.
+
+    Raises ``FileNotFoundError`` when a matrix graph has no corpus file
+    (run ``python -m repro conformance --bless`` first).
+    """
+    from repro.conformance.golden import golden_dir, load_golden_case
+
+    directory = pathlib.Path(golden_directory) if golden_directory else golden_dir()
+    t0 = time.perf_counter()
+    run = CanaryRun(seed=seed)
+    for probe in canary_probes():
+        path = directory / f"{probe.graph}.json"
+        if not path.exists():
+            raise FileNotFoundError(
+                f"golden corpus file missing for canary graph "
+                f"{probe.graph!r}: {path} "
+                f"(run `python -m repro conformance --bless`)"
+            )
+        graph, expected, _ = load_golden_case(path)
+        run.results.append(_run_probe(probe, graph, expected, seed=seed))
+    run.wall_time_s = time.perf_counter() - t0
+    return run
+
+
+# -- budgets ------------------------------------------------------------------
+
+
+def bless_canary_budgets(run: CanaryRun, path=None) -> pathlib.Path:
+    """(Re)write the pinned budget spec from a fresh canary run.
+
+    Every probe gets a latency ceiling and a peak-memory ceiling at
+    :data:`BUDGET_HEADROOM` times the measured value, keyed by the probe's
+    graph + config-summary filters so the spec evaluates cleanly over any
+    ledger window containing canary records.
+    """
+    path = pathlib.Path(path) if path else canary_budget_path()
+    budgets = []
+    for r in run.results:
+        summary = config_summary(r.record)
+        m = r.record["metrics"]
+        budgets.append({
+            "name": f"{r.probe.id}:latency",
+            "metric": "gpu_time_s",
+            "max": round(m["gpu_time_s"] * BUDGET_HEADROOM, 9),
+            "kind": "canary",
+            "graph": r.probe.graph,
+            "config": summary,
+        })
+        # In-kernel latency: on these launch-overhead-dominated graphs the
+        # total gpu time is nearly flat under a kernel slowdown, so the
+        # drill-sensitive ceiling is on exec time (overhead excluded).
+        budgets.append({
+            "name": f"{r.probe.id}:exec-latency",
+            "metric": "kernel_exec_s",
+            "max": round(m["kernel_exec_s"] * BUDGET_HEADROOM, 12),
+            "kind": "canary",
+            "graph": r.probe.graph,
+            "config": summary,
+        })
+        budgets.append({
+            "name": f"{r.probe.id}:peak-mem",
+            "metric": "peak_memory_bytes",
+            "max": int(m["peak_memory_bytes"] * BUDGET_HEADROOM),
+            "kind": "canary",
+            "graph": r.probe.graph,
+            "config": summary,
+        })
+    doc = {
+        "schema": SLO_SCHEMA,
+        "headroom": BUDGET_HEADROOM,
+        "budgets": budgets,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_canary_budgets(run: CanaryRun, path=None):
+    """Evaluate the pinned budget spec against the run's probe records."""
+    budgets = load_budget_spec(path if path else canary_budget_path())
+    return evaluate_budgets(budgets, run.records)
+
+
+# -- the health report --------------------------------------------------------
+
+
+def render_canary_report(run: CanaryRun, slo_report=None) -> str:
+    """The one-page markdown health report (``canary-report.md``)."""
+    n = len(run.results)
+    golden_bad = len(run.golden_failures)
+    breaches = len(slo_report.breaches) if slo_report is not None else 0
+    healthy = golden_bad == 0 and breaches == 0
+    lines = [
+        "# Canary health report",
+        "",
+        f"**{'HEALTHY' if healthy else 'UNHEALTHY'}** -- {n} probe(s), "
+        f"{golden_bad} golden failure(s), {breaches} budget breach(es), "
+        f"seed {run.seed}, {run.wall_time_s:.2f}s wall",
+        "",
+        "| probe | n | gpu (ms) | peak (KiB) | launches | max err | golden |",
+        "|---|---:|---:|---:|---:|---:|---|",
+    ]
+    for r in run.results:
+        m = r.record["metrics"]
+        lines.append(
+            f"| {r.probe.id} | {r.record['graph']['n']} "
+            f"| {m['gpu_time_s'] * 1e3:.4f} "
+            f"| {m['peak_memory_bytes'] / 1024:.1f} "
+            f"| {m['kernel_launches']} "
+            f"| {r.max_abs_err:.1e} "
+            f"| {'OK' if r.golden_ok else '**FAIL**'} |"
+        )
+    lines.append("")
+    if slo_report is not None:
+        lines.append(format_slo_report(slo_report, title="Budgets"))
+    return "\n".join(lines)

@@ -1,0 +1,337 @@
+"""Declarative latency/memory/efficiency budgets over ledger records.
+
+A *budget spec* is a small TOML or JSON document (``repro.obs/slo/v1``)
+declaring ceilings and floors on the metrics the run ledger records
+(:mod:`repro.obs.ledger`): per-phase modeled latency, per-bound-class
+share of modeled time, peak memory, multi-GPU parallel efficiency, and
+scheduler regret.  :func:`evaluate_budgets` checks a spec against a single
+run record or a ledger window and produces per-budget verdicts with
+**margin** (how far inside the limit the worst observation sits) and
+**burn-rate** (the fraction of the window breaching) -- the two numbers
+an operator reads before the gate flips.
+
+Spec grammar (JSON shown; TOML is the same shape)::
+
+    {
+      "schema": "repro.obs/slo/v1",
+      "budgets": [
+        {"name": "forward-latency",
+         "metric": "phase_time_s.forward", "max": 0.004},
+        {"name": "bandwidth-share",
+         "metric": "bound_share.bandwidth", "max": 0.9},
+        {"name": "peak-mem", "metric": "peak_memory_bytes", "max": 2.0e6,
+         "graph": "grid-*", "kind": "canary"},
+        {"name": "mg-efficiency",
+         "metric": "parallel_efficiency", "min": 0.6},
+        {"name": "sched-regret", "metric": "schedule.regret_s", "min": 0.0}
+      ]
+    }
+
+``metric`` is a dotted path into a record's ``metrics`` block, plus two
+derived families: ``bound_share.<class>`` (that class's fraction of the
+roofline total) and ``parallel_efficiency`` (already materialised by the
+ledger on multi-GPU records).  Exactly one of ``max``/``min`` is
+required.  Optional ``graph``/``kind``/``config`` are ``fnmatch``
+patterns restricting which records the budget applies to; a budget whose
+filter matches nothing in the window reports ``missing`` (surfaced, never
+silently passed).  ``window`` caps how many trailing matching records the
+budget considers.
+
+Consumers: ``repro slo-check`` (exit-code gate over a ledger),
+``repro perf-report --budgets`` (inline section for the current run),
+and the canary suite (:mod:`repro.obs.canary`) for its probe budgets.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+SLO_SCHEMA = "repro.obs/slo/v1"
+
+try:  # 3.11+; the CI matrix still carries 3.10, where only JSON specs work
+    import tomllib
+except ImportError:  # pragma: no cover - version-dependent
+    tomllib = None
+
+
+class BudgetSpecError(ValueError):
+    """A budget spec that cannot be interpreted (file or field level)."""
+
+
+@dataclass(frozen=True)
+class Budget:
+    """One declared ceiling (``max``) or floor (``min``) on a ledger metric."""
+
+    name: str
+    metric: str
+    max: float | None = None
+    min: float | None = None
+    graph: str | None = None  # fnmatch over record graph name
+    kind: str | None = None  # fnmatch over record kind
+    config: str | None = None  # fnmatch over the config summary
+    window: int | None = None  # trailing matching records considered
+
+    @property
+    def limit(self) -> float:
+        return self.max if self.max is not None else self.min
+
+    @property
+    def sense(self) -> str:
+        return "max" if self.max is not None else "min"
+
+    def matches(self, record: dict) -> bool:
+        from repro.obs.ledger import config_summary
+
+        if self.kind is not None and not fnmatch.fnmatch(
+            str(record.get("kind", "")), self.kind
+        ):
+            return False
+        if self.graph is not None and not fnmatch.fnmatch(
+            str(record.get("graph", {}).get("name", "")), self.graph
+        ):
+            return False
+        if self.config is not None and not fnmatch.fnmatch(
+            config_summary(record), self.config
+        ):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class BudgetVerdict:
+    """One budget's outcome over the evaluated window."""
+
+    budget: Budget
+    status: str  # "ok" | "breach" | "missing"
+    value: float | None = None  # worst observation in the window
+    margin: float | None = None  # fraction of limit left before breaching
+    burn_rate: float | None = None  # breaching fraction of the window
+    observed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.budget.name,
+            "metric": self.budget.metric,
+            self.budget.sense: self.budget.limit,
+            "status": self.status,
+            "value": self.value,
+            "margin": self.margin,
+            "burn_rate": self.burn_rate,
+            "observed": self.observed,
+        }
+
+
+@dataclass
+class SLOReport:
+    """All budget verdicts for one evaluation."""
+
+    verdicts: list = field(default_factory=list)
+
+    @property
+    def breaches(self) -> list:
+        return [v for v in self.verdicts if v.status == "breach"]
+
+    @property
+    def missing(self) -> list:
+        return [v for v in self.verdicts if v.status == "missing"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.breaches
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.obs/slo-report/v1",
+            "passed": self.passed,
+            "breaches": len(self.breaches),
+            "missing": len(self.missing),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+# -- spec loading -------------------------------------------------------------
+
+
+def parse_budget_spec(doc: dict, *, source: str = "<spec>") -> list[Budget]:
+    """Validate a spec document into :class:`Budget` objects."""
+    if not isinstance(doc, dict):
+        raise BudgetSpecError(f"{source}: budget spec must be an object")
+    budgets = doc.get("budgets")
+    if not isinstance(budgets, list) or not budgets:
+        raise BudgetSpecError(
+            f"{source}: spec needs a non-empty 'budgets' list "
+            f"(see DESIGN.md §16 for the grammar)"
+        )
+    out = []
+    for i, b in enumerate(budgets):
+        where = f"{source}: budgets[{i}]"
+        if not isinstance(b, dict):
+            raise BudgetSpecError(f"{where}: each budget must be an object")
+        name = b.get("name") or f"budget-{i}"
+        metric = b.get("metric")
+        if not isinstance(metric, str) or not metric:
+            raise BudgetSpecError(f"{where} ({name}): missing 'metric' path")
+        has_max, has_min = "max" in b, "min" in b
+        if has_max == has_min:
+            raise BudgetSpecError(
+                f"{where} ({name}): exactly one of 'max'/'min' is required"
+            )
+        bound = b["max"] if has_max else b["min"]
+        if isinstance(bound, bool) or not isinstance(bound, (int, float)):
+            raise BudgetSpecError(
+                f"{where} ({name}): '{'max' if has_max else 'min'}' must be a number"
+            )
+        window = b.get("window")
+        if window is not None and (
+            isinstance(window, bool) or not isinstance(window, int) or window < 1
+        ):
+            raise BudgetSpecError(
+                f"{where} ({name}): 'window' must be a positive integer"
+            )
+        unknown = set(b) - {
+            "name", "metric", "max", "min", "graph", "kind", "config", "window",
+        }
+        if unknown:
+            raise BudgetSpecError(
+                f"{where} ({name}): unknown field(s) {sorted(unknown)}"
+            )
+        out.append(
+            Budget(
+                name=str(name),
+                metric=metric,
+                max=float(bound) if has_max else None,
+                min=float(bound) if has_min else None,
+                graph=b.get("graph"),
+                kind=b.get("kind"),
+                config=b.get("config"),
+                window=window,
+            )
+        )
+    return out
+
+
+def load_budget_spec(path) -> list[Budget]:
+    """Load a TOML (3.11+) or JSON budget spec file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise BudgetSpecError(
+            f"budget spec not found: {path} (pass --budgets pointing at a "
+            f"repro.obs/slo/v1 TOML or JSON file)"
+        )
+    raw = path.read_text()
+    if path.suffix == ".toml":
+        if tomllib is None:
+            raise BudgetSpecError(
+                f"{path}: TOML specs need python >= 3.11 (tomllib); "
+                f"re-express the spec as JSON"
+            )
+        try:
+            doc = tomllib.loads(raw)
+        except tomllib.TOMLDecodeError as exc:
+            raise BudgetSpecError(f"{path}: malformed TOML: {exc}") from None
+    else:
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BudgetSpecError(f"{path}: malformed JSON: {exc}") from None
+    return parse_budget_spec(doc, source=str(path))
+
+
+# -- evaluation ---------------------------------------------------------------
+
+
+def metric_value(record: dict, path: str) -> float | None:
+    """Resolve a budget's dotted metric path against one ledger record.
+
+    Plain paths index ``record["metrics"]``; ``bound_share.<class>`` is
+    derived from the roofline digest on the fly so specs don't depend on
+    which PR materialised the share.
+    """
+    metrics = record.get("metrics", {})
+    if path.startswith("bound_share."):
+        cls = path.split(".", 1)[1]
+        bound = metrics.get("bound_time_s")
+        total = metrics.get("roofline_total_s")
+        if not isinstance(bound, dict) or not total:
+            return None
+        return float(bound.get(cls, 0.0)) / float(total)
+    node = metrics
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def evaluate_budgets(budgets, records) -> SLOReport:
+    """Evaluate budgets against a record window (newest record last).
+
+    Per budget: filter the window to matching records, keep the trailing
+    ``window`` of them, read the metric from each; the verdict is driven
+    by the *worst* observation (max for ceilings, min for floors), margin
+    is the worst value's distance from the limit as a fraction of the
+    limit, burn-rate the breaching fraction of observations.
+    """
+    records = list(records)
+    verdicts = []
+    for b in budgets:
+        matched = [r for r in records if b.matches(r)]
+        if b.window is not None:
+            matched = matched[-b.window:]
+        values = [v for r in matched if (v := metric_value(r, b.metric)) is not None]
+        if not values:
+            verdicts.append(BudgetVerdict(budget=b, status="missing"))
+            continue
+        if b.sense == "max":
+            worst = max(values)
+            breaching = sum(1 for v in values if v > b.limit)
+            margin = (b.limit - worst) / b.limit if b.limit else -worst
+        else:
+            worst = min(values)
+            breaching = sum(1 for v in values if v < b.limit)
+            margin = (worst - b.limit) / b.limit if b.limit else worst
+        verdicts.append(
+            BudgetVerdict(
+                budget=b,
+                status="breach" if breaching else "ok",
+                value=float(worst),
+                margin=float(margin),
+                burn_rate=breaching / len(values),
+                observed=len(values),
+            )
+        )
+    return SLOReport(verdicts=verdicts)
+
+
+def format_slo_report(report: SLOReport, *, title: str = "SLO check") -> str:
+    """Render an :class:`SLOReport` as markdown."""
+    lines = [
+        f"# {title}",
+        "",
+        f"**{'PASS' if report.passed else 'FAIL'}** -- "
+        f"{len(report.breaches)} breach(es), {len(report.missing)} missing, "
+        f"{len(report.verdicts)} budget(s)",
+        "",
+        "| budget | metric | limit | worst | margin | burn | n | status |",
+        "|---|---|---:|---:|---:|---:|---:|---|",
+    ]
+    for v in report.verdicts:
+        b = v.budget
+        limit = f"{b.sense} {b.limit:.6g}"
+        if v.status == "missing":
+            lines.append(
+                f"| {b.name} | `{b.metric}` | {limit} | - | - | - | 0 | MISSING |"
+            )
+            continue
+        flag = "OK" if v.status == "ok" else "**BREACH**"
+        lines.append(
+            f"| {b.name} | `{b.metric}` | {limit} | {v.value:.6g} "
+            f"| {v.margin:+.1%} | {v.burn_rate:.0%} | {v.observed} | {flag} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

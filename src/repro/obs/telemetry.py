@@ -37,9 +37,22 @@ class RunTelemetry:
 
     def __init__(self, *, trace: bool = True, metrics: bool = True,
                  audit_dispatch: bool = False, memtrace: bool = False,
-                 clock=time.perf_counter):
+                 ledger=None, clock=time.perf_counter):
         self.tracer: Tracer | None = Tracer(clock=clock) if trace else None
         self.metrics: MetricsRegistry | None = MetricsRegistry() if metrics else None
+        #: Optional run ledger (DESIGN.md §16): a
+        #: :class:`~repro.obs.ledger.Ledger` or a path to one.  When set, the
+        #: drivers append one identity-keyed record per finished run; purely
+        #: additive -- results are bit-identical with and without it.
+        if ledger is not None and not hasattr(ledger, "append"):
+            from repro.obs.ledger import Ledger
+
+            ledger = Ledger(ledger)
+        self.ledger = ledger
+        self._ledger_suspend = 0
+        #: Modeled GPU seconds per run phase (setup/forward/backward/rerun),
+        #: attributed by the open span stack at each launch.
+        self.phase_gpu_time_s: dict[str, float] = {}
         #: When set, adaptive contexts replay the *unchosen* strategies on a
         #: private shadow device so the regret report can compare measured
         #: times (see obs/audit.py).  Off by default: shadow replays cost
@@ -97,6 +110,66 @@ class RunTelemetry:
         if self.tracer is not None:
             self.tracer.bind_device(device)
 
+    # -- the run ledger -------------------------------------------------------
+
+    @property
+    def ledger_active(self) -> bool:
+        """Whether a finishing driver should append a ledger record."""
+        return self.ledger is not None and self._ledger_suspend == 0
+
+    @contextmanager
+    def suspend_ledger(self):
+        """Mute ledger appends for a block.
+
+        Composite drivers (``multi_gpu_bc``) run their per-task work through
+        the ordinary ``turbo_bc`` path; suspending around the task loop keeps
+        the ledger at one record per user-visible run instead of one per
+        internal task.
+        """
+        self._ledger_suspend += 1
+        try:
+            yield
+        finally:
+            self._ledger_suspend -= 1
+
+    def record_run(self, record: dict) -> None:
+        """Append ``record`` to the ledger if one is active (else drop it)."""
+        if self.ledger_active:
+            self.ledger.append(record)
+
+    def _counter_totals(self) -> dict:
+        """Counters summed by base name (``kernel_launches{kernel=x}`` and
+        ``{kernel=y}`` roll up into one ``kernel_launches``)."""
+        out: dict[str, float] = {}
+        if self.metrics is not None:
+            for key, value in self.metrics.to_dict()["counters"].items():
+                base = key.split("{", 1)[0]
+                out[base] = out.get(base, 0) + value
+        return out
+
+    def ledger_mark(self):
+        """Snapshot the cumulative phase/counter state at a run boundary.
+
+        A session can span many runs; ledger records carry per-run *deltas*
+        (:meth:`ledger_delta` against the mark), not session totals.
+        """
+        return (dict(self.phase_gpu_time_s), self._counter_totals())
+
+    def ledger_delta(self, mark) -> tuple[dict, dict]:
+        """Per-run ``(phase_time_s, counters)`` since :meth:`ledger_mark`."""
+        phase0, counters0 = mark
+        phase = {
+            k: v - phase0.get(k, 0.0)
+            for k, v in self.phase_gpu_time_s.items()
+            if v - phase0.get(k, 0.0) > 0.0
+        }
+        counters = {
+            k: v - counters0.get(k, 0)
+            for k, v in self._counter_totals().items()
+            if v - counters0.get(k, 0)
+        }
+        return phase, counters
+
     # -- simulator hooks ------------------------------------------------------
 
     def on_kernel_launch(self, launch, gpu_total_s: float, spec=None) -> None:
@@ -114,6 +187,10 @@ class RunTelemetry:
         counters = counters_for_launch(launch, spec)
         if spec is not None:
             self.device_spec = spec
+        phase = self.current_phase()
+        self.phase_gpu_time_s[phase] = (
+            self.phase_gpu_time_s.get(phase, 0.0) + launch.time_s
+        )
         if self.metrics is not None:
             self.metrics.counter("kernel_launches", kernel=name).inc()
             for field in ("dram_read_bytes", "dram_write_bytes", "flops",
@@ -204,6 +281,28 @@ class RunTelemetry:
             "run_peak_memory_bytes": peak,
             "memory_timeline_samples": len(self.memory_timeline),
         }
+        if self.phase_gpu_time_s:
+            out["phase_gpu_time_s"] = {
+                k: self.phase_gpu_time_s[k] for k in sorted(self.phase_gpu_time_s)
+            }
+        # Multi-GPU digests (schedule audits + link traffic): without these
+        # the snapshot -- and everything built on it, the ledger above all --
+        # was blind to multi-device runs unless callers replayed telemetry.
+        if self.schedule_audits:
+            out["schedule_audits"] = [a.to_dict() for a in self.schedule_audits]
+        counters = metrics.get("counters", {}) if metrics else {}
+        transfers = sum(
+            v for k, v in counters.items()
+            if k.split("{", 1)[0] == "link_transfers"
+        )
+        if transfers:
+            out["link"] = {
+                "transfers": int(transfers),
+                "bytes": int(sum(
+                    v for k, v in counters.items()
+                    if k.split("{", 1)[0] == "link_transfer_bytes"
+                )),
+            }
         if self.memtrace is not None:
             out["mem"] = self.memtrace.summary()
         return out

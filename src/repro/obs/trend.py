@@ -1,0 +1,212 @@
+"""Drift detection over ledger windows: the newest run vs its own history.
+
+``repro perf-diff`` needs two freshly produced bench files; once the run
+ledger (:mod:`repro.obs.ledger`) accumulates identity-keyed records, the
+comparison can run against *history* instead.  This module groups a
+ledger's records by fingerprint (same graph, same resolved execution
+config), takes each group's newest record as the candidate and the
+trailing-N records before it as the baseline, and reuses the bootstrap-CI
+comparator of :mod:`repro.obs.regress` metric-by-metric -- the same
+lower/higher-is-better direction heuristics, the same noise floor, the
+same "whole CI past the floor" significance rule.
+
+Both tails are surfaced: **regressions** (the gate bit) and **silent
+improvements** -- a metric that got significantly better without anyone
+claiming it is usually either an unnoticed win worth keeping or an
+accounting bug worth investigating; either way it should not pass quietly.
+
+On the deterministic simulator a clean re-run reproduces every modeled
+metric bit-for-bit (ratio exactly 1.0), so a flagged drift is always a
+real behaviour change, never sampling noise.  ``kind="bench"`` records
+(ingested ``BENCH_*.json`` artifacts) participate through their lossless
+``bench_payload``, which is what lets ``repro perf-diff
+--baseline-ledger`` reproduce the paired-run gate verdict exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.ledger import config_summary
+from repro.obs.regress import RegressionReport, compare_metrics
+
+#: Record kinds that carry a run-shaped ``metrics`` block.
+_RUN_KINDS = ("bc", "multigpu", "canary")
+
+
+def record_metrics(record: dict) -> dict:
+    """Flatten one ledger record into ``{metric_path: [samples]}``.
+
+    Run records flatten their ``metrics`` block; bench records their
+    lossless ``bench_payload`` (yielding exactly the paths flattening the
+    original ``BENCH_*.json`` file would).
+    """
+    # Lazy: the bench package imports the baseline drivers, which import
+    # back into obs -- resolving at call time keeps the import DAG acyclic.
+    from repro.bench.baseline import flatten_metrics
+
+    if record.get("kind") == "bench":
+        return flatten_metrics(record.get("bench_payload", {}))
+    return flatten_metrics(record.get("metrics", {}))
+
+
+def _merge_samples(maps) -> dict:
+    """Union metric maps, concatenating sample lists in record order."""
+    out: dict[str, list[float]] = {}
+    for m in maps:
+        for k, v in m.items():
+            out.setdefault(k, []).extend(v)
+    return out
+
+
+@dataclass
+class GroupTrend:
+    """One fingerprint group's newest-vs-trailing-window comparison."""
+
+    fingerprint: str
+    kind: str
+    graph: str
+    config: str
+    baseline_runs: int
+    report: RegressionReport
+
+    @property
+    def passed(self) -> bool:
+        return self.report.passed
+
+
+@dataclass
+class TrendReport:
+    """Every comparable fingerprint group in the ledger window."""
+
+    window: int
+    groups: list = field(default_factory=list)
+    #: Fingerprints with a single record (nothing to compare against yet).
+    singletons: int = 0
+
+    @property
+    def regressions(self) -> list:
+        return [(g, c) for g in self.groups for c in g.report.regressions]
+
+    @property
+    def improvements(self) -> list:
+        return [(g, c) for g in self.groups for c in g.report.improvements]
+
+    @property
+    def passed(self) -> bool:
+        return all(g.passed for g in self.groups)
+
+
+def trend_report(
+    records,
+    *,
+    window: int = 5,
+    noise_floor: float = 0.05,
+    confidence: float = 0.95,
+) -> TrendReport:
+    """Compare each fingerprint's newest record against its trailing window.
+
+    ``window`` caps how many prior records form the baseline (newest-first
+    truncation).  Groups with fewer than two records are counted as
+    ``singletons`` -- they seed future baselines but produce no verdict.
+    """
+    groups: dict[str, list[dict]] = {}
+    for rec in records:
+        if rec.get("kind") in _RUN_KINDS or rec.get("kind") == "bench":
+            groups.setdefault(str(rec.get("fingerprint", "")), []).append(rec)
+    out = TrendReport(window=window)
+    for fp, recs in groups.items():
+        if len(recs) < 2:
+            out.singletons += 1
+            continue
+        current = recs[-1]
+        baseline = recs[max(0, len(recs) - 1 - window):-1]
+        report = compare_metrics(
+            _merge_samples(record_metrics(r) for r in baseline),
+            record_metrics(current),
+            noise_floor=noise_floor,
+            confidence=confidence,
+        )
+        if current.get("kind") == "bench":
+            graph, config = current.get("bench", ""), "bench"
+        else:
+            graph = current.get("graph", {}).get("name", "")
+            config = config_summary(current)
+        out.groups.append(GroupTrend(
+            fingerprint=fp,
+            kind=str(current.get("kind", "?")),
+            graph=graph,
+            config=config,
+            baseline_runs=len(baseline),
+            report=report,
+        ))
+    return out
+
+
+def format_trend_report(trend: TrendReport, *, max_rows: int = 20) -> str:
+    """Render the drift analysis as markdown (``repro trend``)."""
+    n_reg = len(trend.regressions)
+    n_imp = len(trend.improvements)
+    lines = [
+        "# trend",
+        "",
+        f"**{'PASS' if trend.passed else 'FAIL'}** -- "
+        f"{len(trend.groups)} fingerprint group(s) compared against trailing-"
+        f"{trend.window} baselines, {n_reg} regression(s), "
+        f"{n_imp} silent improvement(s)"
+        + (f", {trend.singletons} singleton(s) skipped" if trend.singletons
+           else ""),
+    ]
+
+    def table(rows, title):
+        if not rows:
+            return
+        lines.append("")
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| group | metric | baseline | current | ratio | CI |")
+        lines.append("|---|---|---:|---:|---:|---|")
+        shown = sorted(rows, key=lambda gc: abs(gc[1].ratio - 1.0),
+                       reverse=True)
+        for g, c in shown[:max_rows]:
+            label = f"{g.graph}/{g.config}" if g.config != "bench" else g.graph
+            lines.append(
+                f"| {g.kind}:{label} | `{c.name}` | {c.old_mean:.6g} "
+                f"| {c.new_mean:.6g} | {c.ratio:.3f}x "
+                f"| [{c.ci_low:.3f}, {c.ci_high:.3f}] |"
+            )
+        if len(shown) > max_rows:
+            lines.append(f"| ... {len(shown) - max_rows} more | | | | | |")
+
+    table(trend.regressions, "Regressions")
+    table(trend.improvements, "Silent improvements")
+    lines.append("")
+    for g in trend.groups:
+        label = f"{g.graph}/{g.config}" if g.config != "bench" else g.graph
+        lines.append(
+            f"- `{g.fingerprint}` {g.kind}:{label} -- "
+            f"{len(g.report.comparisons)} metric(s) vs {g.baseline_runs} "
+            f"baseline run(s): "
+            f"{'ok' if g.passed else f'{len(g.report.regressions)} regression(s)'}"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def baseline_from_ledger(records, *, name: str | None = None,
+                         window: int | None = None) -> dict:
+    """Merge a ledger's bench records into one flattened baseline map.
+
+    Used by ``repro perf-diff --baseline-ledger``: selects the
+    ``kind="bench"`` records (optionally only those whose ``bench`` name
+    matches ``name``), keeps the trailing ``window`` of them, and merges
+    their flattened payloads into ``{metric_path: [samples]}`` -- so a
+    single ingested artifact reproduces the paired-run comparison exactly,
+    and a deeper window turns the gate into a compare-against-history one.
+    """
+    benches = [r for r in records if r.get("kind") == "bench"]
+    if name is not None:
+        benches = [r for r in benches if r.get("bench") == name]
+    if window is not None:
+        benches = benches[-window:]
+    return _merge_samples(record_metrics(r) for r in benches)

@@ -135,3 +135,119 @@ class TestParser:
     def test_table_validates_k(self):
         with pytest.raises(SystemExit):
             main(["table", "7"])
+
+
+class TestObservabilityCLI:
+    """`repro history` / `slo-check` / `trend` wiring and exit codes.
+
+    Usage errors (missing ledger, malformed spec, empty window, bad
+    --window) must exit 2 with an actionable message; gate failures
+    (budget breach, flagged regression) exit 1; clean passes exit 0.
+    """
+
+    @pytest.fixture()
+    def ledger(self, tmp_path):
+        graph = tmp_path / "tiny.el"
+        graph.write_text("0 1\n1 2\n2 3\n3 0\n0 2\n")
+        path = tmp_path / "ledger.jsonl"
+        for _ in range(3):
+            assert main(["bc", str(graph), "--ledger", str(path)]) == 0
+        return path
+
+    def test_history_table_and_jsonl(self, ledger, capsys):
+        assert main(["history", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out and out.count("sccsc/b1") == 3
+        assert main(["history", "--ledger", str(ledger),
+                     "--format", "jsonl", "--last", "1"]) == 0
+        import json as _json
+        rec = _json.loads(capsys.readouterr().out)
+        assert rec["kind"] == "bc"
+
+    def test_history_missing_ledger_exits_2(self, tmp_path, capsys):
+        assert main(["history", "--ledger", str(tmp_path / "no.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "--ledger" in err
+
+    def test_slo_check_pass_and_breach(self, ledger, tmp_path, capsys):
+        import json as _json
+        spec = tmp_path / "budgets.json"
+        spec.write_text(_json.dumps({"budgets": [
+            {"name": "lat", "metric": "gpu_time_s", "max": 10.0}]}))
+        assert main(["slo-check", "--ledger", str(ledger),
+                     "--budgets", str(spec)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        spec.write_text(_json.dumps({"budgets": [
+            {"name": "lat", "metric": "gpu_time_s", "max": 1e-12}]}))
+        assert main(["slo-check", "--ledger", str(ledger),
+                     "--budgets", str(spec)]) == 1
+        assert "breach" in capsys.readouterr().out
+
+    def test_slo_check_missing_ledger_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "budgets.json"
+        spec.write_text('{"budgets": [{"metric": "x", "max": 1.0}]}')
+        assert main(["slo-check", "--ledger", str(tmp_path / "no.jsonl"),
+                     "--budgets", str(spec)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "repro bc" in err
+
+    def test_slo_check_malformed_spec_exits_2(self, ledger, tmp_path, capsys):
+        spec = tmp_path / "budgets.json"
+        spec.write_text('{"budgets": [{"max": 1.0}]}')
+        assert main(["slo-check", "--ledger", str(ledger),
+                     "--budgets", str(spec)]) == 2
+        assert "missing 'metric'" in capsys.readouterr().err
+
+    def test_slo_check_empty_window_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        spec = tmp_path / "budgets.json"
+        spec.write_text('{"budgets": [{"metric": "x", "max": 1.0}]}')
+        assert main(["slo-check", "--ledger", str(empty),
+                     "--budgets", str(spec)]) == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_trend_clean_and_doctored(self, ledger, capsys, tmp_path):
+        import json as _json
+        assert main(["trend", "--ledger", str(ledger)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        from repro import obs
+        records = obs.read_ledger(ledger)
+        doctored = _json.loads(_json.dumps(records[-1]))
+        doctored["metrics"]["kernel_exec_s"] *= 2
+        obs.Ledger(ledger).append(doctored)
+        report = tmp_path / "trend.md"
+        assert main(["trend", "--ledger", str(ledger),
+                     "--report", str(report)]) == 1
+        assert "kernel_exec_s" in report.read_text()
+
+    def test_trend_missing_ledger_exits_2(self, tmp_path, capsys):
+        assert main(["trend", "--ledger", str(tmp_path / "no.jsonl")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_trend_bad_window_exits_2(self, ledger, capsys):
+        assert main(["trend", "--ledger", str(ledger), "--window", "0"]) == 2
+        assert "--window must be >= 1" in capsys.readouterr().err
+
+    def test_canary_missing_budget_spec_exits_2(self, tmp_path, capsys):
+        assert main(["canary", "--seed", "0",
+                     "--budgets", str(tmp_path / "no.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "--bless-budgets" in err
+
+    def test_perf_diff_baseline_flag_validation(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text('{"criterion": {"achieved": 1.0}}')
+        led = tmp_path / "l.jsonl"
+        led.write_text("")
+        # both a positional baseline and --baseline-ledger: ambiguous
+        assert main(["perf-diff", str(bench), str(bench),
+                     "--baseline-ledger", str(led)]) == 2
+        assert "either" in capsys.readouterr().err
+        # neither baseline source
+        assert main(["perf-diff", str(bench)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+        # ledger with no matching bench records
+        assert main(["perf-diff", "--baseline-ledger", str(led),
+                     str(bench)]) == 2
+        assert 'no kind="bench" records' in capsys.readouterr().err

@@ -240,6 +240,24 @@ class TestParity:
         assert base.stats.gpu_time_s == traced.stats.gpu_time_s
         assert base.stats.peak_memory_bytes == traced.stats.peak_memory_bytes
 
+    @pytest.mark.parametrize("batch_size", [1, 3])
+    def test_ledger_keeps_parity(self, batch_size, tmp_path):
+        """The ledger hook (PR 10) must not change results or modeled work."""
+        g = random_graph(40, 0.1, directed=False, seed=7)
+        base = turbo_bc(g, batch_size=batch_size, device=Device())
+        with obs.session(ledger=tmp_path / "ledger.jsonl"):
+            traced = turbo_bc(g, batch_size=batch_size, device=Device())
+        assert np.array_equal(base.bc, traced.bc)
+        assert base.stats.kernel_launches == traced.stats.kernel_launches
+        assert base.stats.gpu_time_s == traced.stats.gpu_time_s
+        assert base.stats.peak_memory_bytes == traced.stats.peak_memory_bytes
+        # and the record mirrors the untraced run's modeled work exactly
+        (rec,) = obs.read_ledger(tmp_path / "ledger.jsonl")
+        assert rec["metrics"]["gpu_time_s"] == base.stats.gpu_time_s
+        assert rec["metrics"]["kernel_launches"] == base.stats.kernel_launches
+        assert (rec["metrics"]["peak_memory_bytes"]
+                == base.stats.peak_memory_bytes)
+
     def test_untraced_result_has_no_telemetry(self, small_undirected):
         res = turbo_bc(small_undirected, sources=0)
         assert res.telemetry is None
